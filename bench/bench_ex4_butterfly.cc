@@ -1,0 +1,123 @@
+/**
+ * @file
+ * E8 — Fig. 5.4 (Example 4): the butterfly barrier built from
+ * process-counter primitives vs the counter barrier, across
+ * processor counts and fabrics. The counter barrier funnels the
+ * fetch&add arrivals and the release re-fetch burst through one
+ * memory module (the hot spot); the butterfly spreads its log P
+ * pairwise steps and needs no atomic operation at all.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/runtime.hh"
+#include "workloads/butterfly.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunResult
+runBarrier(bool butterfly, unsigned procs, sim::FabricKind fabric,
+           const workloads::BarrierSpec &spec)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = fabric;
+    cfg.syncRegisters = 2 * procs + 8;
+    sim::Machine machine(cfg);
+    std::vector<std::vector<sim::Program>> progs;
+    if (butterfly) {
+        sync::ButterflyBarrier barrier(machine.fabric(), procs);
+        progs = workloads::buildButterflyPrograms(barrier, spec);
+    } else {
+        sync::CounterBarrier barrier(machine.fabric(), procs);
+        progs = workloads::buildCounterBarrierPrograms(barrier, spec);
+    }
+    auto r = core::runPerProcessorPrograms(machine, progs);
+    if (!r.completed) {
+        std::fprintf(stderr, "barrier run deadlocked\n");
+        std::exit(1);
+    }
+    return r;
+}
+
+core::RunResult
+runDissemination(unsigned procs, sim::FabricKind fabric,
+                 const workloads::BarrierSpec &spec)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = fabric;
+    cfg.syncRegisters = 2 * procs + 8;
+    sim::Machine machine(cfg);
+    sync::DisseminationBarrier barrier(machine.fabric(), procs);
+    auto progs = workloads::buildDisseminationPrograms(barrier, spec);
+    auto r = core::runPerProcessorPrograms(machine, progs);
+    if (!r.completed) {
+        std::fprintf(stderr, "dissemination run deadlocked\n");
+        std::exit(1);
+    }
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "E8: butterfly barrier vs counter barrier",
+        "Fig. 5.4 (Example 4)",
+        "the butterfly removes the hot spot and the atomic op, and "
+        "performs better than a counter barrier on small bus-based "
+        "systems");
+
+    workloads::BarrierSpec spec;
+    spec.episodes = 32;
+    spec.workCost = 32;
+    spec.workJitter = 32;
+
+    std::printf("%-4s %-10s %12s %12s %12s %12s\n", "P", "fabric",
+                "butterfly", "counter", "hot-spot", "ctr-queue");
+    for (unsigned p : {2u, 4u, 8u, 16u, 32u}) {
+        spec.numProcs = p;
+        for (auto fabric : {sim::FabricKind::memory,
+                            sim::FabricKind::registers}) {
+            auto bf = runBarrier(true, p, fabric, spec);
+            auto ctr = runBarrier(false, p, fabric, spec);
+            std::printf("%-4u %-10s %12llu %12llu %12.2f %12llu\n",
+                        p, sim::fabricKindName(fabric),
+                        static_cast<unsigned long long>(bf.cycles),
+                        static_cast<unsigned long long>(ctr.cycles),
+                        ctr.hotSpotRatio,
+                        static_cast<unsigned long long>(
+                            ctr.moduleQueueDelay));
+        }
+    }
+    std::printf(
+        "\nnotes: on the register fabric the counter column assumes "
+        "single-cycle atomic fetch&add registers — hardware the "
+        "paper's scheme exists to avoid; the butterfly uses plain "
+        "writes only. At P=32 the shared data bus saturates under "
+        "P log P butterfly refills (uncached-era bus model).\n");
+
+    // "with a minor modification, b_barrier() can work even when P
+    // is not a power of 2 [11]" — the dissemination barrier.
+    std::printf("\ndissemination barrier (any P), register "
+                "fabric:\n");
+    std::printf("%-4s %12s %12s\n", "P", "dissemination",
+                "counter");
+    for (unsigned p : {3u, 5u, 6u, 8u, 12u, 16u}) {
+        spec.numProcs = p;
+        auto dis = runDissemination(p, sim::FabricKind::registers,
+                                    spec);
+        auto ctr = runBarrier(false, p, sim::FabricKind::registers,
+                              spec);
+        std::printf("%-4u %12llu %12llu\n", p,
+                    static_cast<unsigned long long>(dis.cycles),
+                    static_cast<unsigned long long>(ctr.cycles));
+    }
+    return 0;
+}

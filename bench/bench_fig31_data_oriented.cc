@@ -1,0 +1,55 @@
+/**
+ * @file
+ * E2 — Fig. 3.1 / section 3.1: data-oriented schemes tie their
+ * synchronization state to the data. Sweeping the trip count N of
+ * the Fig. 2.1 loop shows keys, storage and initialization cost
+ * growing with the data for the reference- and instance-based
+ * schemes, while statement counters and process counters stay
+ * constant.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+int
+main()
+{
+    bench::banner(
+        "E2: synchronization state of data-oriented schemes",
+        "Fig. 3.1(a)(b), section 3.1",
+        "data-oriented schemes need keys (and init writes) "
+        "proportional to the data; the process-oriented scheme "
+        "needs X counters, period");
+
+    std::printf("%-8s %-18s %10s %10s %12s %12s\n", "N", "scheme",
+                "sync-vars", "storage-B", "init-writes",
+                "init-cycles");
+
+    for (long n : {64L, 256L, 1024L, 4096L}) {
+        dep::Loop loop = workloads::makeFig21Loop(n);
+        for (auto kind : sync::allSyncSchemes()) {
+            auto cfg = bench::machineFor(kind);
+            cfg.checkTrace = n <= 256; // keep big sweeps fast
+            auto r = core::runDoacross(loop, kind, cfg);
+            if (cfg.checkTrace)
+                bench::require(r, sync::schemeKindName(kind));
+            std::printf("%-8ld %-18s %10llu %10llu %12llu %12llu\n",
+                        n, sync::schemeKindName(kind),
+                        static_cast<unsigned long long>(
+                            r.plan.numSyncVars),
+                        static_cast<unsigned long long>(
+                            r.plan.syncStorageBytes +
+                            r.plan.renamedStorageBytes),
+                        static_cast<unsigned long long>(
+                            r.plan.initWrites),
+                        static_cast<unsigned long long>(
+                            r.initCycles));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * E10 — section 6: where should synchronization variables live?
+ * The dedicated register file with broadcast local images keeps
+ * busy-waiting off the buses entirely; memory-resident variables
+ * put every poll (uncached) or every invalidation refill (cached)
+ * on the data bus, stealing bandwidth from the actual data
+ * accesses.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+int
+main()
+{
+    bench::banner(
+        "E10: synchronization fabric — registers+broadcast vs "
+        "memory",
+        "section 6",
+        "local-register polling is free; memory-resident sync vars "
+        "turn busy-waiting into bus and module traffic");
+
+    const long n = 256;
+    dep::Loop loop = workloads::makeFig21Loop(n);
+
+    std::printf("%-22s %10s %10s %12s %12s %12s %10s\n", "fabric",
+                "cycles", "util", "data-bus-txn", "sync-polls",
+                "broadcasts", "bus-util");
+
+    struct Variant
+    {
+        const char *name;
+        sim::FabricKind fabric;
+        bool cached;
+    };
+    for (const Variant &v :
+         {Variant{"registers+broadcast", sim::FabricKind::registers,
+                  true},
+          Variant{"memory (cached spin)", sim::FabricKind::memory,
+                  true},
+          Variant{"memory (polling)", sim::FabricKind::memory,
+                  false}}) {
+        auto cfg = bench::registerMachine(8, 16);
+        cfg.machine.fabric = v.fabric;
+        cfg.machine.cachedSpinning = v.cached;
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::processImproved, cfg);
+        bench::require(r, v.name);
+        std::printf("%-22s %10llu %10.3f %12llu %12llu %12llu "
+                    "%10.3f\n",
+                    v.name,
+                    static_cast<unsigned long long>(r.run.cycles),
+                    r.run.utilization(),
+                    static_cast<unsigned long long>(
+                        r.run.dataBusTransactions),
+                    static_cast<unsigned long long>(
+                        r.run.syncMemPolls),
+                    static_cast<unsigned long long>(
+                        r.run.syncBusBroadcasts),
+                    r.run.dataBusUtilization);
+    }
+
+    std::printf("\nper-scheme traffic on the register fabric "
+                "(broadcast writes only):\n");
+    std::printf("%-18s %12s %12s\n", "scheme", "broadcasts",
+                "coalesced");
+    for (auto kind : {sync::SchemeKind::processBasic,
+                      sync::SchemeKind::processImproved,
+                      sync::SchemeKind::statementOriented}) {
+        auto cfg = bench::registerMachine(8, 16);
+        auto r = core::runDoacross(loop, kind, cfg);
+        bench::require(r, sync::schemeKindName(kind));
+        std::printf("%-18s %12llu %12llu\n",
+                    sync::schemeKindName(kind),
+                    static_cast<unsigned long long>(
+                        r.run.syncBusBroadcasts),
+                    static_cast<unsigned long long>(
+                        r.run.coalescedWrites));
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * E13 — sections 1-3 scoping claim: data-oriented schemes (HEP
+ * full/empty bits, Cedar key/data) "are suitable for large scale
+ * multiprocessor systems", while the process-oriented scheme is
+ * "more suitable for small scale multiprocessor systems such as
+ * the Cray X-MP, the Alliant FX/8, the Encore Multimax".
+ *
+ * We sweep the processor count on both machine classes:
+ *  - a bus-based machine with synchronization registers and a
+ *    broadcast sync bus (small-scale class), and
+ *  - an Omega-network machine with memory-resident keys and
+ *    coherent-cache spinning (large-scale class),
+ * running the Fig. 2.1 loop under the process-oriented scheme on
+ * the former and the reference-based scheme on the latter.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+int
+main()
+{
+    bench::banner(
+        "E13: small-scale bus machine vs large-scale network "
+        "machine",
+        "sections 1-3 (scheme scoping)",
+        "broadcast-register PCs shine on bus machines; per-datum "
+        "keys keep scaling on network machines where a single "
+        "broadcast bus would saturate");
+
+    const long n = 2048;
+    dep::Loop loop = workloads::makeFig21Loop(n);
+
+    std::printf("%-4s %-34s %10s %10s %10s\n", "P",
+                "machine / scheme", "cycles", "util", "speedup");
+
+    for (unsigned p : {4u, 8u, 16u, 32u, 64u}) {
+        // Small-scale: bus + sync registers, process-oriented.
+        auto small_cfg = bench::registerMachine(p, 2 * p);
+        small_cfg.checkTrace = false;
+        small_cfg.machine.memory.numModules = 8;
+        sim::Tick seq_small =
+            core::sequentialCycles(loop, small_cfg.machine);
+        auto small = core::runDoacross(
+            loop, sync::SchemeKind::processImproved, small_cfg);
+
+        // Large-scale: omega network, interleaved modules scaled
+        // with P, memory-resident keys, reference-based scheme.
+        auto large_cfg = bench::memoryMachine(p);
+        large_cfg.checkTrace = false;
+        large_cfg.machine.interconnect = sim::InterconnectKind::omega;
+        large_cfg.machine.memory.numModules = p;
+        sim::Tick seq_large =
+            core::sequentialCycles(loop, large_cfg.machine);
+        auto large = core::runDoacross(
+            loop, sync::SchemeKind::referenceBased, large_cfg);
+
+        // Cross case: data-oriented keys forced onto the bus
+        // machine — the configuration the paper argues against.
+        auto cross_cfg = bench::memoryMachine(p);
+        cross_cfg.checkTrace = false;
+        cross_cfg.machine.memory.numModules = 8;
+        auto cross = core::runDoacross(
+            loop, sync::SchemeKind::referenceBased, cross_cfg);
+
+        std::printf("%-4u %-34s %10llu %10.3f %10.2f\n", p,
+                    "bus+registers / process",
+                    static_cast<unsigned long long>(small.run.cycles),
+                    small.run.utilization(),
+                    small.run.speedupOver(seq_small));
+        std::printf("%-4u %-34s %10llu %10.3f %10.2f\n", p,
+                    "omega+memory keys / reference",
+                    static_cast<unsigned long long>(large.run.cycles),
+                    large.run.utilization(),
+                    large.run.speedupOver(seq_large));
+        std::printf("%-4u %-34s %10llu %10.3f %10.2f\n\n", p,
+                    "bus+memory keys / reference",
+                    static_cast<unsigned long long>(cross.run.cycles),
+                    cross.run.utilization(),
+                    cross.run.speedupOver(seq_small));
+    }
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * E11 — the sections 3-6 comparison in one table: every scheme on
+ * every workload, with the axes the paper argues about — sync
+ * variables, storage, initialization, execution cycles, busy-wait
+ * share and speedup.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "core/critical_path.hh"
+#include "workloads/branches.hh"
+#include "workloads/fig21.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+
+namespace {
+
+void
+sweep(const char *name, const dep::Loop &loop)
+{
+    auto seq_cfg = bench::registerMachine();
+    sim::Tick seq = core::sequentialCycles(loop, seq_cfg.machine);
+
+    dep::DepGraph graph(loop);
+    auto cp = core::criticalPath(
+        graph,
+        core::CriticalPathCosts::fromMachine(seq_cfg.machine));
+    // The achievable floor on P processors: dependence chains or
+    // work/P, whichever binds.
+    const unsigned p = seq_cfg.machine.numProcs;
+    core::CriticalPath bound = cp;
+    bound.cycles = std::max<sim::Tick>(
+        cp.cycles, (cp.totalWork + p - 1) / p);
+
+    std::printf("workload: %s (%llu iterations, sequential %llu "
+                "cycles; dependence-limited bound %llu, "
+                "work/P bound %llu, max useful parallelism %.1f)\n",
+                name,
+                static_cast<unsigned long long>(loop.iterations()),
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(cp.cycles),
+                static_cast<unsigned long long>(bound.cycles),
+                cp.maxUsefulParallelism());
+    std::printf("%-18s %10s %10s %10s %10s %10s %10s %10s\n",
+                "scheme", "sync-vars", "storage-B", "init-cyc",
+                "cycles", "spin-frac", "speedup", "vs-bound");
+
+    auto row = [&](const char *label,
+                   const core::DoacrossResult &r) {
+        std::printf("%-18s %10llu %10llu %10llu %10llu %10.3f "
+                    "%10.2f %9.2fx\n",
+                    label,
+                    static_cast<unsigned long long>(
+                        r.plan.numSyncVars),
+                    static_cast<unsigned long long>(
+                        r.plan.syncStorageBytes +
+                        r.plan.renamedStorageBytes),
+                    static_cast<unsigned long long>(r.initCycles),
+                    static_cast<unsigned long long>(r.run.cycles),
+                    r.run.spinFraction(), r.run.speedupOver(seq),
+                    bound.cycles
+                        ? static_cast<double>(r.run.cycles) /
+                              bound.cycles
+                        : 0.0);
+    };
+
+    for (auto kind : sync::allSyncSchemes()) {
+        if (kind == sync::SchemeKind::instanceBased &&
+            !loop.branchProb.empty()) {
+            std::printf("%-18s %10s\n", "instance",
+                        "(no branch support)");
+            continue;
+        }
+        auto cfg = bench::machineFor(kind);
+        auto r = core::runDoacross(loop, kind, cfg);
+        bench::require(r, sync::schemeKindName(kind));
+        row(sync::schemeKindName(kind), r);
+    }
+
+    // Reference scheme with Cedar memory-side combining ([26]).
+    {
+        auto cfg = bench::memoryMachine();
+        cfg.scheme.cedarCombining = true;
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::referenceBased, cfg);
+        bench::require(r, "reference+cedar");
+        row("reference+cedar", r);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "E11: the scheme taxonomy, quantified",
+        "sections 3-6 (summary of advantages, end of section 6)",
+        "the process-oriented scheme uses few variables, cheap "
+        "initialization, and competitive-or-better execution time "
+        "across the paper's workloads");
+
+    sweep("fig2.1 (N=256)", workloads::makeFig21Loop(256));
+    sweep("nested (32x32)", workloads::makeNestedLoop(32, 32));
+    sweep("branches (N=256, p=0.5)",
+          workloads::makeBranchLoop(256, 0.5));
+    return 0;
+}

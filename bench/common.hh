@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: standard machine
+ * configurations and fixed-width table printing. Each bench binary
+ * regenerates one experiment from the DESIGN.md index (the paper
+ * has no numeric tables, so every figure/claim gets a quantitative
+ * table here; EXPERIMENTS.md records claim vs measured).
+ */
+
+#ifndef PSYNC_BENCH_COMMON_HH
+#define PSYNC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/runtime.hh"
+
+namespace psync {
+namespace bench {
+
+/** Default register-fabric machine (section 6 hardware). */
+inline core::RunConfig
+registerMachine(unsigned procs = 8, unsigned num_pcs = 16)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 1u << 22;
+    cfg.scheme.numPcs = num_pcs;
+    cfg.scheme.numScs = 1u << 20;
+    cfg.tickLimit = 2000000000ull;
+    return cfg;
+}
+
+/** Default memory-fabric machine (keys live with the data). */
+inline core::RunConfig
+memoryMachine(unsigned procs = 8)
+{
+    core::RunConfig cfg = registerMachine(procs);
+    cfg.machine.fabric = sim::FabricKind::memory;
+    return cfg;
+}
+
+/** Pick the natural fabric for a scheme. */
+inline core::RunConfig
+machineFor(sync::SchemeKind kind, unsigned procs = 8,
+           unsigned num_pcs = 16)
+{
+    if (kind == sync::SchemeKind::referenceBased ||
+        kind == sync::SchemeKind::instanceBased) {
+        return memoryMachine(procs);
+    }
+    return registerMachine(procs, num_pcs);
+}
+
+/** Print a header naming the experiment and the paper claim. */
+inline void
+banner(const char *exp_id, const char *artifact, const char *claim)
+{
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("%s  (paper artifact: %s)\n", exp_id, artifact);
+    std::printf("claim: %s\n", claim);
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+/** Abort the bench if a run was incorrect or deadlocked. */
+inline void
+require(const core::DoacrossResult &r, const char *what)
+{
+    if (!r.run.completed) {
+        std::fprintf(stderr, "%s: DEADLOCK (tick limit)\n", what);
+        std::exit(1);
+    }
+    if (!r.correct()) {
+        std::fprintf(stderr, "%s: dependence violation: %s\n", what,
+                     r.violations.front().c_str());
+        std::exit(1);
+    }
+}
+
+} // namespace bench
+} // namespace psync
+
+#endif // PSYNC_BENCH_COMMON_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Example 4 of the paper: the butterfly barrier built from
+ * process-counter primitives versus the classic fetch&add counter
+ * barrier, across processor counts, on both hardware
+ * organizations. The counter barrier funnels every arrival and
+ * every spin poll through one memory module — the hot spot the
+ * butterfly avoids.
+ *
+ * Usage: barrier_comparison [episodes] [work] [jitter]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/runtime.hh"
+#include "workloads/butterfly.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunResult
+runBarrier(bool butterfly, unsigned procs, sim::FabricKind fabric,
+           const workloads::BarrierSpec &spec)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = fabric;
+    cfg.syncRegisters = 2 * procs + 8;
+    sim::Machine machine(cfg);
+
+    std::vector<std::vector<sim::Program>> progs;
+    if (butterfly) {
+        sync::ButterflyBarrier barrier(machine.fabric(), procs);
+        progs = workloads::buildButterflyPrograms(barrier, spec);
+    } else {
+        sync::CounterBarrier barrier(machine.fabric(), procs);
+        progs = workloads::buildCounterBarrierPrograms(barrier, spec);
+    }
+    return core::runPerProcessorPrograms(machine, progs);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::BarrierSpec spec;
+    spec.episodes = argc > 1 ? std::atoi(argv[1]) : 32;
+    spec.workCost = argc > 2 ? std::atol(argv[2]) : 32;
+    spec.workJitter = argc > 3 ? std::atol(argv[3]) : 32;
+
+    std::cout << "episodes=" << spec.episodes << " work="
+              << spec.workCost << "+-" << spec.workJitter << "\n\n";
+    std::cout << "P    fabric     butterfly   counter    hot-spot"
+                 "(ctr)\n";
+
+    for (unsigned p : {2u, 4u, 8u, 16u, 32u}) {
+        spec.numProcs = p;
+        for (auto fabric : {sim::FabricKind::registers,
+                            sim::FabricKind::memory}) {
+            auto bf = runBarrier(true, p, fabric, spec);
+            auto ctr = runBarrier(false, p, fabric, spec);
+            if (!bf.completed || !ctr.completed) {
+                std::cerr << "tick limit hit\n";
+                return 1;
+            }
+            std::cout << p << "  " << sim::fabricKindName(fabric)
+                      << "  " << bf.cycles << "  " << ctr.cycles
+                      << "  " << ctr.hotSpotRatio << "\n";
+        }
+    }
+    std::cout << "\nbutterfly needs no atomic fetch&add and no "
+                 "single release flag; cycles stay flat in P per "
+                 "episode (log P stages).\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Example 2 of the paper: a doubly nested Doacross executed by
+ * implicit coalescing (lpid = (i-1)*M + j) under the
+ * process-oriented scheme, contrasted with the reference-based
+ * data-oriented scheme that handles loop boundaries exactly but
+ * pays per-element keys, key initialization, and O(r*d)
+ * boundary-check cycles per iteration.
+ *
+ * Usage: nested_doacross [N] [M] [P]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/runtime.hh"
+#include "dep/dep_graph.hh"
+#include "dep/transform.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+
+int
+main(int argc, char **argv)
+{
+    long n = argc > 1 ? std::atol(argv[1]) : 24;
+    long m = argc > 2 ? std::atol(argv[2]) : 24;
+    unsigned procs = argc > 3 ? std::atoi(argv[3]) : 8;
+
+    dep::Loop loop = workloads::makeNestedLoop(n, m);
+    dep::DepGraph graph(loop);
+    std::cout << graph.toString() << "\n";
+
+    std::uint64_t extras = 0;
+    for (const auto &d : graph.enforced())
+        extras += dep::extraDepCount(loop, d);
+    std::cout << "linearization adds " << extras
+              << " boundary arcs the process scheme enforces "
+                 "anyway\n\n";
+
+    core::RunConfig pc_cfg;
+    pc_cfg.machine.numProcs = procs;
+    pc_cfg.machine.fabric = sim::FabricKind::registers;
+    pc_cfg.scheme.numPcs = 2 * procs;
+
+    core::RunConfig key_cfg;
+    key_cfg.machine.numProcs = procs;
+    key_cfg.machine.fabric = sim::FabricKind::memory;
+
+    auto process = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, pc_cfg);
+    auto reference = core::runDoacross(
+        loop, sync::SchemeKind::referenceBased, key_cfg);
+
+    if (!process.run.completed || !reference.run.completed) {
+        std::cerr << "a run hit the tick limit\n";
+        return 1;
+    }
+    if (!process.correct() || !reference.correct()) {
+        std::cerr << "dependence violations detected\n";
+        return 1;
+    }
+
+    std::cout << "scheme            cycles  +init     sync-vars  "
+                 "storage-B\n";
+    auto row = [](const char *name, const core::DoacrossResult &r) {
+        std::cout << name << "  " << r.run.cycles << "  "
+                  << r.totalWithInit() << "  " << r.plan.numSyncVars
+                  << "  "
+                  << r.plan.syncStorageBytes +
+                         r.plan.renamedStorageBytes
+                  << "\n";
+    };
+    row("process-improved", process);
+    row("reference-based ", reference);
+
+    std::cout << "\nprocess scheme: " << process.plan.numSyncVars
+              << " PCs regardless of " << n << "x" << m
+              << " iteration space; reference scheme keys grow "
+                 "with the data and pay "
+              << 5 * 2 * 2
+              << " boundary-check cycles per iteration.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Quickstart: take the paper's Fig. 2.1 loop from source form to a
+ * synchronized parallel execution in five steps —
+ *
+ *   1. describe the loop (statements + affine array references);
+ *   2. analyze its data dependences and eliminate covered arcs;
+ *   3. pick a machine (processors, sync fabric);
+ *   4. run it as a Doacross under a synchronization scheme;
+ *   5. inspect the verified result.
+ *
+ * Usage: quickstart [N] [P] [X]
+ *   N = trip count (default 256), P = processors (default 8),
+ *   X = hardware process counters (default 16).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/runtime.hh"
+#include "dep/dep_graph.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+int
+main(int argc, char **argv)
+{
+    long n = argc > 1 ? std::atol(argv[1]) : 256;
+    unsigned procs = argc > 2 ? std::atoi(argv[2]) : 8;
+    unsigned num_pcs = argc > 3 ? std::atoi(argv[3]) : 16;
+
+    // 1. The loop of Fig. 2.1.
+    dep::Loop loop = workloads::makeFig21Loop(n);
+
+    // 2. Its dependence graph, with coverage elimination.
+    dep::DepGraph graph(loop);
+    std::cout << graph.toString() << "\n";
+
+    // 3. A small bus-based multiprocessor with synchronization
+    //    registers and a broadcast sync bus (section 6 hardware).
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.scheme.numPcs = num_pcs;
+
+    // 4. Sequential baseline, then the process-oriented Doacross.
+    sim::Tick seq = core::sequentialCycles(loop, cfg.machine);
+    core::DoacrossResult r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+
+    // 5. Results — the trace checker has already verified every
+    //    cross-iteration dependence instance.
+    if (!r.run.completed) {
+        std::cerr << "simulation hit the tick limit (deadlock?)\n";
+        return 1;
+    }
+    if (!r.correct()) {
+        std::cerr << "dependence violations:\n";
+        for (const auto &v : r.violations)
+            std::cerr << "  " << v << "\n";
+        return 1;
+    }
+
+    std::cout << "machine: P=" << procs << ", X=" << num_pcs
+              << " process counters, register fabric\n"
+              << "iterations:        " << n << "\n"
+              << "sequential cycles: " << seq << "\n"
+              << "parallel cycles:   " << r.run.cycles << "\n"
+              << "speedup:           " << r.run.speedupOver(seq)
+              << "\n"
+              << "utilization:       " << r.run.utilization() << "\n"
+              << "sync variables:    " << r.plan.numSyncVars
+              << " (vs " << n + 4 << " keys for a data-oriented "
+              << "scheme)\n"
+              << "sync ops issued:   " << r.run.syncOps << "\n"
+              << "sync-bus broadcasts " << r.run.syncBusBroadcasts
+              << ", coalesced " << r.run.coalescedWrites << "\n"
+              << "dependence instances verified: "
+              << r.instancesChecked << "\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+#include "core/critical_path.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "dep/transform.hh"
+
+namespace psync {
+namespace core {
+
+CriticalPath
+criticalPath(const dep::DepGraph &graph,
+             const CriticalPathCosts &costs)
+{
+    const dep::Loop &loop = graph.loop();
+    const long m = loop.innerTrip();
+    const std::uint64_t total = loop.iterations();
+    const size_t num_stmts = loop.body.size();
+
+    // Incoming arcs per sink statement — covered arcs included:
+    // coverage elimination drops them from the *transformed
+    // program* because linearized chains (extra boundary arcs
+    // included) imply them, but the semantic bound filters those
+    // extra arcs below, so every real constraint must appear
+    // directly.
+    std::vector<std::vector<dep::Dep>> incoming(num_stmts);
+    for (const dep::Dep &d : graph.crossIteration())
+        incoming[d.dst].push_back(d);
+
+    // Duration of one instance of each statement.
+    std::vector<sim::Tick> duration(num_stmts, 0);
+    for (size_t s = 0; s < num_stmts; ++s) {
+        duration[s] = loop.body[s].cost +
+                      loop.body[s].refs.size() * costs.accessCycles;
+    }
+
+    CriticalPath result;
+
+    // end[(i-1) * num_stmts + s] = completion time of instance
+    // (s, i); 0 for inactive instances.
+    std::vector<sim::Tick> end(total * num_stmts, 0);
+
+    for (std::uint64_t lpid = 1; lpid <= total; ++lpid) {
+        sim::Tick prev_in_iter = 0;
+        for (size_t s = 0; s < num_stmts; ++s) {
+            if (!dep::stmtActive(loop, loop.body[s], lpid)) {
+                // Skipped instances take no time; program order
+                // flows through them unchanged.
+                end[(lpid - 1) * num_stmts + s] = prev_in_iter;
+                continue;
+            }
+            sim::Tick start = prev_in_iter;
+            for (const dep::Dep &d : incoming[s]) {
+                long dist = d.linearDistance(m);
+                if (dist <= 0 ||
+                    static_cast<std::uint64_t>(dist) >= lpid) {
+                    continue;
+                }
+                // The bound reflects the loop's semantics: arcs
+                // that linearization merely manufactures at inner
+                // boundaries (Fig. 5.2, dashed) do not constrain
+                // it.
+                if (!dep::sinkHasSource(loop, d, lpid))
+                    continue;
+                std::uint64_t src_lpid = lpid - dist;
+                start = std::max(
+                    start,
+                    end[(src_lpid - 1) * num_stmts + d.src]);
+            }
+            sim::Tick finish = start + duration[s];
+            end[(lpid - 1) * num_stmts + s] = finish;
+            prev_in_iter = finish;
+            result.totalWork += duration[s];
+            result.cycles = std::max(result.cycles, finish);
+        }
+    }
+    return result;
+}
+
+} // namespace core
+} // namespace psync

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dependence-limited lower bound on parallel execution time.
+ *
+ * With one processor per iteration, free synchronization and an
+ * uncontended memory system, the best possible Doacross finish
+ * time is the longest chain through the statement-instance graph:
+ * program order within an iteration plus every cross-iteration
+ * dependence arc. Benches report achieved time against this bound,
+ * which also equals the "number of parallel steps" argument the
+ * paper makes for Example 1 (pipelined and wavefront executions
+ * share the same bound).
+ */
+
+#ifndef PSYNC_CORE_CRITICAL_PATH_HH
+#define PSYNC_CORE_CRITICAL_PATH_HH
+
+#include "dep/dep_graph.hh"
+#include "sim/machine.hh"
+
+namespace psync {
+namespace core {
+
+/** Per-access cost assumptions for the bound. */
+struct CriticalPathCosts
+{
+    /** Cycles per uncontended memory access (bus + service). */
+    sim::Tick accessCycles = 5;
+
+    /** Derive from a machine configuration. */
+    static CriticalPathCosts
+    fromMachine(const sim::MachineConfig &mc)
+    {
+        CriticalPathCosts c;
+        c.accessCycles =
+            mc.dataBusCycles + mc.memory.serviceCycles;
+        return c;
+    }
+};
+
+/** Result of the longest-path analysis. */
+struct CriticalPath
+{
+    /** The dependence-limited lower bound, in cycles. */
+    sim::Tick cycles = 0;
+
+    /** Total work (sum over all active statement instances). */
+    sim::Tick totalWork = 0;
+
+    /** totalWork / cycles: processors the bound can keep busy. */
+    double
+    maxUsefulParallelism() const
+    {
+        return cycles ? static_cast<double>(totalWork) / cycles
+                      : 0.0;
+    }
+};
+
+/**
+ * Longest chain through the instance graph of `graph`'s loop.
+ * Branch guards are resolved exactly as execution resolves them;
+ * covered arcs contribute nothing extra (their chains are already
+ * present). O(iterations x statements x arcs).
+ */
+CriticalPath criticalPath(const dep::DepGraph &graph,
+                          const CriticalPathCosts &costs);
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_CRITICAL_PATH_HH

@@ -1,0 +1,74 @@
+#include "core/metrics.hh"
+
+#include <iomanip>
+
+namespace psync {
+namespace core {
+
+RunResult
+collectResult(sim::Machine &machine, bool completed)
+{
+    RunResult r;
+    r.completed = completed;
+    r.cycles = machine.completionTick();
+    r.numProcs = machine.numProcs();
+
+    for (unsigned p = 0; p < machine.numProcs(); ++p) {
+        const sim::Processor &proc = machine.proc(p);
+        r.computeCycles += proc.computeCycles();
+        r.spinCycles += proc.spinCycles();
+        r.syncOverheadCycles += proc.syncOverheadCycles();
+        r.stallCycles += proc.stallCycles();
+        r.syncOps += proc.syncOpsIssued();
+        r.marksSkipped += proc.marksSkipped();
+        r.programsRun += proc.programsRun();
+    }
+
+    r.dataBusTransactions = machine.dataNet().transactions();
+    r.dataBusQueueDelay = machine.dataNet().queueDelay();
+    r.dataBusUtilization = machine.dataNet().utilization(r.cycles);
+
+    if (machine.caches().enabled()) {
+        r.cacheHits = machine.caches().hits();
+        r.cacheMisses = machine.caches().misses();
+        r.cacheInvalidations = machine.caches().invalidations();
+    }
+
+    if (machine.syncBus()) {
+        r.syncBusUtilization = machine.syncBus()->utilization(r.cycles);
+    }
+    if (auto *reg = dynamic_cast<sim::RegisterSyncFabric *>(
+            &machine.fabric())) {
+        r.syncBusBroadcasts = reg->broadcasts();
+        r.coalescedWrites = reg->coalescedWrites();
+    }
+    if (auto *mem = dynamic_cast<sim::MemorySyncFabric *>(
+            &machine.fabric())) {
+        r.syncMemPolls = mem->polls();
+    }
+
+    r.memAccesses = machine.memory().totalAccesses();
+    r.hottestModuleAccesses = machine.memory().hottestModuleAccesses();
+    r.hotSpotRatio = machine.memory().hotSpotRatio();
+    r.moduleQueueDelay = machine.memory().moduleQueueDelay();
+    return r;
+}
+
+void
+printResult(std::ostream &os, const char *label, const RunResult &r)
+{
+    os << std::left << std::setw(20) << label << std::right
+       << std::setw(10) << r.cycles
+       << std::setw(9) << std::fixed << std::setprecision(3)
+       << r.utilization()
+       << std::setw(9) << r.spinFraction()
+       << std::setw(12) << r.syncOps
+       << std::setw(12) << r.syncBusBroadcasts
+       << std::setw(10) << r.coalescedWrites
+       << std::setw(12) << r.syncMemPolls
+       << std::setw(8) << std::setprecision(2) << r.hotSpotRatio
+       << (r.completed ? "" : "  [DEADLOCK]") << "\n";
+}
+
+} // namespace core
+} // namespace psync

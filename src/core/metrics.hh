@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Run-result metrics: everything the paper argues about, snapshot
+ * from a machine after a run — cycle counts by category, bus
+ * traffic, memory-module hot spots, and synchronization-fabric
+ * activity.
+ */
+
+#ifndef PSYNC_CORE_METRICS_HH
+#define PSYNC_CORE_METRICS_HH
+
+#include <cstdint>
+#include <ostream>
+
+#include "sim/machine.hh"
+
+namespace psync {
+namespace core {
+
+/** Aggregated outcome of one simulation. */
+struct RunResult
+{
+    /** False when the tick limit was hit (deadlock/livelock). */
+    bool completed = false;
+
+    /** Tick at which the last processor drained. */
+    sim::Tick cycles = 0;
+
+    unsigned numProcs = 0;
+
+    /** Sum over processors. */
+    sim::Tick computeCycles = 0;
+    sim::Tick spinCycles = 0;
+    sim::Tick syncOverheadCycles = 0;
+    sim::Tick stallCycles = 0;
+
+    std::uint64_t syncOps = 0;
+    std::uint64_t marksSkipped = 0;
+    std::uint64_t programsRun = 0;
+
+    std::uint64_t dataBusTransactions = 0;
+    sim::Tick dataBusQueueDelay = 0;
+    double dataBusUtilization = 0.0;
+
+    std::uint64_t syncBusBroadcasts = 0;
+    std::uint64_t coalescedWrites = 0;
+    double syncBusUtilization = 0.0;
+
+    std::uint64_t memAccesses = 0;
+    std::uint64_t hottestModuleAccesses = 0;
+    double hotSpotRatio = 1.0;
+    sim::Tick moduleQueueDelay = 0;
+
+    /** Memory-fabric spin polls (each is bus+module traffic). */
+    std::uint64_t syncMemPolls = 0;
+
+    /** Private data-cache activity (zero when caches disabled). */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheInvalidations = 0;
+
+    /** Fraction of processor-cycles spent computing. */
+    double
+    utilization() const
+    {
+        if (cycles == 0 || numProcs == 0)
+            return 0.0;
+        return static_cast<double>(computeCycles) /
+               (static_cast<double>(cycles) * numProcs);
+    }
+
+    /** Fraction of processor-cycles spent busy-waiting. */
+    double
+    spinFraction() const
+    {
+        if (cycles == 0 || numProcs == 0)
+            return 0.0;
+        return static_cast<double>(spinCycles) /
+               (static_cast<double>(cycles) * numProcs);
+    }
+
+    double
+    speedupOver(sim::Tick sequential_cycles) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(sequential_cycles) /
+               static_cast<double>(cycles);
+    }
+};
+
+/** Snapshot a machine's statistics into a RunResult. */
+RunResult collectResult(sim::Machine &machine, bool completed);
+
+/** One-result-per-line table helper used by the benches. */
+void printResult(std::ostream &os, const char *label,
+                 const RunResult &result);
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_METRICS_HH

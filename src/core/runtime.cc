@@ -1,0 +1,215 @@
+#include "core/runtime.hh"
+
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace core {
+
+namespace {
+
+/** Shared-memory word used by the self-scheduling dispatcher. */
+constexpr sim::Addr dispatchCounterAddr = sim::Addr(1) << 39;
+
+/** Analytic initialization cost of a scheme's sync variables. */
+sim::Tick
+initCost(const sync::SchemePlan &plan, const sim::MachineConfig &mc)
+{
+    if (plan.initWrites == 0)
+        return 0;
+    if (mc.fabric == sim::FabricKind::registers)
+        return plan.initWrites * mc.syncBusCycles;
+    // Memory-resident variables: the writes serialize on the data
+    // bus; module service overlaps across interleaved modules.
+    return plan.initWrites * mc.dataBusCycles + mc.memory.serviceCycles;
+}
+
+} // namespace
+
+DoacrossResult
+runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
+            const RunConfig &cfg)
+{
+    DoacrossResult result;
+
+    TraceChecker checker;
+    sim::Machine machine(cfg.machine,
+                         cfg.checkTrace ? &checker : nullptr);
+
+    // Coverage elimination justifies dropped arcs by chains that
+    // may pass through linearization-only boundary arcs; exact-
+    // boundary codegen skips those waits, so the two cannot be
+    // combined.
+    bool eliminate_covered =
+        cfg.eliminateCoveredDeps && !cfg.scheme.exactBoundaries;
+    dep::DepGraph graph(loop, eliminate_covered);
+    dep::DataLayout layout(loop, cfg.machine.memory.wordBytes);
+
+    std::unique_ptr<sync::Scheme> scheme = sync::makeScheme(kind);
+    result.plan = scheme->plan(graph, layout, machine.fabric(),
+                               cfg.scheme);
+    result.initCycles = initCost(result.plan, cfg.machine);
+
+    const std::uint64_t total = loop.iterations();
+    std::vector<sim::Program> programs;
+    programs.reserve(total);
+    for (std::uint64_t lpid = 1; lpid <= total; ++lpid)
+        programs.push_back(scheme->emit(lpid));
+
+    result.run = runProgramPool(machine, programs, cfg.schedule,
+                                cfg.tickLimit, cfg.chunkSize);
+    if (cfg.checkTrace) {
+        result.violations =
+            checker.verify(loop, result.plan.depsVerified);
+        result.instancesChecked = checker.instancesChecked();
+    }
+    return result;
+}
+
+const char *
+schedulePolicyName(SchedulePolicy policy)
+{
+    switch (policy) {
+      case SchedulePolicy::selfScheduling:
+        return "self";
+      case SchedulePolicy::chunkedSelfScheduling:
+        return "chunked";
+      case SchedulePolicy::guidedSelfScheduling:
+        return "guided";
+      case SchedulePolicy::staticCyclic:
+        return "static";
+    }
+    return "unknown";
+}
+
+RunResult
+runProgramPool(sim::Machine &machine,
+               const std::vector<sim::Program> &programs,
+               SchedulePolicy policy, sim::Tick tick_limit,
+               std::uint64_t chunk_size)
+{
+    const std::uint64_t total = programs.size();
+    bool completed = false;
+
+    if (policy == SchedulePolicy::selfScheduling ||
+        policy == SchedulePolicy::chunkedSelfScheduling ||
+        policy == SchedulePolicy::guidedSelfScheduling) {
+        sim::Memory &mem = machine.memory();
+        const unsigned p = machine.numProcs();
+
+        // Size of the block one fetch&add claims, given the old
+        // counter value.
+        auto claim_size = [policy, chunk_size, total,
+                           p](sim::SyncWord old_value) {
+            switch (policy) {
+              case SchedulePolicy::chunkedSelfScheduling:
+                return std::max<std::uint64_t>(1, chunk_size);
+              case SchedulePolicy::guidedSelfScheduling: {
+                std::uint64_t remaining =
+                    old_value < total ? total - old_value : 0;
+                return std::max<std::uint64_t>(1,
+                                               remaining / (2 * p));
+              }
+              default:
+                return std::uint64_t{1};
+            }
+        };
+
+        // Iterations already claimed but not yet run, per proc.
+        auto local = std::make_shared<
+            std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
+            p, std::pair<std::uint64_t, std::uint64_t>{0, 0});
+
+        auto dispatch =
+            [&mem, &programs, total, claim_size,
+             local](sim::ProcId who,
+                    std::function<void(const sim::Program *)> cb) {
+            auto &range = (*local)[who];
+            if (range.first < range.second) {
+                cb(&programs[range.first++]);
+                return;
+            }
+            mem.rmw(who, dispatchCounterAddr,
+                    [claim_size](sim::SyncWord old_value) {
+                        return old_value + claim_size(old_value);
+                    },
+                    [&programs, total, claim_size, local, who,
+                     cb = std::move(cb)](sim::SyncWord old_value) {
+                        if (old_value >= total) {
+                            cb(nullptr);
+                            return;
+                        }
+                        std::uint64_t end = std::min(
+                            total,
+                            old_value + claim_size(old_value));
+                        (*local)[who] = {old_value + 1, end};
+                        cb(&programs[old_value]);
+                    });
+        };
+        completed = machine.run(dispatch, tick_limit);
+    } else {
+        unsigned p = machine.numProcs();
+        std::vector<std::uint64_t> next(p);
+        for (unsigned q = 0; q < p; ++q)
+            next[q] = q;
+        auto dispatch =
+            [&next, &programs, total,
+             p](sim::ProcId who,
+                std::function<void(const sim::Program *)> cb) {
+            std::uint64_t idx = next[who];
+            if (idx >= total) {
+                cb(nullptr);
+                return;
+            }
+            next[who] += p;
+            cb(&programs[idx]);
+        };
+        completed = machine.run(dispatch, tick_limit);
+    }
+    return collectResult(machine, completed);
+}
+
+sim::Tick
+sequentialCycles(const dep::Loop &loop,
+                 const sim::MachineConfig &machine_cfg)
+{
+    RunConfig cfg;
+    cfg.machine = machine_cfg;
+    cfg.machine.numProcs = 1;
+    cfg.schedule = SchedulePolicy::staticCyclic;
+    cfg.checkTrace = false;
+    DoacrossResult r = runDoacross(loop, sync::SchemeKind::none, cfg);
+    if (!r.run.completed)
+        sim::panic("sequential run hit the tick limit");
+    return r.run.cycles;
+}
+
+RunResult
+runPerProcessorPrograms(
+    sim::Machine &machine,
+    const std::vector<std::vector<sim::Program>> &per_proc,
+    sim::Tick tick_limit)
+{
+    if (per_proc.size() != machine.numProcs())
+        sim::fatal("program lists (%zu) != processors (%u)",
+                   per_proc.size(), machine.numProcs());
+
+    std::vector<size_t> next(per_proc.size(), 0);
+    auto dispatch = [&per_proc, &next](
+                        sim::ProcId who,
+                        std::function<void(const sim::Program *)> cb) {
+        size_t idx = next[who];
+        if (idx >= per_proc[who].size()) {
+            cb(nullptr);
+            return;
+        }
+        ++next[who];
+        cb(&per_proc[who][idx]);
+    };
+    bool completed = machine.run(dispatch, tick_limit);
+    return collectResult(machine, completed);
+}
+
+} // namespace core
+} // namespace psync

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Doacross runtime: plans a scheme for a loop on a machine, emits
+ * the transformed iteration programs, schedules them on processors
+ * (processor self-scheduling by default, as the paper assumes for
+ * all its examples), runs the simulation, and verifies the
+ * execution trace against the dependences the scheme claims.
+ */
+
+#ifndef PSYNC_CORE_RUNTIME_HH
+#define PSYNC_CORE_RUNTIME_HH
+
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/trace_check.hh"
+#include "dep/dep_graph.hh"
+#include "sim/machine.hh"
+#include "sync/scheme.hh"
+
+namespace psync {
+namespace core {
+
+/** How iterations are handed to processors. */
+enum class SchedulePolicy
+{
+    /**
+     * Shared iteration counter advanced by fetch&add in memory —
+     * the dynamic self-scheduling of [Tang, Yew & Zhu], assumed by
+     * all the paper's examples. Dispatch order equals iteration
+     * order, which the PC-folding ownership chain relies on.
+     */
+    selfScheduling,
+    /**
+     * Self-scheduling, but each fetch&add claims a fixed block of
+     * `chunkSize` consecutive iterations: one dispatch RMW per
+     * chunk instead of per iteration, at the price of coarser load
+     * balancing and chunk-serialized pipelining.
+     */
+    chunkedSelfScheduling,
+    /**
+     * Guided self-scheduling: each claim takes
+     * max(1, remaining / (2P)) iterations — large chunks early,
+     * single iterations near the end.
+     */
+    guidedSelfScheduling,
+    /** Iteration k runs on processor (k-1) mod P, no shared state. */
+    staticCyclic,
+};
+
+/** Printable schedule-policy name. */
+const char *schedulePolicyName(SchedulePolicy policy);
+
+/** Everything configuring one Doacross run. */
+struct RunConfig
+{
+    sim::MachineConfig machine;
+    sync::SchemeConfig scheme;
+    SchedulePolicy schedule = SchedulePolicy::selfScheduling;
+    /** Iterations per claim under chunkedSelfScheduling. */
+    std::uint64_t chunkSize = 4;
+    /**
+     * Run redundant-arc (coverage) elimination on the dependence
+     * graph before planning. Off = synchronize every arc, the
+     * ablation baseline for the Fig. 2.1 observation.
+     */
+    bool eliminateCoveredDeps = true;
+    /** Verify the trace after the run (costs host time only). */
+    bool checkTrace = true;
+    /** Abort threshold for deadlocked synchronization. */
+    sim::Tick tickLimit = 1000000000ull;
+};
+
+/** Outcome of one Doacross run. */
+struct DoacrossResult
+{
+    RunResult run;
+    sync::SchemePlan plan;
+    /** Dependence violations found in the trace (empty = correct). */
+    std::vector<std::string> violations;
+    /** Dependence instances the checker examined. */
+    std::uint64_t instancesChecked = 0;
+    /**
+     * Analytic cost of initializing the scheme's synchronization
+     * variables (the paper's initialization-overhead axis): the
+     * writes serialize on the relevant bus, spread over P
+     * processors for the module-service part.
+     */
+    sim::Tick initCycles = 0;
+
+    sim::Tick totalWithInit() const { return run.cycles + initCycles; }
+    bool correct() const { return violations.empty(); }
+};
+
+/** Plan + emit + schedule + run + verify one Doacross loop. */
+DoacrossResult runDoacross(const dep::Loop &loop,
+                           sync::SchemeKind kind,
+                           const RunConfig &cfg);
+
+/**
+ * Cycles of the loop executed sequentially on one processor of the
+ * same machine (speedup baseline).
+ */
+sim::Tick sequentialCycles(const dep::Loop &loop,
+                           const sim::MachineConfig &machine_cfg);
+
+/**
+ * Run a shared pool of programs on an already-built machine:
+ * processors pull programs in pool order, either through the
+ * simulated self-scheduling counter or by static cyclic
+ * assignment. Used by runDoacross and by the hand-transformed
+ * section 5 workloads (whose schemes allocate fabric variables
+ * before emission).
+ */
+RunResult runProgramPool(sim::Machine &machine,
+                         const std::vector<sim::Program> &programs,
+                         SchedulePolicy policy,
+                         sim::Tick tick_limit = 1000000000ull,
+                         std::uint64_t chunk_size = 4);
+
+/**
+ * Run hand-built per-processor program lists (barrier, FFT and
+ * wavefront workloads): processor p executes perProc[p] in order.
+ */
+RunResult runPerProcessorPrograms(
+    sim::Machine &machine,
+    const std::vector<std::vector<sim::Program>> &per_proc,
+    sim::Tick tick_limit = 1000000000ull);
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_RUNTIME_HH

@@ -1,0 +1,177 @@
+#include "dep/dep_graph.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace psync {
+namespace dep {
+
+DepGraph::DepGraph(const Loop &loop, bool eliminate_covered)
+    : loop_(&loop)
+{
+    DepAnalysis analysis = analyze(loop);
+    deps_ = std::move(analysis.deps);
+    if (eliminate_covered)
+        markCovered();
+}
+
+std::vector<Dep>
+DepGraph::enforced() const
+{
+    std::vector<Dep> out;
+    for (const Dep &d : deps_) {
+        if (d.crossIteration() && !d.covered)
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<Dep>
+DepGraph::crossIteration() const
+{
+    std::vector<Dep> out;
+    for (const Dep &d : deps_) {
+        if (d.crossIteration())
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<unsigned>
+DepGraph::sourceStatements() const
+{
+    std::set<unsigned> srcs;
+    for (const Dep &d : enforced())
+        srcs.insert(d.src);
+    return {srcs.begin(), srcs.end()};
+}
+
+unsigned
+DepGraph::numCovered() const
+{
+    unsigned n = 0;
+    for (const Dep &d : deps_) {
+        if (d.covered)
+            ++n;
+    }
+    return n;
+}
+
+bool
+DepGraph::pathOfDistance(unsigned src, unsigned dst, long dist,
+                         size_t skip) const
+{
+    // The search works on linearized distances; exact vector sums
+    // are preserved because every workload's inner distances are
+    // small relative to the inner trip count.
+    long target = dist;
+    const long m = loop_->innerTrip();
+
+    std::set<std::tuple<unsigned, long, int>> visited;
+
+    // depth limits runaway exploration on adversarial graphs.
+    std::function<bool(unsigned, long, int, bool)> dfs =
+        [&](unsigned node, long acc, int hops, bool used_arc) -> bool {
+        if (acc > target || hops > 16)
+            return false;
+        if (node == dst && acc == target && (hops >= 2 || used_arc))
+            return true;
+        if (!visited.insert({node, acc, hops}).second)
+            return false;
+
+        // Dependence arcs out of `node`.
+        for (size_t k = 0; k < deps_.size(); ++k) {
+            if (k == skip || deps_[k].covered)
+                continue;
+            const Dep &d = deps_[k];
+            if (d.src != node || !d.crossIteration())
+                continue;
+            // Don't route through a branch-guarded intermediate.
+            if (d.dst != dst &&
+                loop_->body[d.dst].guard.conditional())
+                continue;
+            if (dfs(d.dst, acc + d.linearDistance(m), hops + 1, true))
+                return true;
+        }
+        // Program order within an iteration: zero-distance edges to
+        // every later statement.
+        for (unsigned v = node + 1; v < loop_->body.size(); ++v) {
+            if (v != dst && loop_->body[v].guard.conditional())
+                continue;
+            if (dfs(v, acc, hops + 1, used_arc))
+                return true;
+        }
+        return false;
+    };
+
+    return dfs(src, 0, 0, false);
+}
+
+void
+DepGraph::markCovered()
+{
+    // Consider larger distances first so short arcs (which do the
+    // covering) are never themselves eliminated in favor of arcs
+    // they cover.
+    std::vector<size_t> order(deps_.size());
+    for (size_t k = 0; k < order.size(); ++k)
+        order[k] = k;
+    const long m = loop_->innerTrip();
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return deps_[x].linearDistance(m) > deps_[y].linearDistance(m);
+    });
+
+    for (size_t k : order) {
+        Dep &dep = deps_[k];
+        if (!dep.crossIteration())
+            continue;
+        if (pathOfDistance(dep.src, dep.dst, dep.linearDistance(m), k))
+            dep.covered = true;
+    }
+}
+
+std::string
+DepGraph::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph \"" << loop_->name << "\" {\n"
+       << "  rankdir=TB;\n  node [shape=box];\n";
+    for (const dep::Statement &stmt : loop_->body) {
+        os << "  \"" << stmt.label << "\"";
+        if (stmt.guard.conditional())
+            os << " [style=rounded]";
+        os << ";\n";
+    }
+    for (const Dep &d : deps_) {
+        os << "  \"" << loop_->body[d.src].label << "\" -> \""
+           << loop_->body[d.dst].label << "\" [label=\""
+           << depTypeName(d.type) << " (" << d.d1;
+        if (loop_->depth == 2)
+            os << "," << d.d2;
+        os << ")\"";
+        if (d.covered)
+            os << ", style=dashed";
+        if (d.type == DepType::anti)
+            os << ", color=gray40";
+        else if (d.type == DepType::output)
+            os << ", color=gray70";
+        os << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+DepGraph::toString() const
+{
+    std::ostringstream os;
+    os << loop_->name << " dependences:\n";
+    for (const Dep &d : deps_)
+        os << "  " << depToString(*loop_, d) << "\n";
+    return os.str();
+}
+
+} // namespace dep
+} // namespace psync

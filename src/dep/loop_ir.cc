@@ -1,0 +1,158 @@
+#include "dep/loop_ir.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace psync {
+namespace dep {
+
+void
+Loop::indicesOf(std::uint64_t lpid, long &i, long &j) const
+{
+    if (depth == 1) {
+        i = outer.lo + static_cast<long>(lpid - 1);
+        j = 0;
+        return;
+    }
+    long m = inner.count();
+    std::uint64_t zero_based = lpid - 1;
+    i = outer.lo + static_cast<long>(zero_based / m);
+    j = inner.lo + static_cast<long>(zero_based % m);
+}
+
+std::uint64_t
+Loop::lpidOf(long i, long j) const
+{
+    if (depth == 1)
+        return static_cast<std::uint64_t>(i - outer.lo) + 1;
+    long m = inner.count();
+    return static_cast<std::uint64_t>(i - outer.lo) * m +
+           static_cast<std::uint64_t>(j - inner.lo) + 1;
+}
+
+bool
+branchTaken(const Loop &loop, std::uint64_t lpid, int branch_id)
+{
+    if (branch_id < 0)
+        return true;
+    double p = 0.5;
+    if (static_cast<size_t>(branch_id) < loop.branchProb.size())
+        p = loop.branchProb[branch_id];
+    // One-shot hash: mix seed, iteration and branch id.
+    sim::Rng rng(loop.seed * 0x9e3779b97f4a7c15ull + lpid * 2654435761ull +
+                 static_cast<std::uint64_t>(branch_id) * 40503u);
+    return rng.chance(p);
+}
+
+bool
+stmtActive(const Loop &loop, const Statement &stmt, std::uint64_t lpid)
+{
+    if (!stmt.guard.conditional())
+        return true;
+    bool taken = branchTaken(loop, lpid, stmt.guard.branchId);
+    return taken == stmt.guard.onTaken;
+}
+
+DataLayout::DataLayout(const Loop &loop, sim::Addr word_bytes)
+    : wordBytes(word_bytes)
+{
+    // Collect per-array, per-dimension index ranges by evaluating
+    // each affine subscript at the corners of the iteration space
+    // (affine => extrema at corners).
+    const long i_corners[2] = {loop.outer.lo, loop.outer.hi};
+    const long j_corners[2] = {loop.depth == 2 ? loop.inner.lo : 0,
+                               loop.depth == 2 ? loop.inner.hi : 0};
+
+    for (const Statement &stmt : loop.body) {
+        for (const ArrayRef &ref : stmt.refs) {
+            ArrayInfo *info = nullptr;
+            for (auto &a : arrays_) {
+                if (a.name == ref.array) {
+                    info = &a;
+                    break;
+                }
+            }
+            if (info == nullptr) {
+                arrays_.push_back(ArrayInfo{});
+                info = &arrays_.back();
+                info->name = ref.array;
+                info->lo.assign(ref.subs.size(), 0);
+                info->extent.assign(ref.subs.size(), 0);
+                for (size_t d = 0; d < ref.subs.size(); ++d) {
+                    info->lo[d] = std::numeric_limits<long>::max();
+                    info->extent[d] = std::numeric_limits<long>::min();
+                }
+            }
+            if (info->lo.size() != ref.subs.size())
+                sim::fatal("array %s referenced with mismatched ranks",
+                           ref.array.c_str());
+            for (size_t d = 0; d < ref.subs.size(); ++d) {
+                for (long ci : i_corners) {
+                    for (long cj : j_corners) {
+                        long v = ref.subs[d].eval(ci, cj);
+                        info->lo[d] = std::min(info->lo[d], v);
+                        // Temporarily store max in extent.
+                        info->extent[d] = std::max(info->extent[d], v);
+                    }
+                }
+            }
+        }
+    }
+
+    // Finalize extents, ordinals and base addresses.
+    std::uint64_t ordinal = 0;
+    sim::Addr addr = 0;
+    for (auto &a : arrays_) {
+        a.elements = 1;
+        for (size_t d = 0; d < a.lo.size(); ++d) {
+            a.extent[d] = a.extent[d] - a.lo[d] + 1;
+            a.elements *= static_cast<std::uint64_t>(a.extent[d]);
+        }
+        a.baseOrdinal = ordinal;
+        a.baseAddr = addr;
+        ordinal += a.elements;
+        addr += a.elements * wordBytes;
+    }
+    totalElements_ = ordinal;
+}
+
+const DataLayout::ArrayInfo &
+DataLayout::infoOf(const std::string &name) const
+{
+    for (const auto &a : arrays_) {
+        if (a.name == name)
+            return a;
+    }
+    sim::panic("unknown array %s in data layout", name.c_str());
+}
+
+std::uint64_t
+DataLayout::elementOrdinal(const ArrayRef &ref, long i, long j) const
+{
+    const ArrayInfo &a = infoOf(ref.array);
+    std::uint64_t ord = 0;
+    for (size_t d = 0; d < ref.subs.size(); ++d) {
+        long idx = ref.subs[d].eval(i, j) - a.lo[d];
+        ord = ord * static_cast<std::uint64_t>(a.extent[d]) +
+              static_cast<std::uint64_t>(idx);
+    }
+    return ord;
+}
+
+std::uint64_t
+DataLayout::globalOrdinal(const ArrayRef &ref, long i, long j) const
+{
+    return infoOf(ref.array).baseOrdinal + elementOrdinal(ref, i, j);
+}
+
+sim::Addr
+DataLayout::addrOf(const ArrayRef &ref, long i, long j) const
+{
+    return infoOf(ref.array).baseAddr +
+           elementOrdinal(ref, i, j) * wordBytes;
+}
+
+} // namespace dep
+} // namespace psync

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Loop intermediate representation.
+ *
+ * The unit of parallelization is a singly or doubly nested DO loop
+ * whose body is a list of statements with affine array references —
+ * the shape the paper's dependence machinery (section 2) assumes.
+ * Statements may sit under a branch (Example 3); branch outcomes
+ * are resolved per iteration from a deterministic seed so a whole
+ * experiment replays identically.
+ */
+
+#ifndef PSYNC_DEP_LOOP_IR_HH
+#define PSYNC_DEP_LOOP_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace psync {
+namespace dep {
+
+/** Inclusive loop bounds. */
+struct Bounds
+{
+    long lo = 1;
+    long hi = 1;
+
+    long count() const { return hi >= lo ? hi - lo + 1 : 0; }
+};
+
+/**
+ * One affine subscript of an array dimension:
+ * index = coeffI * i + coeffJ * j + offset.
+ */
+struct Subscript
+{
+    int coeffI = 0;
+    int coeffJ = 0;
+    long offset = 0;
+
+    long
+    eval(long i, long j) const
+    {
+        return static_cast<long>(coeffI) * i +
+               static_cast<long>(coeffJ) * j + offset;
+    }
+};
+
+/** A read or write of an array element. */
+struct ArrayRef
+{
+    std::string array;
+    std::vector<Subscript> subs;
+    bool isWrite = false;
+};
+
+/** Branch guard: the statement runs only on one arm of a branch. */
+struct Guard
+{
+    /** Branch id; negative means the statement is unconditional. */
+    int branchId = -1;
+    /** True if the statement is on the taken arm. */
+    bool onTaken = true;
+
+    bool conditional() const { return branchId >= 0; }
+};
+
+/** One executable statement of the loop body. */
+struct Statement
+{
+    std::string label;
+    /** Pure compute cycles, excluding memory accesses. */
+    sim::Tick cost = 1;
+    std::vector<ArrayRef> refs;
+    Guard guard;
+};
+
+/** A singly (depth 1) or doubly (depth 2) nested loop. */
+struct Loop
+{
+    std::string name;
+    int depth = 1;
+    Bounds outer;
+    /** Only meaningful when depth == 2. */
+    Bounds inner;
+    std::vector<Statement> body;
+    /** Taken probability per branch id. */
+    std::vector<double> branchProb;
+    /** Seed resolving branch outcomes per iteration. */
+    std::uint64_t seed = 1;
+
+    /** Total number of iterations (linearized when depth 2). */
+    std::uint64_t
+    iterations() const
+    {
+        std::uint64_t n = static_cast<std::uint64_t>(outer.count());
+        if (depth == 2)
+            n *= static_cast<std::uint64_t>(inner.count());
+        return n;
+    }
+
+    /** Inner trip count M used for linearization. */
+    long innerTrip() const { return depth == 2 ? inner.count() : 1; }
+
+    /** Map 1-based linear process id to (i, j) indices. */
+    void indicesOf(std::uint64_t lpid, long &i, long &j) const;
+
+    /** Map (i, j) to the 1-based linear process id. */
+    std::uint64_t lpidOf(long i, long j) const;
+};
+
+/**
+ * Deterministically resolve whether branch `branch_id` is taken in
+ * iteration `lpid` of `loop`.
+ */
+bool branchTaken(const Loop &loop, std::uint64_t lpid, int branch_id);
+
+/** True if the statement executes in the given iteration. */
+bool stmtActive(const Loop &loop, const Statement &stmt,
+                std::uint64_t lpid);
+
+/**
+ * Assigns shared-memory addresses to every array element the loop
+ * can touch, so simulated data accesses hit distinct interleaved
+ * words the way the real arrays would.
+ */
+class DataLayout
+{
+  public:
+    explicit DataLayout(const Loop &loop, sim::Addr word_bytes = 8);
+
+    /** Address of the element `ref` touches in iteration (i, j). */
+    sim::Addr addrOf(const ArrayRef &ref, long i, long j) const;
+
+    /** Dense element ordinal (array-local), for keying schemes. */
+    std::uint64_t elementOrdinal(const ArrayRef &ref, long i,
+                                 long j) const;
+
+    /** Global dense ordinal across all arrays. */
+    std::uint64_t globalOrdinal(const ArrayRef &ref, long i,
+                                long j) const;
+
+    /** Total elements across all arrays (key-count bound). */
+    std::uint64_t totalElements() const { return totalElements_; }
+
+    /** Number of distinct arrays. */
+    size_t numArrays() const { return arrays_.size(); }
+
+  private:
+    struct ArrayInfo
+    {
+        std::string name;
+        std::vector<long> lo;       ///< per-dim min index
+        std::vector<long> extent;   ///< per-dim size
+        std::uint64_t elements = 1;
+        std::uint64_t baseOrdinal = 0;
+        sim::Addr baseAddr = 0;
+    };
+
+    const ArrayInfo &infoOf(const std::string &name) const;
+
+    std::vector<ArrayInfo> arrays_;
+    sim::Addr wordBytes;
+    std::uint64_t totalElements_ = 0;
+};
+
+} // namespace dep
+} // namespace psync
+
+#endif // PSYNC_DEP_LOOP_IR_HH

@@ -1,0 +1,56 @@
+#include "dep/transform.hh"
+
+namespace psync {
+namespace dep {
+
+bool
+sinkHasSource(const Loop &loop, const Dep &dep, std::uint64_t lpid)
+{
+    long i = 0, j = 0;
+    loop.indicesOf(lpid, i, j);
+    long si = i - dep.d1;
+    long sj = j - dep.d2;
+    if (si < loop.outer.lo || si > loop.outer.hi)
+        return false;
+    if (loop.depth == 2 && (sj < loop.inner.lo || sj > loop.inner.hi))
+        return false;
+    return true;
+}
+
+std::uint64_t
+extraDepCount(const Loop &loop, const Dep &dep)
+{
+    std::uint64_t extra = 0;
+    long m = loop.innerTrip();
+    long d = dep.linearDistance(m);
+    if (d <= 0)
+        return 0;
+    std::uint64_t total = loop.iterations();
+    for (std::uint64_t lpid = static_cast<std::uint64_t>(d) + 1;
+         lpid <= total; ++lpid) {
+        if (!sinkHasSource(loop, dep, lpid))
+            ++extra;
+    }
+    return extra;
+}
+
+std::vector<std::vector<std::pair<long, long>>>
+makeWavefronts(const Bounds &i_bounds, const Bounds &j_bounds)
+{
+    long ni = i_bounds.count();
+    long nj = j_bounds.count();
+    std::vector<std::vector<std::pair<long, long>>> fronts;
+    if (ni <= 0 || nj <= 0)
+        return fronts;
+    fronts.resize(static_cast<size_t>(ni + nj - 1));
+    for (long i = i_bounds.lo; i <= i_bounds.hi; ++i) {
+        for (long j = j_bounds.lo; j <= j_bounds.hi; ++j) {
+            long w = (i - i_bounds.lo) + (j - j_bounds.lo);
+            fronts[static_cast<size_t>(w)].emplace_back(i, j);
+        }
+    }
+    return fronts;
+}
+
+} // namespace dep
+} // namespace psync

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Loop-transformation helpers for the paper's section 5 examples.
+ *
+ * Implicit coalescing (linearization) of a depth-2 loop needs no IR
+ * rewrite here: codegen executes iteration `lpid` at indices
+ * `Loop::indicesOf(lpid)` and enforces dependences at their
+ * linearized distances, which automatically introduces the paper's
+ * "extra dependences" at inner-loop boundaries. This module holds
+ * the helpers that reason about those boundaries and the wavefront
+ * schedule used as the Example 1 baseline.
+ */
+
+#ifndef PSYNC_DEP_TRANSFORM_HH
+#define PSYNC_DEP_TRANSFORM_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dep/dependence.hh"
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace dep {
+
+/**
+ * True if iteration `lpid` of `loop` has an in-bounds source
+ * instance for `dep` — i.e., the dependence is real there and not
+ * one of the extra arcs introduced by linearization (Fig. 5.2,
+ * dashed arrows).
+ */
+bool sinkHasSource(const Loop &loop, const Dep &dep,
+                   std::uint64_t lpid);
+
+/**
+ * Count iterations for which `dep` is enforced by linearization
+ * but has no real source (lost-parallelism metric of Example 2).
+ */
+std::uint64_t extraDepCount(const Loop &loop, const Dep &dep);
+
+/**
+ * Anti-diagonal wavefront schedule of a 2-D iteration space: front
+ * w holds all (i, j) with (i - i_lo) + (j - j_lo) == w. Used as the
+ * barrier-synchronized baseline of Example 1 (Fig. 5.1c).
+ */
+std::vector<std::vector<std::pair<long, long>>>
+makeWavefronts(const Bounds &i_bounds, const Bounds &j_bounds);
+
+} // namespace dep
+} // namespace psync
+
+#endif // PSYNC_DEP_TRANSFORM_HH

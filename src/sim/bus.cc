@@ -1,0 +1,87 @@
+#include "sim/bus.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace psync {
+namespace sim {
+
+Bus::Bus(EventQueue &eq, std::string bus_name, Tick cycles_per_txn)
+    : eventq(eq),
+      name_(std::move(bus_name)),
+      cyclesPerTxn(cycles_per_txn),
+      numTransactions(name_ + ".transactions"),
+      busyCyclesStat(name_ + ".busy_cycles"),
+      queueDelayStat(name_ + ".queue_delay"),
+      maxQueueStat(name_ + ".max_queue")
+{
+}
+
+void
+Bus::transact(ProcId who, GrantHandler on_done)
+{
+    transact(who, GrantHandler{}, std::move(on_done));
+}
+
+void
+Bus::transact(ProcId who, GrantHandler on_grant, GrantHandler on_done)
+{
+    pending.push_back(Request{who, eventq.now(), std::move(on_grant),
+                              std::move(on_done)});
+    maxQueueStat.set(std::max(maxQueueStat.value(),
+                              static_cast<double>(pending.size())));
+    if (!granting)
+        grantNext();
+}
+
+void
+Bus::grantNext()
+{
+    if (pending.empty()) {
+        granting = false;
+        return;
+    }
+    granting = true;
+
+    Request req = std::move(pending.front());
+    pending.pop_front();
+
+    Tick grant = std::max(eventq.now(), freeAt);
+    Tick done = grant + cyclesPerTxn;
+    freeAt = done;
+
+    ++numTransactions;
+    busyCyclesStat += static_cast<double>(cyclesPerTxn);
+    queueDelayStat += static_cast<double>(grant - req.issued);
+
+    // grant == now() here: arbitration happens either immediately
+    // on request or right as the previous transaction completes.
+    if (req.onGrant)
+        req.onGrant(grant);
+
+    GrantHandler handler = std::move(req.onDone);
+    eventq.schedule(done, [this, handler = std::move(handler), grant]() {
+        handler(grant);
+        grantNext();
+    });
+}
+
+double
+Bus::utilization(Tick end_tick) const
+{
+    if (end_tick == 0)
+        return 0.0;
+    return busyCyclesStat.value() / static_cast<double>(end_tick);
+}
+
+void
+Bus::dumpStats(std::ostream &os) const
+{
+    stats::dump(os, numTransactions);
+    stats::dump(os, busyCyclesStat);
+    stats::dump(os, queueDelayStat);
+    stats::dump(os, maxQueueStat);
+}
+
+} // namespace sim
+} // namespace psync

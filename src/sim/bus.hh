@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A FIFO-arbitrated shared bus.
+ *
+ * Both the main data bus and the dedicated synchronization bus of
+ * section 6 are instances of this model: requesters queue, each
+ * granted transaction occupies the bus for a fixed number of
+ * cycles, and occupancy/queue-delay statistics are collected so the
+ * benches can report traffic the way the paper argues about it.
+ */
+
+#ifndef PSYNC_SIM_BUS_HH
+#define PSYNC_SIM_BUS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hh"
+#include "sim/interconnect.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace psync {
+namespace sim {
+
+/** A single shared bus with FIFO arbitration. */
+class Bus : public Interconnect
+{
+  public:
+    /**
+     * @param eq            event queue driving the simulation
+     * @param bus_name      name used in statistics output
+     * @param cycles_per_txn bus occupancy of one transaction
+     */
+    Bus(EventQueue &eq, std::string bus_name, Tick cycles_per_txn);
+
+    /**
+     * Queue a transaction. `on_done` runs when the transaction has
+     * finished driving the bus.
+     */
+    void transact(ProcId who, GrantHandler on_done) override;
+
+    /**
+     * Queue a transaction with a grant-time hook: `on_grant` runs
+     * the moment the transaction wins arbitration and starts
+     * driving the bus (used for write coalescing, which is only
+     * legal before the bus is gained — section 6), `on_done` when
+     * it finishes.
+     */
+    void transact(ProcId who, GrantHandler on_grant,
+                  GrantHandler on_done) override;
+
+    /** Cycles one transaction occupies the bus. */
+    Tick cyclesPerTransaction() const { return cyclesPerTxn; }
+
+    /** Number of completed transactions. */
+    std::uint64_t transactions() const override
+    {
+        return static_cast<std::uint64_t>(numTransactions.value());
+    }
+
+    /** Total cycles the bus was busy. */
+    Tick busyCycles() const
+    {
+        return static_cast<Tick>(busyCyclesStat.value());
+    }
+
+    /** Total cycles transactions spent waiting for a grant. */
+    Tick queueDelay() const override
+    {
+        return static_cast<Tick>(queueDelayStat.value());
+    }
+
+    /** Largest queue depth observed. */
+    std::uint64_t maxQueueDepth() const
+    {
+        return static_cast<std::uint64_t>(maxQueueStat.value());
+    }
+
+    /** Fraction of time busy over [0, end_tick]. */
+    double utilization(Tick end_tick) const override;
+
+    /** Write the bus statistics to a stream. */
+    void dumpStats(std::ostream &os) const override;
+
+    const std::string &name() const override { return name_; }
+
+  private:
+    struct Request
+    {
+        ProcId who;
+        Tick issued;
+        GrantHandler onGrant;
+        GrantHandler onDone;
+    };
+
+    void grantNext();
+
+    EventQueue &eventq;
+    std::string name_;
+    Tick cyclesPerTxn;
+    Tick freeAt = 0;
+    bool granting = false;
+    std::deque<Request> pending;
+
+    stats::Scalar numTransactions;
+    stats::Scalar busyCyclesStat;
+    stats::Scalar queueDelayStat;
+    stats::Scalar maxQueueStat;
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_BUS_HH

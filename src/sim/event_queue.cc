@@ -1,0 +1,42 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+void
+EventQueue::schedule(Tick when, Handler handler)
+{
+    if (when < curTick_)
+        panic("scheduling event in the past: %llu < %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    events_.push(Event{when, nextSeq_++, std::move(handler)});
+}
+
+bool
+EventQueue::run(Tick limit)
+{
+    while (!events_.empty()) {
+        const Event &top = events_.top();
+        if (top.when > limit) {
+            curTick_ = limit;
+            return false;
+        }
+        // Move the handler out before popping; the handler may
+        // schedule new events.
+        Tick when = top.when;
+        Handler handler = std::move(const_cast<Event &>(top).handler);
+        events_.pop();
+        curTick_ = when;
+        ++executed_;
+        handler();
+    }
+    return true;
+}
+
+} // namespace sim
+} // namespace psync

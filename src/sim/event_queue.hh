@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation core.
+ *
+ * Events are closures scheduled at absolute ticks. Ties are broken
+ * by insertion order (a monotonically increasing sequence number),
+ * which makes every simulation bit-for-bit reproducible regardless
+ * of host scheduling.
+ */
+
+#ifndef PSYNC_SIM_EVENT_QUEUE_HH
+#define PSYNC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace psync {
+namespace sim {
+
+/** The global event queue driving one simulation. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /** Total events executed so far (for diagnostics). */
+    std::uint64_t eventsExecuted() const { return executed_; }
+
+    /**
+     * Schedule a handler at an absolute tick.
+     * @pre when >= now(), except during the pre-run setup phase.
+     */
+    void schedule(Tick when, Handler handler);
+
+    /** Schedule a handler `delta` ticks from now. */
+    void
+    scheduleIn(Tick delta, Handler handler)
+    {
+        schedule(curTick_ + delta, std::move(handler));
+    }
+
+    /**
+     * Run until the queue drains or `limit` is reached.
+     * @return true if the queue drained; false if the tick limit was
+     *         hit first (usually a deadlock or livelock in the
+     *         simulated synchronization).
+     */
+    bool run(Tick limit = maxTick);
+
+    /** True if no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Handler handler;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_EVENT_QUEUE_HH

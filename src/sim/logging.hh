@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-termination helpers.
+ *
+ * panic() is for internal invariant violations (simulator bugs);
+ * fatal() is for user configuration errors; warn()/inform() emit
+ * status messages without stopping the simulation.
+ */
+
+#ifndef PSYNC_SIM_LOGGING_HH
+#define PSYNC_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace psync {
+namespace sim {
+
+/** Abort with a message: something that should never happen did. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: the user asked for something unsupported. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Format a printf-style string into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_LOGGING_HH

@@ -1,0 +1,121 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+const char *
+interconnectKindName(InterconnectKind kind)
+{
+    switch (kind) {
+      case InterconnectKind::bus:
+        return "bus";
+      case InterconnectKind::omega:
+        return "omega";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Switch stages to reach `endpoints` endpoints. */
+unsigned
+stagesFor(unsigned endpoints)
+{
+    unsigned stages = 1;
+    while ((1u << stages) < endpoints)
+        ++stages;
+    return stages;
+}
+
+} // namespace
+
+Machine::Machine(const MachineConfig &cfg, TraceSink *trace)
+    : config_(cfg)
+{
+    if (config_.numProcs == 0)
+        fatal("machine needs at least one processor");
+
+    switch (config_.interconnect) {
+      case InterconnectKind::bus:
+        dataNet_ = std::make_unique<Bus>(eventq_, "data_bus",
+                                         config_.dataBusCycles);
+        break;
+      case InterconnectKind::omega:
+        dataNet_ = std::make_unique<OmegaNetwork>(
+            eventq_, "data_net", config_.numProcs,
+            stagesFor(std::max(config_.numProcs,
+                               config_.memory.numModules)),
+            config_.netStageCycles, config_.netPortCycles);
+        break;
+    }
+    memory_ = std::make_unique<Memory>(eventq_, *dataNet_,
+                                       config_.memory);
+    caches_ = std::make_unique<CacheSystem>(
+        eventq_, *memory_, config_.numProcs, config_.cache);
+
+    switch (config_.fabric) {
+      case FabricKind::memory:
+        fabric_ = std::make_unique<MemorySyncFabric>(
+            eventq_, *memory_, config_.syncVarBase,
+            config_.pollIntervalCycles, config_.cachedSpinning);
+        break;
+      case FabricKind::registers:
+        syncBus_ = std::make_unique<Bus>(eventq_, "sync_bus",
+                                         config_.syncBusCycles);
+        fabric_ = std::make_unique<RegisterSyncFabric>(
+            eventq_, *syncBus_, config_.syncRegisters,
+            config_.coalesceWrites);
+        break;
+    }
+
+    processors_.reserve(config_.numProcs);
+    for (ProcId id = 0; id < config_.numProcs; ++id) {
+        processors_.push_back(std::make_unique<Processor>(
+            eventq_, id, *fabric_, *caches_, trace));
+    }
+}
+
+bool
+Machine::run(Processor::Dispatch dispatch, Tick limit)
+{
+    for (auto &proc : processors_)
+        proc->start(dispatch);
+    bool drained = eventq_.run(limit);
+    if (drained) {
+        for (auto &proc : processors_) {
+            if (!proc->halted())
+                return false;
+        }
+    }
+    return drained;
+}
+
+Tick
+Machine::completionTick() const
+{
+    Tick last = 0;
+    for (const auto &proc : processors_)
+        last = std::max(last, proc->haltTick());
+    return last;
+}
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    dataNet_->dumpStats(os);
+    if (syncBus_)
+        syncBus_->dumpStats(os);
+    memory_->dumpStats(os);
+    if (caches_->enabled())
+        caches_->dumpStats(os);
+    fabric_->dumpStats(os);
+    for (const auto &proc : processors_)
+        proc->dumpStats(os);
+}
+
+} // namespace sim
+} // namespace psync

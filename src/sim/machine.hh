@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Machine configuration and assembly.
+ *
+ * A Machine is one small-scale shared-memory multiprocessor of the
+ * class the paper targets (Cray X-MP, Alliant FX/8, Encore
+ * Multimax): P in-order processors, a shared data bus in front of
+ * interleaved memory modules, and either memory-resident
+ * synchronization variables or a dedicated synchronization-register
+ * file with a broadcast bus (section 6).
+ */
+
+#ifndef PSYNC_SIM_MACHINE_HH
+#define PSYNC_SIM_MACHINE_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "sim/bus.hh"
+#include "sim/cache.hh"
+#include "sim/event_queue.hh"
+#include "sim/memory.hh"
+#include "sim/omega_network.hh"
+#include "sim/processor.hh"
+#include "sim/program.hh"
+#include "sim/sync_fabric.hh"
+#include "sim/types.hh"
+
+namespace psync {
+namespace sim {
+
+/** Processor-to-memory transport choice. */
+enum class InterconnectKind
+{
+    /** Single shared bus — the paper's small-scale machines. */
+    bus,
+    /** Multistage network — Cedar/RP3-class large machines. */
+    omega,
+};
+
+/** Printable interconnect name. */
+const char *interconnectKindName(InterconnectKind kind);
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    /** Number of processors. */
+    unsigned numProcs = 8;
+
+    /** How processors reach memory. */
+    InterconnectKind interconnect = InterconnectKind::bus;
+
+    /** Omega network: per-stage latency. */
+    Tick netStageCycles = 1;
+
+    /** Omega network: min cycles between injections per port. */
+    Tick netPortCycles = 1;
+
+    /** Private data caches (write-through invalidate). */
+    CacheConfig cache;
+
+    /** Where synchronization variables live. */
+    FabricKind fabric = FabricKind::registers;
+
+    /** Hardware synchronization registers (register fabric). */
+    unsigned syncRegisters = 256;
+
+    /** Enable pending-write coalescing on the sync bus. */
+    bool coalesceWrites = true;
+
+    /** Data-bus occupancy per transaction, cycles. */
+    Tick dataBusCycles = 1;
+
+    /** Sync-bus occupancy per broadcast, cycles. */
+    Tick syncBusCycles = 1;
+
+    /** Spin poll interval for memory-resident sync vars. */
+    Tick pollIntervalCycles = 4;
+
+    /**
+     * Memory-resident sync vars spin on coherent cache copies
+     * (re-fetch only on invalidation) instead of polling memory
+     * every interval. The E10 bench contrasts both.
+     */
+    bool cachedSpinning = true;
+
+    /** Shared-memory organization. */
+    MemoryConfig memory;
+
+    /** Base address of the sync-variable region (memory fabric). */
+    Addr syncVarBase = Addr(1) << 40;
+};
+
+/** An assembled multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg,
+                     TraceSink *trace = nullptr);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return config_; }
+
+    EventQueue &eventq() { return eventq_; }
+    SyncFabric &fabric() { return *fabric_; }
+    Memory &memory() { return *memory_; }
+    CacheSystem &caches() { return *caches_; }
+
+    /** The processor-memory transport (bus or network). */
+    Interconnect &dataNet() { return *dataNet_; }
+
+    /** The data bus, or null when the interconnect is a network. */
+    Bus *dataBus() { return dynamic_cast<Bus *>(dataNet_.get()); }
+
+    /** Sync bus; null when the fabric is memory-resident. */
+    Bus *syncBus() { return syncBus_.get(); }
+
+    Processor &proc(ProcId id) { return *processors_[id]; }
+    unsigned numProcs() const { return config_.numProcs; }
+
+    /**
+     * Start every processor on the given dispatcher and run to
+     * completion (or the tick limit).
+     * @return true if all work drained, false on tick-limit stop
+     *         (treat as deadlock in the simulated synchronization).
+     */
+    bool run(Processor::Dispatch dispatch, Tick limit = maxTick);
+
+    /** Last tick at which any processor halted. */
+    Tick completionTick() const;
+
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    MachineConfig config_;
+    EventQueue eventq_;
+    std::unique_ptr<Interconnect> dataNet_;
+    std::unique_ptr<Bus> syncBus_;
+    std::unique_ptr<Memory> memory_;
+    std::unique_ptr<CacheSystem> caches_;
+    std::unique_ptr<SyncFabric> fabric_;
+    std::vector<std::unique_ptr<Processor>> processors_;
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_MACHINE_HH

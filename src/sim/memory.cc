@@ -1,0 +1,119 @@
+#include "sim/memory.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+Memory::Memory(EventQueue &eq, Interconnect &data_net,
+               const MemoryConfig &cfg)
+    : eventq(eq),
+      dataNet(data_net),
+      config(cfg),
+      moduleFreeAt(cfg.numModules, 0),
+      accessesStat("memory.module_accesses", cfg.numModules),
+      queueDelayStat("memory.module_queue_delay"),
+      readsStat("memory.reads"),
+      writesStat("memory.writes"),
+      rmwsStat("memory.rmws")
+{
+    if (config.numModules == 0)
+        fatal("memory must have at least one module");
+}
+
+void
+Memory::service(ProcId who, Addr addr, Tick service_cycles,
+                std::function<void(Tick done)> at_done)
+{
+    unsigned module = moduleOf(addr);
+    accessesStat[module] += 1;
+
+    dataNet.transact(who, [this, module, service_cycles,
+                           at_done = std::move(at_done)](Tick) {
+        Tick arrive = eventq.now();
+        Tick start = std::max(arrive, moduleFreeAt[module]);
+        Tick done = start + service_cycles;
+        moduleFreeAt[module] = done;
+        queueDelayStat += static_cast<double>(start - arrive);
+        eventq.schedule(done, [at_done = std::move(at_done), done]() {
+            at_done(done);
+        });
+    });
+}
+
+void
+Memory::read(ProcId who, Addr addr, ValueHandler on_done)
+{
+    ++readsStat;
+    service(who, addr, config.serviceCycles,
+            [this, addr, on_done = std::move(on_done)](Tick) {
+        on_done(peek(addr));
+    });
+}
+
+void
+Memory::write(ProcId who, Addr addr, SyncWord value,
+              AccessHandler on_done)
+{
+    ++writesStat;
+    service(who, addr, config.serviceCycles,
+            [this, addr, value, on_done = std::move(on_done)](Tick) {
+        words[addr] = value;
+        on_done();
+    });
+}
+
+void
+Memory::rmw(ProcId who, Addr addr, Modify modify, ValueHandler on_done)
+{
+    // An atomic read-modify-write holds the module for a read plus
+    // a write; serialized arrivals at one hot word pay the full
+    // double service each (the fetch&add funnel of Example 4).
+    ++rmwsStat;
+    service(who, addr, 2 * config.serviceCycles,
+            [this, addr, modify = std::move(modify),
+             on_done = std::move(on_done)](Tick) {
+        SyncWord old_value = peek(addr);
+        words[addr] = modify(old_value);
+        on_done(old_value);
+    });
+}
+
+void
+Memory::serviceAtModule(Addr addr, AccessHandler on_done)
+{
+    unsigned module = moduleOf(addr);
+    accessesStat[module] += 1;
+    Tick arrive = eventq.now();
+    Tick start = std::max(arrive, moduleFreeAt[module]);
+    Tick done = start + config.serviceCycles;
+    moduleFreeAt[module] = done;
+    queueDelayStat += static_cast<double>(start - arrive);
+    eventq.schedule(done, std::move(on_done));
+}
+
+double
+Memory::hotSpotRatio() const
+{
+    double total = accessesStat.total();
+    if (total == 0)
+        return 1.0;
+    double uniform = total / config.numModules;
+    return accessesStat.maxValue() / uniform;
+}
+
+void
+Memory::dumpStats(std::ostream &os) const
+{
+    stats::dump(os, accessesStat);
+    stats::dump(os, queueDelayStat);
+    stats::dump(os, readsStat);
+    stats::dump(os, writesStat);
+    stats::dump(os, rmwsStat);
+}
+
+} // namespace sim
+} // namespace psync

@@ -1,0 +1,85 @@
+#include "sim/omega_network.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+OmegaNetwork::OmegaNetwork(EventQueue &eq, std::string net_name,
+                           unsigned num_ports, unsigned num_stages,
+                           Tick stage_cycles, Tick port_cycles)
+    : eventq(eq),
+      name_(std::move(net_name)),
+      numStages(num_stages),
+      stageCycles(stage_cycles),
+      portCycles(port_cycles),
+      portFreeAt(num_ports, 0),
+      numTransactions(name_ + ".transactions"),
+      queueDelayStat(name_ + ".queue_delay"),
+      busyCyclesStat(name_ + ".port_busy_cycles")
+{
+    if (num_ports == 0)
+        fatal("omega network needs at least one port");
+    if (num_stages == 0)
+        fatal("omega network needs at least one stage");
+}
+
+void
+OmegaNetwork::transact(ProcId who, GrantHandler on_done)
+{
+    transact(who, GrantHandler{}, std::move(on_done));
+}
+
+void
+OmegaNetwork::transact(ProcId who, GrantHandler on_grant,
+                       GrantHandler on_done)
+{
+    if (who >= portFreeAt.size())
+        panic("port %u out of range", who);
+
+    Tick now = eventq.now();
+    Tick inject = std::max(now, portFreeAt[who]);
+    portFreeAt[who] = inject + portCycles;
+
+    ++numTransactions;
+    queueDelayStat += static_cast<double>(inject - now);
+    busyCyclesStat += static_cast<double>(portCycles);
+
+    Tick delivered = inject + numStages * stageCycles;
+    if (on_grant) {
+        if (inject == now) {
+            on_grant(inject);
+        } else {
+            eventq.schedule(inject, [on_grant = std::move(on_grant),
+                                     inject]() {
+                on_grant(inject);
+            });
+        }
+    }
+    eventq.schedule(delivered, [on_done = std::move(on_done),
+                                inject]() { on_done(inject); });
+}
+
+double
+OmegaNetwork::utilization(Tick end_tick) const
+{
+    if (end_tick == 0 || portFreeAt.empty())
+        return 0.0;
+    double capacity =
+        static_cast<double>(end_tick) * portFreeAt.size();
+    return busyCyclesStat.value() / capacity;
+}
+
+void
+OmegaNetwork::dumpStats(std::ostream &os) const
+{
+    stats::dump(os, numTransactions);
+    stats::dump(os, queueDelayStat);
+    stats::dump(os, busyCyclesStat);
+}
+
+} // namespace sim
+} // namespace psync

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multistage (Omega-class) interconnection network.
+ *
+ * The large-scale machines the paper associates with data-oriented
+ * schemes — Cedar, the RP3, the NYU Ultracomputer — connect
+ * processors to memory through log-depth switching networks: no
+ * global arbitration, one injection port per processor, pipelined
+ * stages. The model here captures exactly the properties that
+ * matter for the synchronization comparison:
+ *
+ *  - per-processor injection ports (bandwidth scales with P),
+ *  - log2(max(P, M)) switch stages of fixed latency each,
+ *  - injection-port serialization (one flit per port per
+ *    `portCycles`),
+ *
+ * while memory-module contention is still modeled by Memory. Blocking
+ * conflicts inside the switch fabric are *not* modeled; this makes
+ * the network optimistic, which only strengthens any result where
+ * the bus-based configuration still wins.
+ */
+
+#ifndef PSYNC_SIM_OMEGA_NETWORK_HH
+#define PSYNC_SIM_OMEGA_NETWORK_HH
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/interconnect.hh"
+#include "sim/stats.hh"
+
+namespace psync {
+namespace sim {
+
+/** Log-depth network with per-processor injection ports. */
+class OmegaNetwork : public Interconnect
+{
+  public:
+    /**
+     * @param eq          event queue
+     * @param net_name    statistics name
+     * @param num_ports   injection ports (= processors)
+     * @param num_stages  switch stages (log2 of endpoints)
+     * @param stage_cycles latency per stage
+     * @param port_cycles  min cycles between injections per port
+     */
+    OmegaNetwork(EventQueue &eq, std::string net_name,
+                 unsigned num_ports, unsigned num_stages,
+                 Tick stage_cycles, Tick port_cycles = 1);
+
+    void transact(ProcId who, GrantHandler on_done) override;
+    void transact(ProcId who, GrantHandler on_grant,
+                  GrantHandler on_done) override;
+
+    std::uint64_t transactions() const override
+    {
+        return static_cast<std::uint64_t>(numTransactions.value());
+    }
+
+    Tick queueDelay() const override
+    {
+        return static_cast<Tick>(queueDelayStat.value());
+    }
+
+    /** Aggregate utilization across all injection ports. */
+    double utilization(Tick end_tick) const override;
+
+    void dumpStats(std::ostream &os) const override;
+    const std::string &name() const override { return name_; }
+
+    unsigned stages() const { return numStages; }
+    Tick traversalCycles() const { return numStages * stageCycles; }
+
+  private:
+    EventQueue &eventq;
+    std::string name_;
+    unsigned numStages;
+    Tick stageCycles;
+    Tick portCycles;
+    std::vector<Tick> portFreeAt;
+
+    stats::Scalar numTransactions;
+    stats::Scalar queueDelayStat;
+    stats::Scalar busyCyclesStat;
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_OMEGA_NETWORK_HH

@@ -1,0 +1,316 @@
+#include "sim/processor.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+Processor::Processor(EventQueue &eq, ProcId id, SyncFabric &fab,
+                     CacheSystem &cache_sys, TraceSink *sink)
+    : eventq(eq), id_(id), fabric(fab), caches(cache_sys),
+      trace(sink)
+{
+}
+
+void
+Processor::start(Dispatch dispatch)
+{
+    dispatch_ = std::move(dispatch);
+    // Kick off at tick 0 through the queue so all processors start
+    // deterministically interleaved.
+    eventq.scheduleIn(0, [this]() { fetchNext(); });
+}
+
+void
+Processor::fetchNext()
+{
+    dispatch_(id_, [this](const Program *program) {
+        if (program == nullptr) {
+            halted_ = true;
+            haltTick_ = eventq.now();
+            return;
+        }
+        beginProgram(program);
+    });
+}
+
+void
+Processor::beginProgram(const Program *program)
+{
+    current = program;
+    opIndex = 0;
+    ownedPc = false;
+    ++programsRun_;
+    step();
+}
+
+void
+Processor::step()
+{
+    while (current != nullptr && opIndex < current->ops.size()) {
+        const Op &op = current->ops[opIndex];
+        ++opIndex;
+        switch (op.kind) {
+          case OpKind::stmtStart:
+            if (trace) {
+                trace->stmtStart(op.stmt,
+                                 op.iterTag ? op.iterTag
+                                            : current->iter,
+                                 eventq.now());
+            }
+            continue;
+          case OpKind::stmtEnd:
+            if (trace) {
+                trace->stmtEnd(op.stmt,
+                               op.iterTag ? op.iterTag
+                                          : current->iter,
+                               eventq.now());
+            }
+            continue;
+          case OpKind::compute:
+            execCompute(op);
+            return;
+          case OpKind::dataRead:
+          case OpKind::dataWrite:
+            execData(op);
+            return;
+          case OpKind::syncWaitGE:
+            execWaitGE(op);
+            return;
+          case OpKind::syncWrite:
+            execWrite(op);
+            return;
+          case OpKind::syncFetchInc:
+            execFetchInc(op);
+            return;
+          case OpKind::pcMark:
+            execPcMark(op);
+            return;
+          case OpKind::pcTransfer:
+            execPcTransfer(op);
+            return;
+          case OpKind::ctrBarrier:
+            execCtrBarrier(op);
+            return;
+          case OpKind::keyedRead:
+          case OpKind::keyedWrite:
+            execKeyed(op);
+            return;
+        }
+    }
+    current = nullptr;
+    fetchNext();
+}
+
+void
+Processor::execCompute(const Op &op)
+{
+    computeCycles_ += op.cycles;
+    eventq.scheduleIn(op.cycles, [this]() { step(); });
+}
+
+void
+Processor::execData(const Op &op)
+{
+    Tick start = eventq.now();
+    bool is_write = op.kind == OpKind::dataWrite;
+    auto done = [this, op, start, is_write]() {
+        Tick end = eventq.now();
+        stallCycles_ += end - start;
+        if (trace) {
+            trace->access(op.stmt, op.ref,
+                          op.iterTag ? op.iterTag : current->iter,
+                          op.addr, is_write, start, end);
+        }
+        step();
+    };
+    if (is_write)
+        caches.write(id_, op.addr, done);
+    else
+        caches.read(id_, op.addr, done);
+}
+
+void
+Processor::execWaitGE(const Op &op)
+{
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    eventq.scheduleIn(issue, [this, op]() {
+        fabric.waitGE(id_, op.var, op.value, [this](Tick waited) {
+            spinCycles_ += waited;
+            step();
+        });
+    });
+}
+
+void
+Processor::execWrite(const Op &op)
+{
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    Tick start = eventq.now();
+    eventq.scheduleIn(issue, [this, op, start]() {
+        fabric.write(id_, op.var, op.value, [this, start, issue = 0]() {
+            (void)issue;
+            // Anything beyond the fixed issue cost (memory-fabric
+            // write latency) is synchronization overhead too.
+            Tick total = eventq.now() - start;
+            Tick fixed = fabric.issueCost();
+            syncOverheadCycles_ += total > fixed ? total - fixed : 0;
+            step();
+        });
+    });
+}
+
+void
+Processor::execFetchInc(const Op &op)
+{
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    Tick start = eventq.now();
+    eventq.scheduleIn(issue, [this, op, start]() {
+        fabric.fetchInc(id_, op.var, [this, start](SyncWord) {
+            Tick total = eventq.now() - start;
+            Tick fixed = fabric.issueCost();
+            syncOverheadCycles_ += total > fixed ? total - fixed : 0;
+            step();
+        });
+    });
+}
+
+void
+Processor::execPcMark(const Op &op)
+{
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    std::uint32_t my_owner = PcWord::owner(op.value);
+    eventq.scheduleIn(issue, [this, op, my_owner]() {
+        if (ownedPc) {
+            fabric.write(id_, op.var, op.value, [this]() { step(); });
+            return;
+        }
+        fabric.read(id_, op.var, [this, op, my_owner](SyncWord cur) {
+            std::uint32_t cur_owner = PcWord::owner(cur);
+            if (cur_owner < my_owner) {
+                // Ownership has not been transferred yet; proceed
+                // without waiting (Fig. 4.3).
+                ++marksSkipped_;
+                step();
+                return;
+            }
+            if (cur_owner > my_owner) {
+                panic("PC %u owned by %u past process %u: ownership "
+                      "protocol violated", op.var, cur_owner, my_owner);
+            }
+            ownedPc = true;
+            fabric.write(id_, op.var, op.value, [this]() { step(); });
+        });
+    });
+}
+
+void
+Processor::execPcTransfer(const Op &op)
+{
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    eventq.scheduleIn(issue, [this, op]() {
+        if (ownedPc) {
+            fabric.write(id_, op.var, op.value, [this]() { step(); });
+            return;
+        }
+        // get_PC: wait until ownership reaches this process.
+        fabric.waitGE(id_, op.var, op.aux, [this, op](Tick waited) {
+            spinCycles_ += waited;
+            ownedPc = true;
+            fabric.write(id_, op.var, op.value, [this]() { step(); });
+        });
+    });
+}
+
+void
+Processor::execKeyed(const Op &op)
+{
+    auto *mem_fab = dynamic_cast<MemorySyncFabric *>(&fabric);
+    if (mem_fab == nullptr) {
+        panic("keyed access needs memory-resident keys (Cedar "
+              "synchronization processors live in the memory "
+              "modules)");
+    }
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    Tick start = eventq.now();
+    bool is_write = op.kind == OpKind::keyedWrite;
+    eventq.scheduleIn(issue, [this, op, start, is_write,
+                              mem_fab]() {
+        mem_fab->keyedAccess(id_, op.var, op.value,
+                             [this, op, start,
+                              is_write](Tick waited) {
+            spinCycles_ += waited;
+            stallCycles_ += eventq.now() - start > waited
+                ? eventq.now() - start - waited
+                : 0;
+            Tick end = eventq.now();
+            if (trace) {
+                // The data access happens inside the module
+                // service that just completed — after the key test
+                // passed — so the record anchors at completion.
+                trace->access(op.stmt, op.ref,
+                              op.iterTag ? op.iterTag
+                                         : current->iter,
+                              op.addr, is_write, end, end);
+            }
+            step();
+        });
+    });
+}
+
+void
+Processor::execCtrBarrier(const Op &op)
+{
+    ++syncOpsIssued_;
+    Tick issue = fabric.issueCost();
+    syncOverheadCycles_ += issue;
+    Tick start = eventq.now();
+    std::uint64_t num_procs = op.cycles;
+    eventq.scheduleIn(issue, [this, op, start, num_procs]() {
+        fabric.fetchInc(id_, op.var,
+                        [this, op, start, num_procs](SyncWord old_val) {
+            auto resume = [this, start]() {
+                spinCycles_ += eventq.now() - start;
+                step();
+            };
+            if (old_val + 1 == op.value * num_procs) {
+                // Last arrival: release this generation.
+                fabric.write(id_, op.aux, op.value, [this, op,
+                                                     resume]() {
+                    fabric.waitGE(id_, op.aux, op.value,
+                                  [resume](Tick) { resume(); });
+                });
+            } else {
+                fabric.waitGE(id_, op.aux, op.value,
+                              [resume](Tick) { resume(); });
+            }
+        });
+    });
+}
+
+void
+Processor::dumpStats(std::ostream &os) const
+{
+    os << "proc" << id_ << ": compute=" << computeCycles_
+       << " spin=" << spinCycles_ << " sync=" << syncOverheadCycles_
+       << " stall=" << stallCycles_ << " sync_ops=" << syncOpsIssued_
+       << " programs=" << programsRun_ << " halt=" << haltTick_
+       << "\n";
+}
+
+} // namespace sim
+} // namespace psync

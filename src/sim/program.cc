@@ -1,0 +1,87 @@
+#include "sim/program.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::compute:      return "compute";
+      case OpKind::dataRead:     return "data_read";
+      case OpKind::dataWrite:    return "data_write";
+      case OpKind::syncWaitGE:   return "sync_wait_ge";
+      case OpKind::syncWrite:    return "sync_write";
+      case OpKind::syncFetchInc: return "sync_fetch_inc";
+      case OpKind::pcMark:       return "pc_mark";
+      case OpKind::pcTransfer:   return "pc_transfer";
+      case OpKind::ctrBarrier:   return "ctr_barrier";
+      case OpKind::keyedRead:    return "keyed_read";
+      case OpKind::keyedWrite:   return "keyed_write";
+      case OpKind::stmtStart:    return "stmt_start";
+      case OpKind::stmtEnd:      return "stmt_end";
+    }
+    return "unknown";
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    os << "iter " << program.iter << ":\n";
+    for (const Op &op : program.ops) {
+        os << "  " << opKindName(op.kind);
+        switch (op.kind) {
+          case OpKind::compute:
+            os << " " << op.cycles;
+            break;
+          case OpKind::dataRead:
+          case OpKind::dataWrite:
+            os << " addr=" << op.addr << " stmt=" << op.stmt;
+            break;
+          case OpKind::syncWaitGE:
+            os << " var=" << op.var << " ge=<"
+               << PcWord::owner(op.value) << ","
+               << PcWord::step(op.value) << ">";
+            break;
+          case OpKind::syncWrite:
+          case OpKind::pcMark:
+            os << " var=" << op.var << " val=<"
+               << PcWord::owner(op.value) << ","
+               << PcWord::step(op.value) << ">";
+            break;
+          case OpKind::pcTransfer:
+            os << " var=" << op.var << " val=<"
+               << PcWord::owner(op.value) << ","
+               << PcWord::step(op.value) << "> own_ge=<"
+               << PcWord::owner(op.aux) << ","
+               << PcWord::step(op.aux) << ">";
+            break;
+          case OpKind::syncFetchInc:
+            os << " var=" << op.var;
+            break;
+          case OpKind::ctrBarrier:
+            os << " ctr=" << op.var << " rel=" << op.aux
+               << " gen=" << op.value;
+            break;
+          case OpKind::keyedRead:
+          case OpKind::keyedWrite:
+            os << " key=" << op.var << " ge=" << op.value
+               << " addr=" << op.addr << " stmt=" << op.stmt;
+            break;
+          case OpKind::stmtStart:
+          case OpKind::stmtEnd:
+            os << " stmt=" << op.stmt;
+            break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sim
+} // namespace psync

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis. Simulation results must be reproducible bit-for-bit,
+ * so all randomness flows through explicitly seeded generators.
+ */
+
+#ifndef PSYNC_SIM_RNG_HH
+#define PSYNC_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace psync {
+namespace sim {
+
+/**
+ * SplitMix64 generator: tiny, fast, and statistically adequate for
+ * workload jitter and branch outcomes. Not for cryptography.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_RNG_HH

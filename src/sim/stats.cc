@@ -1,0 +1,33 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+namespace psync {
+namespace sim {
+namespace stats {
+
+void
+dump(std::ostream &os, const Scalar &s)
+{
+    os << std::left << std::setw(40) << s.name() << " " << s.value()
+       << "\n";
+}
+
+void
+dump(std::ostream &os, const Vector &v)
+{
+    os << std::left << std::setw(40) << v.name() << " total=" << v.total()
+       << " mean=" << v.mean() << " max=" << v.maxValue() << "\n";
+}
+
+void
+dump(std::ostream &os, const Distribution &d)
+{
+    os << std::left << std::setw(40) << d.name() << " n=" << d.count()
+       << " mean=" << d.mean() << " min=" << d.minValue()
+       << " max=" << d.maxValue() << "\n";
+}
+
+} // namespace stats
+} // namespace sim
+} // namespace psync

@@ -1,0 +1,376 @@
+#include "sim/sync_fabric.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sim {
+
+const char *
+fabricKindName(FabricKind kind)
+{
+    switch (kind) {
+      case FabricKind::memory:
+        return "memory";
+      case FabricKind::registers:
+        return "registers";
+    }
+    return "unknown";
+}
+
+//
+// MemorySyncFabric
+//
+
+MemorySyncFabric::MemorySyncFabric(EventQueue &eq, Memory &mem, Addr base,
+                                   Tick poll_interval, bool cached_spin)
+    : eventq(eq),
+      memory(mem),
+      baseAddr(base),
+      pollInterval(poll_interval),
+      cachedSpin(cached_spin),
+      pollsStat("syncfab.mem.polls"),
+      writesStat("syncfab.mem.writes"),
+      rmwsStat("syncfab.mem.rmws"),
+      keyedOpsStat("syncfab.mem.keyed_ops"),
+      keyedRetriesStat("syncfab.mem.keyed_retries")
+{
+    if (pollInterval == 0)
+        fatal("poll interval must be at least one cycle");
+}
+
+Addr
+MemorySyncFabric::addrOf(SyncVarId var) const
+{
+    return baseAddr + static_cast<Addr>(var) * 8;
+}
+
+SyncVarId
+MemorySyncFabric::allocate(unsigned count, SyncWord init_value)
+{
+    SyncVarId first = numVars;
+    for (unsigned i = 0; i < count; ++i)
+        memory.poke(addrOf(first + i), init_value);
+    numVars += count;
+    return first;
+}
+
+void
+MemorySyncFabric::pollLoop(ProcId who, SyncVarId var, SyncWord threshold,
+                           Tick started, WaitHandler on_done)
+{
+    ++pollsStat;
+    memory.read(who, addrOf(var),
+                [this, who, var, threshold, started,
+                 on_done = std::move(on_done)](SyncWord value) mutable {
+        if (value >= threshold) {
+            on_done(eventq.now() - started);
+            return;
+        }
+        if (cachedSpin) {
+            // Spin on the (now cached) copy for free; the next
+            // memory fetch happens when a write invalidates it.
+            parked[var].push_back(Waiter{who, threshold, started,
+                                         std::move(on_done)});
+            return;
+        }
+        eventq.scheduleIn(pollInterval,
+                          [this, who, var, threshold, started,
+                           on_done = std::move(on_done)]() mutable {
+            pollLoop(who, var, threshold, started, std::move(on_done));
+        });
+    });
+}
+
+void
+MemorySyncFabric::invalidate(SyncVarId var)
+{
+    auto it = parked.find(var);
+    if (it == parked.end() || it->second.empty())
+        return;
+    std::vector<Waiter> waiters;
+    waiters.swap(it->second);
+    // Every parked spinner re-fetches the invalidated word after
+    // the poll interval (cache-miss turnaround); a hot word gets a
+    // burst of refills queueing at its module.
+    for (auto &w : waiters) {
+        eventq.scheduleIn(pollInterval,
+                          [this, var, w = std::move(w)]() mutable {
+            pollLoop(w.who, var, w.threshold, w.started,
+                     std::move(w.onDone));
+        });
+    }
+}
+
+void
+MemorySyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
+                         WaitHandler on_done)
+{
+    pollLoop(who, var, threshold, eventq.now(), std::move(on_done));
+}
+
+void
+MemorySyncFabric::read(ProcId who, SyncVarId var, ValueHandler on_done)
+{
+    memory.read(who, addrOf(var), std::move(on_done));
+}
+
+void
+MemorySyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
+                        DoneHandler on_done)
+{
+    ++writesStat;
+    memory.write(who, addrOf(var), value,
+                 [this, var, on_done = std::move(on_done)]() {
+        invalidate(var);
+        on_done();
+    });
+}
+
+void
+MemorySyncFabric::fetchInc(ProcId who, SyncVarId var,
+                           ValueHandler on_done)
+{
+    ++rmwsStat;
+    memory.rmw(who, addrOf(var),
+               [](SyncWord old_value) { return old_value + 1; },
+               [this, var,
+                on_done = std::move(on_done)](SyncWord old_value) {
+        invalidate(var);
+        on_done(old_value);
+    });
+}
+
+void
+MemorySyncFabric::keyedService(ProcId who, SyncVarId key,
+                               SyncWord threshold, Tick started,
+                               WaitHandler on_done)
+{
+    Addr key_addr = addrOf(key);
+    SyncWord current = memory.peek(key_addr);
+    if (current >= threshold) {
+        // Test passed: the same module service also performs the
+        // data access (key and datum are co-located) and the key
+        // increment.
+        memory.poke(key_addr, current + 1);
+        Tick waited = eventq.now() - started;
+        wakeKeyed(key);
+        on_done(waited);
+        return;
+    }
+    parkedKeyed[key].push_back(
+        Waiter{who, threshold, started, std::move(on_done)});
+}
+
+void
+MemorySyncFabric::wakeKeyed(SyncVarId key)
+{
+    auto it = parkedKeyed.find(key);
+    if (it == parkedKeyed.end() || it->second.empty())
+        return;
+    std::vector<Waiter> waiters;
+    waiters.swap(it->second);
+    for (auto &w : waiters) {
+        ++keyedRetriesStat;
+        // The retry occupies the key's module but never the
+        // interconnect: the synchronization processor is local.
+        memory.serviceAtModule(
+            addrOf(key), [this, key, w = std::move(w)]() mutable {
+            keyedService(w.who, key, w.threshold, w.started,
+                         std::move(w.onDone));
+        });
+    }
+}
+
+void
+MemorySyncFabric::keyedAccess(ProcId who, SyncVarId key,
+                              SyncWord threshold,
+                              WaitHandler on_done)
+{
+    ++keyedOpsStat;
+    Tick started = eventq.now();
+    // One interconnect transaction delivers the combined request
+    // to the module; reuse the read path for its timing.
+    memory.read(who, addrOf(key),
+                [this, who, key, threshold, started,
+                 on_done = std::move(on_done)](SyncWord) mutable {
+        keyedService(who, key, threshold, started,
+                     std::move(on_done));
+    });
+}
+
+SyncWord
+MemorySyncFabric::peek(SyncVarId var) const
+{
+    return memory.peek(addrOf(var));
+}
+
+void
+MemorySyncFabric::poke(SyncVarId var, SyncWord value)
+{
+    memory.poke(addrOf(var), value);
+}
+
+void
+MemorySyncFabric::dumpStats(std::ostream &os) const
+{
+    stats::dump(os, pollsStat);
+    stats::dump(os, writesStat);
+    stats::dump(os, rmwsStat);
+    stats::dump(os, keyedOpsStat);
+    stats::dump(os, keyedRetriesStat);
+}
+
+//
+// RegisterSyncFabric
+//
+
+RegisterSyncFabric::RegisterSyncFabric(EventQueue &eq, Bus &sync_bus,
+                                       unsigned capacity, bool coalesce)
+    : eventq(eq),
+      syncBus(sync_bus),
+      capacity_(capacity),
+      coalesceEnabled(coalesce),
+      broadcastsStat("syncfab.reg.broadcasts"),
+      coalescedStat("syncfab.reg.coalesced_writes"),
+      localReadsStat("syncfab.reg.local_reads"),
+      wakeupsStat("syncfab.reg.wakeups")
+{
+}
+
+SyncVarId
+RegisterSyncFabric::allocate(unsigned count, SyncWord init_value)
+{
+    if (numVars + count > capacity_)
+        fatal("register sync fabric out of registers: want %u more, "
+              "have %u of %u", count, numVars, capacity_);
+    SyncVarId first = numVars;
+    values.resize(numVars + count, init_value);
+    waiters.resize(numVars + count);
+    numVars += count;
+    return first;
+}
+
+void
+RegisterSyncFabric::commit(SyncVarId var, SyncWord value)
+{
+    values[var] = value;
+    auto &wait_list = waiters[var];
+    std::vector<Waiter> still_waiting;
+    still_waiting.reserve(wait_list.size());
+    for (auto &w : wait_list) {
+        if (values[var] >= w.threshold) {
+            ++wakeupsStat;
+            Tick waited = eventq.now() - w.started;
+            eventq.scheduleIn(0, [on_done = std::move(w.onDone),
+                                  waited]() { on_done(waited); });
+        } else {
+            still_waiting.push_back(std::move(w));
+        }
+    }
+    wait_list.swap(still_waiting);
+}
+
+void
+RegisterSyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
+                           WaitHandler on_done)
+{
+    ++localReadsStat;
+    if (values[var] >= threshold) {
+        eventq.scheduleIn(0, [on_done = std::move(on_done)]() {
+            on_done(0);
+        });
+        return;
+    }
+    waiters[var].push_back(
+        Waiter{who, threshold, eventq.now(), std::move(on_done)});
+}
+
+void
+RegisterSyncFabric::read(ProcId who, SyncVarId var, ValueHandler on_done)
+{
+    (void)who;
+    ++localReadsStat;
+    SyncWord value = values[var];
+    eventq.scheduleIn(0, [on_done = std::move(on_done), value]() {
+        on_done(value);
+    });
+}
+
+void
+RegisterSyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
+                          DoneHandler on_done)
+{
+    std::uint64_t key = (static_cast<std::uint64_t>(who) << 32) | var;
+    auto it = pendingWrites.find(key);
+    if (coalesceEnabled && it != pendingWrites.end() &&
+        it->second.valid) {
+        // A broadcast of this variable from this processor is still
+        // waiting for the bus; the newer value covers the older one.
+        it->second.value = value;
+        ++coalescedStat;
+    } else {
+        auto &pw = pendingWrites[key];
+        pw.value = value;
+        pw.valid = true;
+        // The value is latched at grant time: once the write gains
+        // the bus it can no longer be covered by a newer write
+        // (section 6), so the pending entry closes then.
+        auto latched = std::make_shared<SyncWord>(0);
+        syncBus.transact(
+            who,
+            [this, key, latched](Tick) {
+                auto &entry = pendingWrites[key];
+                *latched = entry.value;
+                entry.valid = false;
+            },
+            [this, var, latched](Tick) {
+                ++broadcastsStat;
+                commit(var, *latched);
+            });
+    }
+    // Posted write: the issuing processor continues immediately.
+    eventq.scheduleIn(0, [on_done = std::move(on_done)]() { on_done(); });
+}
+
+void
+RegisterSyncFabric::fetchInc(ProcId who, SyncVarId var,
+                             ValueHandler on_done)
+{
+    // Atomicity comes from bus serialization: the increment is
+    // applied at broadcast time, and no value is returned until
+    // this processor's turn on the bus.
+    syncBus.transact(who, [this, var,
+                           on_done = std::move(on_done)](Tick) {
+        SyncWord old_value = values[var];
+        ++broadcastsStat;
+        commit(var, old_value + 1);
+        on_done(old_value);
+    });
+}
+
+SyncWord
+RegisterSyncFabric::peek(SyncVarId var) const
+{
+    return values[var];
+}
+
+void
+RegisterSyncFabric::poke(SyncVarId var, SyncWord value)
+{
+    values[var] = value;
+}
+
+void
+RegisterSyncFabric::dumpStats(std::ostream &os) const
+{
+    stats::dump(os, broadcastsStat);
+    stats::dump(os, coalescedStat);
+    stats::dump(os, localReadsStat);
+    stats::dump(os, wakeupsStat);
+}
+
+} // namespace sim
+} // namespace psync

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Synchronization-variable fabrics.
+ *
+ * The paper's section 6 argues that process counters can live either
+ * in the coherent shared memory (where busy-wait polling consumes
+ * data-bus and memory-module bandwidth) or in dedicated
+ * synchronization registers with per-processor local images updated
+ * over a broadcast synchronization bus (the Alliant FX/8
+ * concurrency-control-bus style), where polling is local and free
+ * and only updates are broadcast — with write coalescing collapsing
+ * back-to-back updates to the same variable before they win bus
+ * arbitration.
+ *
+ * Both organizations are modeled behind one interface so every
+ * scheme can run on either fabric.
+ */
+
+#ifndef PSYNC_SIM_SYNC_FABRIC_HH
+#define PSYNC_SIM_SYNC_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/bus.hh"
+#include "sim/event_queue.hh"
+#include "sim/memory.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace psync {
+namespace sim {
+
+/** Where synchronization variables physically live. */
+enum class FabricKind
+{
+    /** Variables in shared memory; polls are memory transactions. */
+    memory,
+    /** Dedicated registers with broadcast local images. */
+    registers,
+};
+
+/** Convert a fabric kind to a short printable name. */
+const char *fabricKindName(FabricKind kind);
+
+/**
+ * Abstract home of synchronization variables.
+ *
+ * All runtime operations are asynchronous: completion is delivered
+ * through callbacks scheduled on the event queue, and busy-waiting
+ * is reported as the number of cycles between the start of a wait
+ * and its satisfaction so the processor model can account spin time.
+ */
+class SyncFabric
+{
+  public:
+    using WaitHandler = std::function<void(Tick waited_cycles)>;
+    using DoneHandler = std::function<void()>;
+    using ValueHandler = std::function<void(SyncWord value)>;
+
+    virtual ~SyncFabric() = default;
+
+    /** Fabric flavor, for reporting. */
+    virtual FabricKind kind() const = 0;
+
+    /**
+     * Allocate `count` variables initialized to `init_value`.
+     * Setup-time operation; the *simulated* cost of initialization
+     * is modeled by the schemes (it is one of the paper's axes).
+     * @return the id of the first variable of the block.
+     */
+    virtual SyncVarId allocate(unsigned count, SyncWord init_value) = 0;
+
+    /** Number of variables allocated so far. */
+    virtual unsigned allocated() const = 0;
+
+    /**
+     * Spin until value(var) >= threshold. PC words compare with
+     * their packed lexicographic order (see PcWord); plain counters
+     * compare numerically — both are the same u64 comparison.
+     */
+    virtual void waitGE(ProcId who, SyncVarId var, SyncWord threshold,
+                        WaitHandler on_done) = 0;
+
+    /** Read the current value (local image where one exists). */
+    virtual void read(ProcId who, SyncVarId var,
+                      ValueHandler on_done) = 0;
+
+    /**
+     * Update a variable. On the register fabric the write is
+     * *posted*: the issuing processor continues after `issueCost`
+     * cycles while the broadcast proceeds asynchronously. On the
+     * memory fabric the writer blocks until the word is globally
+     * visible, per correctness requirement (1) of section 2.2.
+     */
+    virtual void write(ProcId who, SyncVarId var, SyncWord value,
+                       DoneHandler on_done) = 0;
+
+    /** Atomic increment, returning the pre-increment value. */
+    virtual void fetchInc(ProcId who, SyncVarId var,
+                          ValueHandler on_done) = 0;
+
+    /** Instantaneous, non-simulated value inspection (tests). */
+    virtual SyncWord peek(SyncVarId var) const = 0;
+
+    /** Instantaneous, non-simulated value override (setup). */
+    virtual void poke(SyncVarId var, SyncWord value) = 0;
+
+    /** Processor-side cycles to issue one fabric operation. */
+    virtual Tick issueCost() const = 0;
+
+    virtual void dumpStats(std::ostream &os) const = 0;
+};
+
+/**
+ * Synchronization variables held in shared memory words.
+ *
+ * Every poll of a busy-wait loop is a full data-bus + memory-module
+ * round trip, repeated every `pollIntervalCycles`. This is the
+ * organization the paper attributes to data-oriented schemes (keys
+ * stored with their data) and to software-only implementations.
+ */
+class MemorySyncFabric : public SyncFabric
+{
+  public:
+    /**
+     * @param eq     event queue
+     * @param mem    backing memory (shared with data accesses)
+     * @param base   first byte address used for sync words
+     * @param poll_interval cycles between successive spin polls
+     * @param cached_spin spin on a coherent cache copy: after a
+     *        failed poll the waiter parks and re-fetches only when
+     *        the word is written (invalidation), instead of
+     *        re-polling memory every interval. Models
+     *        test&test&set-style spinning; the re-fetch burst when
+     *        a hot word is released still queues at its module.
+     */
+    MemorySyncFabric(EventQueue &eq, Memory &mem, Addr base,
+                     Tick poll_interval, bool cached_spin = true);
+
+    FabricKind kind() const override { return FabricKind::memory; }
+
+    SyncVarId allocate(unsigned count, SyncWord init_value) override;
+    unsigned allocated() const override { return numVars; }
+
+    void waitGE(ProcId who, SyncVarId var, SyncWord threshold,
+                WaitHandler on_done) override;
+    void read(ProcId who, SyncVarId var, ValueHandler on_done) override;
+    void write(ProcId who, SyncVarId var, SyncWord value,
+               DoneHandler on_done) override;
+    void fetchInc(ProcId who, SyncVarId var,
+                  ValueHandler on_done) override;
+
+    SyncWord peek(SyncVarId var) const override;
+    void poke(SyncVarId var, SyncWord value) override;
+
+    Tick issueCost() const override { return 1; }
+
+    /** Total spin polls issued to memory. */
+    std::uint64_t polls() const
+    {
+        return static_cast<std::uint64_t>(pollsStat.value());
+    }
+
+    /**
+     * Cedar-style combined keyed access (the "synchronization
+     * processor in each global memory module" of [26], section
+     * 3.1): one interconnect transaction carries the key test, the
+     * data access and the key increment to the module where key
+     * and datum both live. If key < threshold the request parks
+     * *at the module* — no retry traffic — and is re-serviced
+     * (module-locally) whenever the key changes.
+     */
+    void keyedAccess(ProcId who, SyncVarId key, SyncWord threshold,
+                     WaitHandler on_done);
+
+    /** Combined keyed accesses serviced. */
+    std::uint64_t keyedOps() const
+    {
+        return static_cast<std::uint64_t>(keyedOpsStat.value());
+    }
+
+    /** Module-local retries of parked keyed requests. */
+    std::uint64_t keyedRetries() const
+    {
+        return static_cast<std::uint64_t>(keyedRetriesStat.value());
+    }
+
+    void dumpStats(std::ostream &os) const override;
+
+  private:
+    struct Waiter
+    {
+        ProcId who;
+        SyncWord threshold;
+        Tick started;
+        WaitHandler onDone;
+    };
+
+    Addr addrOf(SyncVarId var) const;
+    void pollLoop(ProcId who, SyncVarId var, SyncWord threshold,
+                  Tick started, WaitHandler on_done);
+    /** Wake parked cached-spin waiters of `var` to re-fetch. */
+    void invalidate(SyncVarId var);
+    /** Module-side key test + access + increment. */
+    void keyedService(ProcId who, SyncVarId key, SyncWord threshold,
+                      Tick started, WaitHandler on_done);
+    /** Re-test keyed requests parked on `key`. */
+    void wakeKeyed(SyncVarId key);
+
+    EventQueue &eventq;
+    Memory &memory;
+    Addr baseAddr;
+    Tick pollInterval;
+    bool cachedSpin;
+    unsigned numVars = 0;
+
+    std::unordered_map<SyncVarId, std::vector<Waiter>> parked;
+    std::unordered_map<SyncVarId, std::vector<Waiter>> parkedKeyed;
+
+    stats::Scalar pollsStat;
+    stats::Scalar writesStat;
+    stats::Scalar rmwsStat;
+    stats::Scalar keyedOpsStat;
+    stats::Scalar keyedRetriesStat;
+};
+
+/**
+ * Dedicated synchronization registers with broadcast images.
+ *
+ * Reads and spin polls hit the processor-local image at no bus
+ * cost. Writes arbitrate for the synchronization bus and are
+ * broadcast to all images in one bus transaction. A write that is
+ * still waiting for the bus when the same processor writes the same
+ * variable again is overwritten in place (coalesced), because each
+ * later write covers all previous ones — the optimization section 6
+ * describes.
+ */
+class RegisterSyncFabric : public SyncFabric
+{
+  public:
+    /**
+     * @param eq        event queue
+     * @param sync_bus  dedicated broadcast bus
+     * @param capacity  number of hardware registers available
+     * @param coalesce  enable pending-write coalescing
+     */
+    RegisterSyncFabric(EventQueue &eq, Bus &sync_bus, unsigned capacity,
+                       bool coalesce = true);
+
+    FabricKind kind() const override { return FabricKind::registers; }
+
+    SyncVarId allocate(unsigned count, SyncWord init_value) override;
+    unsigned allocated() const override { return numVars; }
+    unsigned capacity() const { return capacity_; }
+
+    void waitGE(ProcId who, SyncVarId var, SyncWord threshold,
+                WaitHandler on_done) override;
+    void read(ProcId who, SyncVarId var, ValueHandler on_done) override;
+    void write(ProcId who, SyncVarId var, SyncWord value,
+               DoneHandler on_done) override;
+    void fetchInc(ProcId who, SyncVarId var,
+                  ValueHandler on_done) override;
+
+    SyncWord peek(SyncVarId var) const override;
+    void poke(SyncVarId var, SyncWord value) override;
+
+    Tick issueCost() const override { return 1; }
+
+    /** Broadcast transactions that actually used the bus. */
+    std::uint64_t broadcasts() const
+    {
+        return static_cast<std::uint64_t>(broadcastsStat.value());
+    }
+
+    /** Writes absorbed into a pending broadcast. */
+    std::uint64_t coalescedWrites() const
+    {
+        return static_cast<std::uint64_t>(coalescedStat.value());
+    }
+
+    void dumpStats(std::ostream &os) const override;
+
+  private:
+    struct Waiter
+    {
+        ProcId who;
+        SyncWord threshold;
+        Tick started;
+        WaitHandler onDone;
+    };
+
+    struct PendingWrite
+    {
+        SyncWord value;
+        bool valid = false;
+    };
+
+    void commit(SyncVarId var, SyncWord value);
+
+    EventQueue &eventq;
+    Bus &syncBus;
+    unsigned capacity_;
+    bool coalesceEnabled;
+    unsigned numVars = 0;
+
+    std::vector<SyncWord> values;
+    std::vector<std::vector<Waiter>> waiters;
+    /** Pending (not yet granted) write per (proc, var). */
+    std::unordered_map<std::uint64_t, PendingWrite> pendingWrites;
+
+    stats::Scalar broadcastsStat;
+    stats::Scalar coalescedStat;
+    stats::Scalar localReadsStat;
+    stats::Scalar wakeupsStat;
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_SYNC_FABRIC_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fundamental simulator types: ticks, identifiers, and the packed
+ * process-counter word used by the process-oriented synchronization
+ * scheme (Su & Yew, ISCA 1989, section 4 and 6).
+ */
+
+#ifndef PSYNC_SIM_TYPES_HH
+#define PSYNC_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace psync {
+namespace sim {
+
+/** Simulated time, in processor clock cycles. */
+using Tick = std::uint64_t;
+
+/** A tick value that compares greater than any reachable time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Identifier of a simulated processor, 0-based. */
+using ProcId = std::uint32_t;
+
+/** Identifier of a synchronization variable within a fabric. */
+using SyncVarId = std::uint32_t;
+
+/** Simulated byte address in the shared memory. */
+using Addr = std::uint64_t;
+
+/** Value type stored in synchronization variables. */
+using SyncWord = std::uint64_t;
+
+/**
+ * Packed process-counter word.
+ *
+ * The paper defines a PC as the pair <owner, step> with the ordering
+ * <w,x> >= <y,z> iff w > y, or w == y and x >= z. Packing the owner
+ * into the upper 32 bits makes that ordering the plain unsigned
+ * 64-bit comparison, which is what a real synchronization register
+ * would implement (section 6: the two fields need not even be
+ * updated simultaneously).
+ */
+class PcWord
+{
+  public:
+    PcWord() = default;
+
+    /** Build a PC word from an (owner, step) pair. */
+    static constexpr SyncWord
+    pack(std::uint32_t owner, std::uint32_t step)
+    {
+        return (static_cast<SyncWord>(owner) << 32) |
+               static_cast<SyncWord>(step);
+    }
+
+    /** Extract the owner (process id) field. */
+    static constexpr std::uint32_t
+    owner(SyncWord word)
+    {
+        return static_cast<std::uint32_t>(word >> 32);
+    }
+
+    /** Extract the step field. */
+    static constexpr std::uint32_t
+    step(SyncWord word)
+    {
+        return static_cast<std::uint32_t>(word & 0xffffffffu);
+    }
+};
+
+} // namespace sim
+} // namespace psync
+
+#endif // PSYNC_SIM_TYPES_HH

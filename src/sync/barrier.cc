@@ -1,0 +1,84 @@
+#include "sync/barrier.hh"
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sync {
+
+CounterBarrier::CounterBarrier(sim::SyncFabric &fabric,
+                               unsigned num_procs)
+    : numProcs_(num_procs)
+{
+    counter_ = fabric.allocate(1, 0);
+    release_ = fabric.allocate(1, 0);
+}
+
+void
+CounterBarrier::emit(sim::Program &prog, unsigned generation) const
+{
+    prog.ops.push_back(sim::Op::mkCtrBarrier(counter_, release_,
+                                             generation, numProcs_));
+}
+
+DisseminationBarrier::DisseminationBarrier(sim::SyncFabric &fabric,
+                                           unsigned num_procs)
+    : numProcs_(num_procs)
+{
+    if (num_procs == 0)
+        sim::fatal("dissemination barrier needs processors");
+    rounds_ = 0;
+    while ((1u << rounds_) < num_procs)
+        ++rounds_;
+    if (rounds_ == 0)
+        rounds_ = 1; // P == 1 still advances its counter
+    base_ = fabric.allocate(num_procs, 0);
+}
+
+void
+DisseminationBarrier::emit(sim::Program &prog, sim::ProcId pid,
+                           unsigned episode) const
+{
+    for (unsigned k = 1; k <= rounds_; ++k) {
+        sim::SyncWord step =
+            static_cast<sim::SyncWord>(episode - 1) * rounds_ + k;
+        unsigned dist = 1u << (k - 1);
+        // Signal my own counter, wait for the processor `dist`
+        // behind me (mod P) to have signalled this round.
+        sim::ProcId behind =
+            (pid + numProcs_ - (dist % numProcs_)) % numProcs_;
+        prog.ops.push_back(sim::Op::mkWrite(pcVarOf(pid), step));
+        prog.ops.push_back(
+            sim::Op::mkWaitGE(pcVarOf(behind), step));
+    }
+}
+
+ButterflyBarrier::ButterflyBarrier(sim::SyncFabric &fabric,
+                                   unsigned num_procs)
+    : numProcs_(num_procs)
+{
+    if (num_procs == 0 || (num_procs & (num_procs - 1)) != 0)
+        sim::fatal("butterfly barrier needs a power-of-two processor "
+                   "count, got %u", num_procs);
+    stages_ = 0;
+    for (unsigned p = num_procs; p > 1; p >>= 1)
+        ++stages_;
+    base_ = fabric.allocate(num_procs, 0);
+}
+
+void
+ButterflyBarrier::emit(sim::Program &prog, sim::ProcId pid,
+                       unsigned episode) const
+{
+    for (unsigned i = 1; i <= stages_; ++i) {
+        sim::SyncWord step =
+            static_cast<sim::SyncWord>(episode - 1) * stages_ + i;
+        // set_PC(step) on my own counter, then wait for my partner
+        // in this stage: while (PC[pid xor 2^(i-1)].step < step).
+        prog.ops.push_back(sim::Op::mkWrite(pcVarOf(pid), step));
+        sim::ProcId partner = pid ^ (1u << (i - 1));
+        prog.ops.push_back(sim::Op::mkWaitGE(pcVarOf(partner), step));
+    }
+}
+
+} // namespace sync
+} // namespace psync

@@ -1,0 +1,214 @@
+#include "sync/instance_based.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sync {
+
+SchemePlan
+InstanceBasedScheme::plan(const dep::DepGraph &graph,
+                          const dep::DataLayout &layout,
+                          sim::SyncFabric &fabric,
+                          const SchemeConfig &cfg)
+{
+    graph_ = &graph;
+    layout_ = &layout;
+    cfg_ = cfg;
+
+    const dep::Loop &loop = graph.loop();
+    for (const dep::Statement &stmt : loop.body) {
+        if (stmt.guard.conditional()) {
+            sim::fatal("instance-based scheme does not support "
+                       "branch-guarded statements (needs reaching "
+                       "definitions across renamed instances)");
+        }
+    }
+
+    const long m = loop.innerTrip();
+    std::uint64_t iterations = loop.iterations();
+
+    // Enumerate write slots.
+    slotOf_.assign(loop.body.size(), {});
+    readSrc_.assign(loop.body.size(), {});
+    for (unsigned s = 0; s < loop.body.size(); ++s) {
+        slotOf_[s].assign(loop.body[s].refs.size(), -1);
+        readSrc_[s].assign(loop.body[s].refs.size(), ReadSource{});
+        for (unsigned r = 0; r < loop.body[s].refs.size(); ++r) {
+            if (loop.body[s].refs[r].isWrite) {
+                slotOf_[s][r] = static_cast<int>(writeSlots_.size());
+                WriteSlot slot;
+                slot.stmt = s;
+                slot.ref = r;
+                writeSlots_.push_back(slot);
+            }
+        }
+    }
+
+    // Flow dependences (covered ones included: renaming gives each
+    // value its own key, there is no transitive covering here).
+    // Attach each to its producing write slot and consuming read.
+    for (const dep::Dep &d : graph.crossIteration()) {
+        if (d.type != dep::DepType::flow)
+            continue;
+        int slot = slotOf_[d.src][d.srcRef];
+        if (slot < 0)
+            sim::panic("flow dep source ref is not a write");
+        ReadSource &rs = readSrc_[d.dst][d.dstRef];
+        long dist = d.linearDistance(m);
+        if (rs.hasDep && rs.distance <= dist) {
+            // Keep the nearest preceding writer: it is the one
+            // whose value actually reaches this read. Farther flow
+            // arcs to the same read are artifacts of the
+            // conservative pairwise analysis and need no ordering
+            // once the value is renamed.
+            continue;
+        }
+        rs.hasDep = true;
+        rs.distance = dist;
+        rs.slot = static_cast<unsigned>(slot);
+        rs.dep = d;
+    }
+
+    // Second pass: register each resolved read with its slot.
+    for (unsigned s = 0; s < loop.body.size(); ++s) {
+        for (unsigned r = 0; r < loop.body[s].refs.size(); ++r) {
+            ReadSource &rs = readSrc_[s][r];
+            if (!rs.hasDep)
+                continue;
+            WriteSlot &slot = writeSlots_[rs.slot];
+            rs.readerIndex =
+                static_cast<unsigned>(slot.readers.size());
+            slot.readers.push_back(rs.dep);
+        }
+    }
+
+    // Lay out keys and copies per iteration.
+    keysPerIter_ = 0;
+    copiesPerIter_ = 0;
+    for (WriteSlot &slot : writeSlots_) {
+        slot.keys = static_cast<unsigned>(slot.readers.size());
+        slot.copies = std::max(1u, slot.keys);
+        slot.keyOffset = keysPerIter_;
+        slot.copyOffset = copiesPerIter_;
+        keysPerIter_ += slot.keys;
+        copiesPerIter_ += slot.copies;
+    }
+
+    std::uint64_t num_keys = keysPerIter_ * iterations;
+    keyBase_ = fabric.allocate(static_cast<unsigned>(num_keys), 0);
+
+    // Renamed copies live in their own region above the arrays.
+    copyRegionBase_ = sim::Addr(1) << 36;
+
+    SchemePlan result;
+    result.numSyncVars = num_keys;
+    // Full/empty bits: one bit per key.
+    result.syncStorageBytes = (num_keys + 7) / 8;
+    result.renamedStorageBytes = copiesPerIter_ * iterations * 8;
+    result.initWrites = num_keys;
+    // Only the resolved flow dependences are guaranteed; farther
+    // flow arcs to an already-resolved read carry no value and no
+    // ordering after renaming.
+    std::vector<dep::Dep> verified;
+    for (const WriteSlot &slot : writeSlots_) {
+        for (const dep::Dep &d : slot.readers)
+            verified.push_back(d);
+    }
+    result.depsVerified = std::move(verified);
+    return result;
+}
+
+sim::SyncVarId
+InstanceBasedScheme::keyVarOf(std::uint64_t writer_lpid, unsigned slot,
+                              unsigned reader_index) const
+{
+    return keyBase_ + static_cast<sim::SyncVarId>(
+        (writer_lpid - 1) * keysPerIter_ +
+        writeSlots_[slot].keyOffset + reader_index);
+}
+
+sim::Addr
+InstanceBasedScheme::copyAddrOf(std::uint64_t writer_lpid,
+                                unsigned slot,
+                                unsigned reader_index) const
+{
+    unsigned copy_index =
+        std::min(reader_index, writeSlots_[slot].copies - 1);
+    return copyRegionBase_ +
+           ((writer_lpid - 1) * copiesPerIter_ +
+            writeSlots_[slot].copyOffset + copy_index) * 8;
+}
+
+sim::Program
+InstanceBasedScheme::emit(std::uint64_t lpid) const
+{
+    const dep::Loop &loop = graph_->loop();
+    sim::Program prog;
+    prog.iter = lpid;
+    long i = 0, j = 0;
+    loop.indicesOf(lpid, i, j);
+
+    for (unsigned s = 0; s < loop.body.size(); ++s) {
+        const dep::Statement &stmt = loop.body[s];
+        prog.ops.push_back(sim::Op::mkStmtStart(s));
+
+        // Reads: wait full on the renamed copy, or read the
+        // original element when no in-bounds producer exists
+        // (loop boundaries come out naturally).
+        for (unsigned r = 0; r < stmt.refs.size(); ++r) {
+            const dep::ArrayRef &ref = stmt.refs[r];
+            if (ref.isWrite)
+                continue;
+            const ReadSource &rs = readSrc_[s][r];
+            bool has_producer =
+                rs.hasDep &&
+                static_cast<std::uint64_t>(rs.distance) < lpid;
+            if (has_producer) {
+                std::uint64_t w = lpid - rs.distance;
+                prog.ops.push_back(sim::Op::mkWaitGE(
+                    keyVarOf(w, rs.slot, rs.readerIndex), 1));
+                prog.ops.push_back(sim::Op::mkData(
+                    false, copyAddrOf(w, rs.slot, rs.readerIndex),
+                    s, static_cast<std::uint16_t>(r)));
+            } else {
+                prog.ops.push_back(sim::Op::mkData(
+                    false, layout_->addrOf(ref, i, j), s,
+                    static_cast<std::uint16_t>(r)));
+            }
+        }
+
+        if (stmt.cost > 0)
+            prog.ops.push_back(sim::Op::mkCompute(stmt.cost));
+
+        // Writes: store every copy of the renamed instance; no
+        // waiting — anti and output dependences are gone.
+        for (unsigned r = 0; r < stmt.refs.size(); ++r) {
+            if (!stmt.refs[r].isWrite)
+                continue;
+            unsigned slot = static_cast<unsigned>(slotOf_[s][r]);
+            for (unsigned c = 0; c < writeSlots_[slot].copies; ++c) {
+                prog.ops.push_back(sim::Op::mkData(
+                    true, copyAddrOf(lpid, slot, c), s,
+                    static_cast<std::uint16_t>(r)));
+            }
+        }
+        prog.ops.push_back(sim::Op::mkStmtEnd(s));
+
+        // Signals: set every reader's key to full.
+        for (unsigned r = 0; r < stmt.refs.size(); ++r) {
+            if (!stmt.refs[r].isWrite)
+                continue;
+            unsigned slot = static_cast<unsigned>(slotOf_[s][r]);
+            for (unsigned k = 0; k < writeSlots_[slot].keys; ++k) {
+                prog.ops.push_back(sim::Op::mkWrite(
+                    keyVarOf(lpid, slot, k), 1));
+            }
+        }
+    }
+    return prog;
+}
+
+} // namespace sync
+} // namespace psync

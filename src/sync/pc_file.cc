@@ -1,0 +1,21 @@
+#include "sync/pc_file.hh"
+
+#include "sim/logging.hh"
+
+namespace psync {
+namespace sync {
+
+PcFile::PcFile(sim::SyncFabric &fabric, unsigned num_pcs)
+    : numPcs_(num_pcs)
+{
+    if (num_pcs == 0)
+        sim::fatal("PC file needs at least one counter");
+    base_ = fabric.allocate(num_pcs, 0);
+    for (unsigned v = 0; v < num_pcs; ++v) {
+        std::uint32_t first_owner = (v == 0) ? num_pcs : v;
+        fabric.poke(base_ + v, sim::PcWord::pack(first_owner, 0));
+    }
+}
+
+} // namespace sync
+} // namespace psync

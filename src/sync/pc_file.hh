@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A raw file of process counters for hand-transformed loops.
+ *
+ * The section 5 examples (pipelined relaxation, nested loops, FFT
+ * phases) use the process-oriented primitives directly on X folded
+ * PCs rather than going through the generic Doacross codegen. This
+ * helper owns the allocation and initialization of the PC block and
+ * builds the primitive ops with the right <owner, step> encodings.
+ */
+
+#ifndef PSYNC_SYNC_PC_FILE_HH
+#define PSYNC_SYNC_PC_FILE_HH
+
+#include "sim/program.hh"
+#include "sim/sync_fabric.hh"
+
+namespace psync {
+namespace sync {
+
+/** X folded process counters plus primitive-op builders. */
+class PcFile
+{
+  public:
+    /**
+     * Allocate and initialize X PCs on `fabric`: PC[i mod X] starts
+     * owned by process i for the first X processes (1-based pids).
+     */
+    PcFile(sim::SyncFabric &fabric, unsigned num_pcs);
+
+    unsigned numPcs() const { return numPcs_; }
+
+    sim::SyncVarId
+    varOf(std::uint64_t lpid) const
+    {
+        return base_ + static_cast<sim::SyncVarId>(lpid % numPcs_);
+    }
+
+    /** wait_PC(dist, step) issued by process `lpid`. */
+    sim::Op
+    opWait(std::uint64_t lpid, std::uint64_t dist,
+           std::uint32_t step) const
+    {
+        std::uint64_t src = lpid - dist;
+        return sim::Op::mkWaitGE(
+            varOf(src),
+            sim::PcWord::pack(static_cast<std::uint32_t>(src), step));
+    }
+
+    /** get_PC() for process `lpid` (basic primitives). */
+    sim::Op
+    opGet(std::uint64_t lpid) const
+    {
+        return sim::Op::mkWaitGE(
+            varOf(lpid),
+            sim::PcWord::pack(static_cast<std::uint32_t>(lpid), 0));
+    }
+
+    /** set_PC(step) for process `lpid` (basic primitives). */
+    sim::Op
+    opSet(std::uint64_t lpid, std::uint32_t step) const
+    {
+        return sim::Op::mkWrite(
+            varOf(lpid),
+            sim::PcWord::pack(static_cast<std::uint32_t>(lpid), step));
+    }
+
+    /** release_PC() for process `lpid` (basic primitives). */
+    sim::Op
+    opRelease(std::uint64_t lpid) const
+    {
+        return sim::Op::mkWrite(
+            varOf(lpid),
+            sim::PcWord::pack(
+                static_cast<std::uint32_t>(lpid + numPcs_), 0));
+    }
+
+    /** mark_PC(step) for process `lpid` (improved primitives). */
+    sim::Op
+    opMark(std::uint64_t lpid, std::uint32_t step) const
+    {
+        return sim::Op::mkPcMark(
+            varOf(lpid),
+            sim::PcWord::pack(static_cast<std::uint32_t>(lpid), step));
+    }
+
+    /** transfer_PC() for process `lpid` (improved primitives). */
+    sim::Op
+    opTransfer(std::uint64_t lpid) const
+    {
+        return sim::Op::mkPcTransfer(
+            varOf(lpid),
+            sim::PcWord::pack(
+                static_cast<std::uint32_t>(lpid + numPcs_), 0),
+            sim::PcWord::pack(static_cast<std::uint32_t>(lpid), 0));
+    }
+
+  private:
+    sim::SyncVarId base_;
+    unsigned numPcs_;
+};
+
+} // namespace sync
+} // namespace psync
+
+#endif // PSYNC_SYNC_PC_FILE_HH

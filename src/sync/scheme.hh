@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Common interface of the data-synchronization schemes.
+ *
+ * The paper classifies schemes by how synchronization variables are
+ * used (section 3) and proposes the process-oriented scheme
+ * (section 4):
+ *
+ *  - data-oriented / reference-based: one key per datum, access
+ *    order numbers checked against the key (Cedar style);
+ *  - data-oriented / instance-based: one full/empty key (and one
+ *    storage location) per *value instance* after renaming (HEP
+ *    style);
+ *  - statement-oriented: one statement counter per source
+ *    statement, Advance/Await (Alliant FX/8 style);
+ *  - process-oriented: one process counter per iteration, folded
+ *    onto X hardware counters — the paper's contribution, in both
+ *    the basic (Fig. 4.2) and improved (Fig. 4.3) primitive sets.
+ *
+ * A scheme is planned once for a (loop, dependence graph, machine)
+ * triple — allocating its synchronization variables on the
+ * machine's fabric and precomputing whatever order numbers it needs
+ * — and then emits one straight-line Program per iteration.
+ */
+
+#ifndef PSYNC_SYNC_SCHEME_HH
+#define PSYNC_SYNC_SCHEME_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dep/dep_graph.hh"
+#include "dep/loop_ir.hh"
+#include "sim/program.hh"
+#include "sim/sync_fabric.hh"
+
+namespace psync {
+namespace sync {
+
+/** The scheme taxonomy of sections 3 and 4. */
+enum class SchemeKind
+{
+    /** No synchronization: sequential or Doall baseline. */
+    none,
+    /** Data-oriented, reference-based (keys, Fig. 3.1a). */
+    referenceBased,
+    /** Data-oriented, instance-based (full/empty, Fig. 3.1b). */
+    instanceBased,
+    /** Statement counters, Advance/Await (Fig. 3.2). */
+    statementOriented,
+    /** Process counters, basic primitives (Fig. 4.2). */
+    processBasic,
+    /** Process counters, improved primitives (Fig. 4.3). */
+    processImproved,
+};
+
+/** Short printable name of a scheme kind. */
+const char *schemeKindName(SchemeKind kind);
+
+/** Tunables shared by the schemes. */
+struct SchemeConfig
+{
+    /** X: hardware process counters for folding (section 4). */
+    unsigned numPcs = 16;
+
+    /** Statement counters available (Alliant had a small file). */
+    unsigned numScs = 256;
+
+    /**
+     * Per-reference, per-nest-depth compute cycles data-oriented
+     * schemes spend testing loop boundaries in nested loops
+     * (the O(r*d) overhead of section 5, Example 2).
+     */
+    sim::Tick boundaryCheckCost = 2;
+
+    /**
+     * Process/statement schemes on nested loops: test loop
+     * boundaries in software and skip the waits linearization
+     * manufactures (Fig. 5.2, dashed arcs), paying the same
+     * O(r*d)-per-iteration check the data-oriented schemes pay.
+     * Off (the paper's choice) enforces the extra arcs instead:
+     * "some parallelism may be lost from these extra dependences,
+     * but the complexity of detecting boundaries is avoided."
+     */
+    bool exactBoundaries = false;
+
+    /**
+     * Reference-based scheme only: combine the key test, data
+     * access and key increment into one memory-module request
+     * serviced by a Cedar-style synchronization processor
+     * (section 3.1, [26]) instead of a wait / access / increment
+     * transaction triple.
+     */
+    bool cedarCombining = false;
+
+    /**
+     * Emit signals of branch-untaken sources as early as possible
+     * (the Fig. 5.3 placement); when false they are deferred to
+     * the end of the iteration, the naive placement E7 compares
+     * against.
+     */
+    bool earlyBranchSignals = true;
+};
+
+/** Static characteristics of a planned scheme (benches report). */
+struct SchemePlan
+{
+    /** Synchronization variables allocated. */
+    std::uint64_t numSyncVars = 0;
+
+    /** Bytes of synchronization state (keys, counters). */
+    std::uint64_t syncStorageBytes = 0;
+
+    /** Extra data storage for renamed instances (instance-based). */
+    std::uint64_t renamedStorageBytes = 0;
+
+    /** Writes needed to initialize the synchronization state. */
+    std::uint64_t initWrites = 0;
+
+    /**
+     * Dependences the scheme guarantees; the trace checker
+     * verifies exactly these after a run.
+     */
+    std::vector<dep::Dep> depsVerified;
+};
+
+/** A data-synchronization scheme (strategy object). */
+class Scheme
+{
+  public:
+    virtual ~Scheme() = default;
+
+    virtual SchemeKind kind() const = 0;
+
+    /** Short name for tables ("process-basic", "reference", ...). */
+    std::string name() const { return schemeKindName(kind()); }
+
+    /**
+     * Allocate synchronization variables on `fabric` and precompute
+     * per-iteration emission state for `graph`'s loop.
+     * Must be called exactly once per scheme instance.
+     */
+    virtual SchemePlan plan(const dep::DepGraph &graph,
+                            const dep::DataLayout &layout,
+                            sim::SyncFabric &fabric,
+                            const SchemeConfig &cfg) = 0;
+
+    /** Emit the transformed program of iteration `lpid` (1-based). */
+    virtual sim::Program emit(std::uint64_t lpid) const = 0;
+};
+
+/** Factory over the taxonomy. */
+std::unique_ptr<Scheme> makeScheme(SchemeKind kind);
+
+/** All kinds that actually synchronize (for sweeps). */
+std::vector<SchemeKind> allSyncSchemes();
+
+/**
+ * Shared emission helper: append the body of statement `stmt_idx`
+ * of `loop` at iteration (i, j) — reads, compute, writes — wrapped
+ * in stmtStart/stmtEnd markers. Used by every scheme.
+ */
+void emitStatementBody(const dep::Loop &loop, unsigned stmt_idx,
+                       long i, long j, const dep::DataLayout &layout,
+                       sim::Program &out);
+
+} // namespace sync
+} // namespace psync
+
+#endif // PSYNC_SYNC_SCHEME_HH

@@ -1,0 +1,86 @@
+#include "workloads/branches.hh"
+
+namespace psync {
+namespace workloads {
+
+namespace {
+
+dep::ArrayRef
+ref1(const char *array, long offset, bool is_write)
+{
+    dep::ArrayRef ref;
+    ref.array = array;
+    ref.subs = {dep::Subscript{1, 0, offset}};
+    ref.isWrite = is_write;
+    return ref;
+}
+
+} // namespace
+
+dep::Loop
+makeBranchLoop(long n, double taken_prob, sim::Tick stmt_cost,
+               sim::Tick arm_cost, sim::Tick tail_cost,
+               std::uint64_t seed)
+{
+    dep::Loop loop;
+    loop.name = "branches";
+    loop.depth = 1;
+    loop.outer = {1, n};
+    loop.branchProb = {taken_prob};
+    loop.seed = seed;
+
+    // Sinks come first so they reach their waits quickly; the
+    // guarded sources sit mid-body; a heavy unguarded statement
+    // separates them from the last source, so a deferred signal
+    // (covered only by the final transfer) keeps sinks waiting
+    // through the tail, while the early placement releases them at
+    // the branch.
+    dep::Statement s1; // sink of the taken-arm source, d = 2
+    s1.label = "S1";
+    s1.cost = stmt_cost;
+    s1.refs = {ref1("B", -2, false)};
+    loop.body.push_back(s1);
+
+    dep::Statement s2; // sink of the untaken-arm source, d = 3
+    s2.label = "S2";
+    s2.cost = stmt_cost;
+    s2.refs = {ref1("C", -3, false)};
+    loop.body.push_back(s2);
+
+    dep::Statement s3; // unconditional source+sink: A[I] = A[I-1]
+    s3.label = "S3";
+    s3.cost = stmt_cost;
+    s3.refs = {ref1("A", -1, false), ref1("A", 0, true)};
+    loop.body.push_back(s3);
+
+    dep::Statement s4; // taken arm: B[I] = ...
+    s4.label = "S4";
+    s4.cost = arm_cost;
+    s4.refs = {ref1("B", 0, true)};
+    s4.guard = dep::Guard{0, true};
+    loop.body.push_back(s4);
+
+    dep::Statement s5; // else arm: C[I] = ...
+    s5.label = "S5";
+    s5.cost = arm_cost;
+    s5.refs = {ref1("C", 0, true)};
+    s5.guard = dep::Guard{0, false};
+    loop.body.push_back(s5);
+
+    dep::Statement s6; // heavy tail between the arms and the last
+                       // source
+    s6.label = "S6";
+    s6.cost = tail_cost;
+    loop.body.push_back(s6);
+
+    dep::Statement s7; // last source: E[I] = E[I-1] ...
+    s7.label = "S7";
+    s7.cost = stmt_cost;
+    s7.refs = {ref1("E", -1, false), ref1("E", 0, true)};
+    loop.body.push_back(s7);
+
+    return loop;
+}
+
+} // namespace workloads
+} // namespace psync

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Example 3: dependence sources inside branches.
+ *
+ *   DO I = 1, N
+ *     S1: ... = B[I-2]               (sink of the taken-arm source)
+ *     S2: ... = C[I-3]               (sink of the else-arm source)
+ *     S3: A[I] = A[I-1]              (unconditional source+sink)
+ *     IF (cond(I)) THEN
+ *       S4: B[I] = ...               (source on the taken arm)
+ *     ELSE
+ *       S5: C[I] = ...               (source on the else arm)
+ *     END IF
+ *     S6: heavy unguarded work
+ *     S7: E[I] = E[I-1]              (last source)
+ *
+ * Whichever arm executes, the synchronization state of *both*
+ * guarded sources must advance so the sinks two and three
+ * iterations later can proceed. The paper's point (Fig. 5.3) is
+ * that the untaken source's step should be marked as early as
+ * possible: deferring it until the final transfer (after the heavy
+ * S6) keeps the sinks spinning through work that has nothing to do
+ * with them.
+ */
+
+#ifndef PSYNC_WORKLOADS_BRANCHES_HH
+#define PSYNC_WORKLOADS_BRANCHES_HH
+
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace workloads {
+
+/**
+ * Build the branch workload.
+ * @param n           trip count
+ * @param taken_prob  probability the S4 arm is taken
+ * @param stmt_cost   compute cycles of the plain statements
+ * @param arm_cost    compute cycles of each guarded statement
+ * @param tail_cost   compute cycles of the unguarded tail S6
+ */
+dep::Loop makeBranchLoop(long n, double taken_prob,
+                         sim::Tick stmt_cost = 6,
+                         sim::Tick arm_cost = 24,
+                         sim::Tick tail_cost = 48,
+                         std::uint64_t seed = 23);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_BRANCHES_HH

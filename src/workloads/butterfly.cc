@@ -1,0 +1,74 @@
+#include "workloads/butterfly.hh"
+
+#include "sim/rng.hh"
+
+namespace psync {
+namespace workloads {
+
+namespace {
+
+sim::Tick
+episodeWork(const BarrierSpec &spec, unsigned pid, unsigned episode)
+{
+    if (spec.workJitter == 0)
+        return spec.workCost;
+    sim::Rng rng(spec.seed + pid * 7919u + episode * 104729u);
+    return spec.workCost + (rng.chance(0.5) ? spec.workJitter : 0);
+}
+
+template <typename EmitBarrier>
+std::vector<std::vector<sim::Program>>
+buildCommon(const BarrierSpec &spec, EmitBarrier emit_barrier)
+{
+    std::vector<std::vector<sim::Program>> per_proc(spec.numProcs);
+    for (unsigned pid = 0; pid < spec.numProcs; ++pid) {
+        sim::Program prog;
+        prog.iter = pid + 1;
+        for (unsigned e = 1; e <= spec.episodes; ++e) {
+            prog.ops.push_back(
+                sim::Op::mkCompute(episodeWork(spec, pid, e)));
+            emit_barrier(prog, pid, e);
+        }
+        per_proc[pid].push_back(std::move(prog));
+    }
+    return per_proc;
+}
+
+} // namespace
+
+std::vector<std::vector<sim::Program>>
+buildButterflyPrograms(const sync::ButterflyBarrier &barrier,
+                       const BarrierSpec &spec)
+{
+    return buildCommon(spec, [&barrier](sim::Program &prog,
+                                        unsigned pid,
+                                        unsigned episode) {
+        barrier.emit(prog, pid, episode);
+    });
+}
+
+std::vector<std::vector<sim::Program>>
+buildCounterBarrierPrograms(const sync::CounterBarrier &barrier,
+                            const BarrierSpec &spec)
+{
+    return buildCommon(spec, [&barrier](sim::Program &prog,
+                                        unsigned pid,
+                                        unsigned episode) {
+        (void)pid;
+        barrier.emit(prog, episode);
+    });
+}
+
+std::vector<std::vector<sim::Program>>
+buildDisseminationPrograms(const sync::DisseminationBarrier &barrier,
+                           const BarrierSpec &spec)
+{
+    return buildCommon(spec, [&barrier](sim::Program &prog,
+                                        unsigned pid,
+                                        unsigned episode) {
+        barrier.emit(prog, pid, episode);
+    });
+}
+
+} // namespace workloads
+} // namespace psync

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Example 4: barrier workloads — repeated barrier episodes with
+ * optional per-processor work jitter between them, comparing the
+ * butterfly barrier on process counters against the counter-based
+ * hot-spot barrier.
+ */
+
+#ifndef PSYNC_WORKLOADS_BUTTERFLY_HH
+#define PSYNC_WORKLOADS_BUTTERFLY_HH
+
+#include <vector>
+
+#include "sim/program.hh"
+#include "sync/barrier.hh"
+
+namespace psync {
+namespace workloads {
+
+/** Parameters of a barrier stress workload. */
+struct BarrierSpec
+{
+    unsigned numProcs = 8;
+    unsigned episodes = 16;
+    /** Compute cycles between consecutive barriers. */
+    sim::Tick workCost = 32;
+    /** Extra cycles added with probability 1/2, per episode. */
+    sim::Tick workJitter = 0;
+    std::uint64_t seed = 31;
+};
+
+/** Per-processor programs using the butterfly barrier. */
+std::vector<std::vector<sim::Program>>
+buildButterflyPrograms(const sync::ButterflyBarrier &barrier,
+                       const BarrierSpec &spec);
+
+/** Per-processor programs using the counter barrier. */
+std::vector<std::vector<sim::Program>>
+buildCounterBarrierPrograms(const sync::CounterBarrier &barrier,
+                            const BarrierSpec &spec);
+
+/** Per-processor programs using the dissemination barrier. */
+std::vector<std::vector<sim::Program>>
+buildDisseminationPrograms(const sync::DisseminationBarrier &barrier,
+                           const BarrierSpec &spec);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_BUTTERFLY_HH

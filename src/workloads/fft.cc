@@ -1,0 +1,133 @@
+#include "workloads/fft.hh"
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace psync {
+namespace workloads {
+
+unsigned
+fftStages(unsigned num_procs)
+{
+    if (num_procs == 0 || (num_procs & (num_procs - 1)) != 0)
+        sim::fatal("FFT workload needs a power-of-two processor "
+                   "count, got %u", num_procs);
+    unsigned stages = 0;
+    for (unsigned p = num_procs; p > 1; p >>= 1)
+        ++stages;
+    return stages;
+}
+
+namespace {
+
+constexpr sim::Addr chunkRegion = sim::Addr(1) << 34;
+
+sim::Tick
+stageWork(const FftSpec &spec, unsigned pid, unsigned step)
+{
+    if (spec.stageJitter == 0)
+        return spec.stageCost;
+    sim::Rng rng(spec.seed + pid * 7919u + step * 104729u);
+    return spec.stageCost + (rng.chance(0.5) ? spec.stageJitter : 0);
+}
+
+/** Outbox address of (pid, global step, word). */
+sim::Addr
+outboxAddr(const FftSpec &spec, unsigned stages, unsigned pid,
+           unsigned step, unsigned word)
+{
+    return chunkRegion +
+           ((static_cast<sim::Addr>(pid) * (spec.rounds * stages + 1) +
+             step) *
+                spec.exchangeWords +
+            word) *
+               8;
+}
+
+/**
+ * Emit one FFT stage for `pid`: BASIC_FFT, publish the outbox,
+ * synchronize (callback), then read the partner's outbox.
+ */
+template <typename EmitSync>
+void
+emitStage(const FftSpec &spec, unsigned stages, sim::Program &prog,
+          unsigned pid, unsigned round, unsigned stage,
+          EmitSync emit_sync)
+{
+    unsigned step = (round - 1) * stages + stage;
+    unsigned partner = pid ^ (1u << (stage - 1));
+
+    prog.ops.push_back(
+        sim::Op::mkCompute(stageWork(spec, pid, step)));
+    for (unsigned w = 0; w < spec.exchangeWords; ++w) {
+        prog.ops.push_back(sim::Op::mkData(
+            true, outboxAddr(spec, stages, pid, step, w), 0));
+    }
+    emit_sync(prog, pid, step);
+    for (unsigned w = 0; w < spec.exchangeWords; ++w) {
+        prog.ops.push_back(sim::Op::mkData(
+            false, outboxAddr(spec, stages, partner, step, w), 0));
+    }
+}
+
+template <typename EmitSync>
+std::vector<std::vector<sim::Program>>
+buildCommon(const FftSpec &spec, EmitSync emit_sync)
+{
+    unsigned stages = fftStages(spec.numProcs);
+    std::vector<std::vector<sim::Program>> per_proc(spec.numProcs);
+    for (unsigned pid = 0; pid < spec.numProcs; ++pid) {
+        sim::Program prog;
+        prog.iter = pid + 1;
+        for (unsigned round = 1; round <= spec.rounds; ++round) {
+            for (unsigned stage = 1; stage <= stages; ++stage) {
+                emitStage(spec, stages, prog, pid, round, stage,
+                          emit_sync);
+            }
+        }
+        per_proc[pid].push_back(std::move(prog));
+    }
+    return per_proc;
+}
+
+} // namespace
+
+std::vector<std::vector<sim::Program>>
+buildFftPairwise(sim::SyncVarId pc_base, const FftSpec &spec)
+{
+    unsigned stages = fftStages(spec.numProcs);
+    return buildCommon(spec, [pc_base, stages](sim::Program &prog,
+                                               unsigned pid,
+                                               unsigned step) {
+        // mark_PC(step), then spin on the stage partner only.
+        unsigned stage = (step - 1) % stages + 1;
+        unsigned partner = pid ^ (1u << (stage - 1));
+        prog.ops.push_back(sim::Op::mkWrite(pc_base + pid, step));
+        prog.ops.push_back(
+            sim::Op::mkWaitGE(pc_base + partner, step));
+    });
+}
+
+std::vector<std::vector<sim::Program>>
+buildFftButterfly(const sync::ButterflyBarrier &barrier,
+                  const FftSpec &spec)
+{
+    return buildCommon(spec, [&barrier](sim::Program &prog,
+                                        unsigned pid, unsigned step) {
+        barrier.emit(prog, pid, step);
+    });
+}
+
+std::vector<std::vector<sim::Program>>
+buildFftCounter(const sync::CounterBarrier &barrier,
+                const FftSpec &spec)
+{
+    return buildCommon(spec, [&barrier](sim::Program &prog,
+                                        unsigned pid, unsigned step) {
+        (void)pid;
+        barrier.emit(prog, step);
+    });
+}
+
+} // namespace workloads
+} // namespace psync

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Example 5: phases of computation with local communication — an
+ * FFT whose data is partitioned into one chunk per processor. Each
+ * of the log2(P) stages performs BASIC_FFT on the local chunk and
+ * exchanges data with exactly one partner (pid xor 2^(stage-1)),
+ * so after each stage a processor need only synchronize with that
+ * partner instead of joining a global barrier:
+ *
+ *   fft(pid, P):
+ *     load_index(pid)
+ *     do i = 1, log(P)
+ *       BASIC_FFT(pid, i, P)
+ *       mark_PC(i)
+ *       while (PC[pid xor 2^(i-1)].step < i);
+ */
+
+#ifndef PSYNC_WORKLOADS_FFT_HH
+#define PSYNC_WORKLOADS_FFT_HH
+
+#include <vector>
+
+#include "sim/program.hh"
+#include "sim/sync_fabric.hh"
+#include "sync/barrier.hh"
+
+namespace psync {
+namespace workloads {
+
+/** Parameters of the FFT phase workload. */
+struct FftSpec
+{
+    /** Power of two. */
+    unsigned numProcs = 8;
+    /** Compute cycles of BASIC_FFT per stage. */
+    sim::Tick stageCost = 64;
+    /** Extra cycles added with probability 1/2, per stage. */
+    sim::Tick stageJitter = 0;
+    /** Independent FFTs run back to back. */
+    unsigned rounds = 4;
+    /** Shared-memory words exchanged with the partner per stage. */
+    unsigned exchangeWords = 2;
+    std::uint64_t seed = 41;
+};
+
+/** How stage completion is synchronized. */
+enum class FftSync
+{
+    pairwise,        ///< partner-only PC sync (the paper's way)
+    butterflyBarrier,///< full butterfly barrier per stage
+    counterBarrier,  ///< global counter barrier per stage
+};
+
+/**
+ * Build the per-processor FFT programs.
+ *
+ * For `pairwise`, `pc_base` must point at `numProcs` fabric
+ * variables initialized to 0 (one PC per processor; processes equal
+ * processors, so no folding and no ownership transfer is needed).
+ * For the barrier variants pass the corresponding barrier object.
+ */
+std::vector<std::vector<sim::Program>>
+buildFftPairwise(sim::SyncVarId pc_base, const FftSpec &spec);
+
+std::vector<std::vector<sim::Program>>
+buildFftButterfly(const sync::ButterflyBarrier &barrier,
+                  const FftSpec &spec);
+
+std::vector<std::vector<sim::Program>>
+buildFftCounter(const sync::CounterBarrier &barrier,
+                const FftSpec &spec);
+
+/** log2 of the (power-of-two) processor count. */
+unsigned fftStages(unsigned num_procs);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_FFT_HH

@@ -1,0 +1,83 @@
+#include "workloads/fig21.hh"
+
+namespace psync {
+namespace workloads {
+
+namespace {
+
+dep::ArrayRef
+refA(long offset, bool is_write)
+{
+    dep::ArrayRef ref;
+    ref.array = "A";
+    ref.subs.push_back(dep::Subscript{1, 0, offset});
+    ref.isWrite = is_write;
+    return ref;
+}
+
+} // namespace
+
+dep::Loop
+makeFig21Loop(long n, sim::Tick stmt_cost)
+{
+    dep::Loop loop;
+    loop.name = "fig2.1";
+    loop.depth = 1;
+    loop.outer = {1, n};
+
+    dep::Statement s1;
+    s1.label = "S1";
+    s1.cost = stmt_cost;
+    s1.refs.push_back(refA(+3, true));
+    loop.body.push_back(s1);
+
+    dep::Statement s2;
+    s2.label = "S2";
+    s2.cost = stmt_cost;
+    s2.refs.push_back(refA(+1, false));
+    loop.body.push_back(s2);
+
+    dep::Statement s3;
+    s3.label = "S3";
+    s3.cost = stmt_cost;
+    s3.refs.push_back(refA(+2, false));
+    loop.body.push_back(s3);
+
+    dep::Statement s4;
+    s4.label = "S4";
+    s4.cost = stmt_cost;
+    s4.refs.push_back(refA(0, true));
+    loop.body.push_back(s4);
+
+    dep::Statement s5;
+    s5.label = "S5";
+    s5.cost = stmt_cost;
+    s5.refs.push_back(refA(-1, false));
+    loop.body.push_back(s5);
+
+    return loop;
+}
+
+dep::Loop
+makeFig21JitterLoop(long n, sim::Tick stmt_cost, sim::Tick jitter_cost,
+                    double jitter_prob, std::uint64_t seed)
+{
+    dep::Loop loop = makeFig21Loop(n, stmt_cost);
+    loop.name = "fig2.1-jitter";
+    loop.seed = seed;
+    loop.branchProb = {jitter_prob};
+
+    // A guarded, reference-free statement between S1 and S2 models
+    // an occasionally longer execution path in the early part of
+    // the iteration — the "one process delays its release" scenario
+    // of section 4.
+    dep::Statement delay;
+    delay.label = "Sdelay";
+    delay.cost = jitter_cost;
+    delay.guard = dep::Guard{0, true};
+    loop.body.insert(loop.body.begin() + 1, delay);
+    return loop;
+}
+
+} // namespace workloads
+} // namespace psync

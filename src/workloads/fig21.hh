@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's running example: the Fig. 2.1 loop.
+ *
+ *   DO I = 1, N
+ *     S1: A[I+3] = ...
+ *     S2: ...    = A[I+1]
+ *     S3: ...    = A[I+2]
+ *     S4: A[I]   = ...
+ *     S5: ...    = A[I-1]
+ *   END DO
+ *
+ * Its dependence graph (Fig. 2.1b) has flow S1->S2 (d=2),
+ * S1->S3 (d=1), S4->S5 (d=1); anti S2->S4 (d=1), S3->S4 (d=2);
+ * output S1->S4 (d=3), which is covered by S1->S3 and S3->S4.
+ */
+
+#ifndef PSYNC_WORKLOADS_FIG21_HH
+#define PSYNC_WORKLOADS_FIG21_HH
+
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace workloads {
+
+/**
+ * Build the Fig. 2.1 loop.
+ * @param n          trip count
+ * @param stmt_cost  compute cycles per statement
+ */
+dep::Loop makeFig21Loop(long n, sim::Tick stmt_cost = 8);
+
+/**
+ * A jittered variant: statement costs vary pseudo-randomly per
+ * statement instance by up to `jitter` extra cycles, modeled as a
+ * per-iteration guard-free cost perturbation. Used to expose the
+ * statement-oriented scheme's serialization when one process is
+ * delayed (section 4).
+ *
+ * Implementation note: per-instance cost variation is expressed by
+ * splitting each statement's cost between a fixed part and a
+ * branch-guarded extra-cost statement with no references.
+ */
+dep::Loop makeFig21JitterLoop(long n, sim::Tick stmt_cost,
+                              sim::Tick jitter_cost,
+                              double jitter_prob,
+                              std::uint64_t seed = 17);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_FIG21_HH

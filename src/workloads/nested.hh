@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Example 2: a multiply-nested Doacross loop.
+ *
+ *   DO I = 1, N
+ *     DO J = 1, M
+ *       S1: A[I,J] = ...
+ *       S2: B[I,J] = A[I,J-1] ...
+ *       S3: C[I,J] = B[I-1,J-1] ...
+ *
+ * Flow dependences: S1->S2 with distance (0,1) and S2->S3 with
+ * distance (1,1); after implicit coalescing (lpid = (i-1)*M + j)
+ * the linearized distances are 1 and M+1, and the J-boundary
+ * instances become the "extra dependences" (dashed in Fig. 5.2c)
+ * the process-oriented scheme enforces but data-oriented schemes
+ * do not need.
+ */
+
+#ifndef PSYNC_WORKLOADS_NESTED_HH
+#define PSYNC_WORKLOADS_NESTED_HH
+
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace workloads {
+
+/** Build the Example 2 loop. */
+dep::Loop makeNestedLoop(long n, long m, sim::Tick stmt_cost = 8);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_NESTED_HH

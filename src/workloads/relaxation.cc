@@ -1,0 +1,261 @@
+#include "workloads/relaxation.hh"
+
+#include <algorithm>
+
+#include "dep/transform.hh"
+#include "sim/logging.hh"
+
+namespace psync {
+namespace workloads {
+
+dep::Loop
+makeRelaxationLoop(long n, sim::Tick stmt_cost)
+{
+    dep::Loop loop;
+    loop.name = "relaxation";
+    loop.depth = 2;
+    loop.outer = {2, n};
+    loop.inner = {2, n};
+
+    dep::Statement s1;
+    s1.label = "S1";
+    s1.cost = stmt_cost;
+    dep::ArrayRef up;   // A[I-1, J]
+    up.array = "A";
+    up.subs = {dep::Subscript{1, 0, -1}, dep::Subscript{0, 1, 0}};
+    up.isWrite = false;
+    dep::ArrayRef left; // A[I, J-1]
+    left.array = "A";
+    left.subs = {dep::Subscript{1, 0, 0}, dep::Subscript{0, 1, -1}};
+    left.isWrite = false;
+    dep::ArrayRef self; // A[I, J]
+    self.array = "A";
+    self.subs = {dep::Subscript{1, 0, 0}, dep::Subscript{0, 1, 0}};
+    self.isWrite = true;
+    s1.refs = {up, left, self};
+    loop.body.push_back(s1);
+    return loop;
+}
+
+namespace {
+
+/** Emit one relaxation cell, tagged with its pseudo-loop lpid. */
+void
+emitCell(const dep::Loop &loop, const dep::DataLayout &layout, long i,
+         long j, sim::Tick cost, sim::Program &prog)
+{
+    const dep::Statement &stmt = loop.body[0];
+    std::uint64_t tag = loop.lpidOf(i, j);
+
+    sim::Op start = sim::Op::mkStmtStart(0);
+    start.iterTag = tag;
+    prog.ops.push_back(start);
+    for (unsigned r = 0; r < stmt.refs.size(); ++r) {
+        if (stmt.refs[r].isWrite)
+            continue;
+        sim::Op op = sim::Op::mkData(
+            false, layout.addrOf(stmt.refs[r], i, j), 0,
+            static_cast<std::uint16_t>(r));
+        op.iterTag = tag;
+        prog.ops.push_back(op);
+    }
+    if (cost > 0)
+        prog.ops.push_back(sim::Op::mkCompute(cost));
+    for (unsigned r = 0; r < stmt.refs.size(); ++r) {
+        if (!stmt.refs[r].isWrite)
+            continue;
+        sim::Op op = sim::Op::mkData(
+            true, layout.addrOf(stmt.refs[r], i, j), 0,
+            static_cast<std::uint16_t>(r));
+        op.iterTag = tag;
+        prog.ops.push_back(op);
+    }
+    sim::Op end = sim::Op::mkStmtEnd(0);
+    end.iterTag = tag;
+    prog.ops.push_back(end);
+}
+
+} // namespace
+
+std::vector<sim::Program>
+buildPipelinedPrograms(const sync::PcFile &pcs, const dep::Loop &loop,
+                       const dep::DataLayout &layout,
+                       const RelaxationSpec &spec)
+{
+    std::vector<sim::Program> programs;
+    const long num_procs_outer = loop.outer.count();
+    const long j_lo = loop.inner.lo;
+    const long j_hi = loop.inner.hi;
+    const long g = std::max<long>(1, spec.group);
+
+    for (long p = 1; p <= num_procs_outer; ++p) {
+        long i = loop.outer.lo + (p - 1);
+        sim::Program prog;
+        prog.iter = static_cast<std::uint64_t>(p);
+        bool acquired = false;
+
+        for (long k = j_lo; k <= j_hi; k += g) {
+            long k_end = std::min(k + g - 1, j_hi);
+            // wait_PC(1, k): until process i-1 completes group k.
+            if (p > 1) {
+                prog.ops.push_back(pcs.opWait(
+                    static_cast<std::uint64_t>(p), 1,
+                    static_cast<std::uint32_t>(k)));
+            }
+            for (long j = k; j <= k_end; ++j)
+                emitCell(loop, layout, i, j, spec.stmtCost, prog);
+            if (k_end < j_hi) {
+                // mark_PC(k) — not the last group.
+                if (spec.improved) {
+                    prog.ops.push_back(pcs.opMark(
+                        static_cast<std::uint64_t>(p),
+                        static_cast<std::uint32_t>(k)));
+                } else {
+                    if (!acquired) {
+                        prog.ops.push_back(pcs.opGet(
+                            static_cast<std::uint64_t>(p)));
+                        acquired = true;
+                    }
+                    prog.ops.push_back(pcs.opSet(
+                        static_cast<std::uint64_t>(p),
+                        static_cast<std::uint32_t>(k)));
+                }
+            }
+        }
+        // transfer_PC / release_PC after the last group; the
+        // <p+X, 0> value covers every remaining step.
+        if (spec.improved) {
+            prog.ops.push_back(
+                pcs.opTransfer(static_cast<std::uint64_t>(p)));
+        } else {
+            if (!acquired) {
+                prog.ops.push_back(
+                    pcs.opGet(static_cast<std::uint64_t>(p)));
+            }
+            prog.ops.push_back(
+                pcs.opRelease(static_cast<std::uint64_t>(p)));
+        }
+        programs.push_back(std::move(prog));
+    }
+    return programs;
+}
+
+long
+effectiveScGroup(const RelaxationSpec &spec, unsigned avail_scs)
+{
+    long inner = spec.n - 1; // inner.count()
+    long g = std::max<long>(1, spec.group);
+    long groups = (inner + g - 1) / g;
+    if (groups <= static_cast<long>(avail_scs))
+        return g;
+    return (inner + avail_scs - 1) / avail_scs;
+}
+
+unsigned
+requiredScs(const RelaxationSpec &spec, unsigned avail_scs)
+{
+    long inner = spec.n - 1;
+    long g = effectiveScGroup(spec, avail_scs);
+    return static_cast<unsigned>((inner + g - 1) / g);
+}
+
+std::vector<sim::Program>
+buildScPipelinedPrograms(sim::SyncVarId sc_base, unsigned avail_scs,
+                         const dep::Loop &loop,
+                         const dep::DataLayout &layout,
+                         const RelaxationSpec &spec)
+{
+    std::vector<sim::Program> programs;
+    const long num_procs_outer = loop.outer.count();
+    const long j_lo = loop.inner.lo;
+    const long j_hi = loop.inner.hi;
+    const long g = effectiveScGroup(spec, avail_scs);
+
+    for (long p = 1; p <= num_procs_outer; ++p) {
+        long i = loop.outer.lo + (p - 1);
+        sim::Program prog;
+        prog.iter = static_cast<std::uint64_t>(p);
+
+        unsigned group_idx = 0;
+        for (long k = j_lo; k <= j_hi; k += g, ++group_idx) {
+            long k_end = std::min(k + g - 1, j_hi);
+            sim::SyncVarId sc = sc_base + group_idx;
+            // Await(1, group): SC[group] >= p-1.
+            if (p > 1) {
+                prog.ops.push_back(sim::Op::mkWaitGE(
+                    sc, static_cast<sim::SyncWord>(p - 1)));
+            }
+            for (long j = k; j <= k_end; ++j)
+                emitCell(loop, layout, i, j, spec.stmtCost, prog);
+            // Advance(group): wait SC == p-1, then set to p.
+            prog.ops.push_back(sim::Op::mkWaitGE(
+                sc, static_cast<sim::SyncWord>(p - 1)));
+            prog.ops.push_back(sim::Op::mkWrite(
+                sc, static_cast<sim::SyncWord>(p)));
+        }
+        programs.push_back(std::move(prog));
+    }
+    return programs;
+}
+
+namespace {
+
+template <typename EmitBarrier>
+std::vector<std::vector<sim::Program>>
+buildWavefrontCommon(unsigned num_procs, const dep::Loop &loop,
+                     const dep::DataLayout &layout,
+                     const RelaxationSpec &spec,
+                     EmitBarrier emit_barrier)
+{
+    auto fronts = dep::makeWavefronts(loop.outer, loop.inner);
+    std::vector<std::vector<sim::Program>> per_proc(num_procs);
+
+    for (unsigned pid = 0; pid < num_procs; ++pid) {
+        sim::Program prog;
+        prog.iter = pid + 1;
+        for (size_t w = 0; w < fronts.size(); ++w) {
+            const auto &cells = fronts[w];
+            for (size_t c = pid; c < cells.size(); c += num_procs) {
+                emitCell(loop, layout, cells[c].first,
+                         cells[c].second, spec.stmtCost, prog);
+            }
+            emit_barrier(prog, pid, static_cast<unsigned>(w) + 1);
+        }
+        per_proc[pid].push_back(std::move(prog));
+    }
+    return per_proc;
+}
+
+} // namespace
+
+std::vector<std::vector<sim::Program>>
+buildWavefrontPrograms(const sync::ButterflyBarrier &barrier,
+                       unsigned num_procs, const dep::Loop &loop,
+                       const dep::DataLayout &layout,
+                       const RelaxationSpec &spec)
+{
+    return buildWavefrontCommon(
+        num_procs, loop, layout, spec,
+        [&barrier](sim::Program &prog, unsigned pid,
+                   unsigned episode) {
+            barrier.emit(prog, pid, episode);
+        });
+}
+
+std::vector<std::vector<sim::Program>>
+buildWavefrontProgramsCtr(const sync::CounterBarrier &barrier,
+                          unsigned num_procs, const dep::Loop &loop,
+                          const dep::DataLayout &layout,
+                          const RelaxationSpec &spec)
+{
+    return buildWavefrontCommon(
+        num_procs, loop, layout, spec,
+        [&barrier](sim::Program &prog, unsigned pid,
+                   unsigned episode) {
+            (void)pid;
+            barrier.emit(prog, episode);
+        });
+}
+
+} // namespace workloads
+} // namespace psync

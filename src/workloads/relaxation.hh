@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Example 1: a Doacross loop enclosing a serial loop — the
+ * four-point relaxation kernel
+ *
+ *   DO I = 2, N
+ *     DO J = 2, N
+ *       S1: A[I,J] = A[I-1,J] + A[I,J-1]
+ *
+ * executed three ways:
+ *  - asynchronous pipelining (Fig. 5.1d): the outer loop is a
+ *    Doacross, the inner loop runs serially inside each process
+ *    with a wait_PC/mark_PC pair per group of G inner iterations;
+ *  - the wavefront method (Fig. 5.1c): anti-diagonal fronts with a
+ *    barrier between consecutive fronts;
+ *  - a statement-counter pipeline, which needs one SC per inner
+ *    sync point ((N-1)/G of them) and so degrades when the SC file
+ *    is small.
+ */
+
+#ifndef PSYNC_WORKLOADS_RELAXATION_HH
+#define PSYNC_WORKLOADS_RELAXATION_HH
+
+#include <vector>
+
+#include "dep/loop_ir.hh"
+#include "sim/program.hh"
+#include "sim/sync_fabric.hh"
+#include "sync/barrier.hh"
+#include "sync/pc_file.hh"
+
+namespace psync {
+namespace workloads {
+
+/** The relaxation loop as analyzable IR (for deps and layout). */
+dep::Loop makeRelaxationLoop(long n, sim::Tick stmt_cost = 8);
+
+/** Parameters shared by the relaxation program builders. */
+struct RelaxationSpec
+{
+    long n = 32;
+    sim::Tick stmtCost = 8;
+    /** Inner iterations per synchronization (G of Fig. 5.1b). */
+    long group = 1;
+    /** Improved (mark/transfer) vs basic (set/release) primitives. */
+    bool improved = true;
+};
+
+/**
+ * Asynchronous pipelined programs, one per outer iteration
+ * (process p = i-1, 1-based). Access tags use the lpids of
+ * makeRelaxationLoop for trace checking.
+ */
+std::vector<sim::Program>
+buildPipelinedPrograms(const sync::PcFile &pcs, const dep::Loop &loop,
+                       const dep::DataLayout &layout,
+                       const RelaxationSpec &spec);
+
+/**
+ * Statement-counter pipelined programs: one SC per group of inner
+ * iterations, at most `avail_scs` of them (the group size grows to
+ * fit — the paper's "performs poorly when the number of SC's is
+ * limited"). `sc_base` must point at ceil((N-1)/group') counters
+ * allocated by the caller via requiredScs().
+ */
+std::vector<sim::Program>
+buildScPipelinedPrograms(sim::SyncVarId sc_base, unsigned avail_scs,
+                         const dep::Loop &loop,
+                         const dep::DataLayout &layout,
+                         const RelaxationSpec &spec);
+
+/** Statement counters the SC pipeline will use for a given spec. */
+unsigned requiredScs(const RelaxationSpec &spec, unsigned avail_scs);
+
+/** Effective group size the SC pipeline is forced to. */
+long effectiveScGroup(const RelaxationSpec &spec, unsigned avail_scs);
+
+/**
+ * Wavefront programs, one list per processor: each front's cells
+ * are dealt round-robin over P processors and a barrier episode
+ * separates consecutive fronts.
+ */
+std::vector<std::vector<sim::Program>>
+buildWavefrontPrograms(const sync::ButterflyBarrier &barrier,
+                       unsigned num_procs, const dep::Loop &loop,
+                       const dep::DataLayout &layout,
+                       const RelaxationSpec &spec);
+
+/** Wavefront with the hot-spot counter barrier instead. */
+std::vector<std::vector<sim::Program>>
+buildWavefrontProgramsCtr(const sync::CounterBarrier &barrier,
+                          unsigned num_procs, const dep::Loop &loop,
+                          const dep::DataLayout &layout,
+                          const RelaxationSpec &spec);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_RELAXATION_HH

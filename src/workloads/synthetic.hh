@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Synthetic Doacross loops: randomly generated statement lists
+ * with constant-distance array references, used by the property
+ * tests (every scheme must synchronize every generated loop
+ * correctly) and by scaling benches.
+ */
+
+#ifndef PSYNC_WORKLOADS_SYNTHETIC_HH
+#define PSYNC_WORKLOADS_SYNTHETIC_HH
+
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace workloads {
+
+/** Shape of a generated loop. */
+struct SyntheticSpec
+{
+    long n = 64;
+    unsigned numStatements = 4;
+    unsigned numArrays = 2;
+    /** Subscript offsets drawn from [-maxOffset, +maxOffset]. */
+    int maxOffset = 3;
+    /** Probability each reference is a write. */
+    double writeProb = 0.4;
+    sim::Tick minCost = 2;
+    sim::Tick maxCost = 12;
+    /** Probability a statement is guarded by a branch. */
+    double guardProb = 0.0;
+    /** Taken probability of each branch. */
+    double takenProb = 0.5;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a random depth-1 Doacross loop. */
+dep::Loop makeSyntheticLoop(const SyntheticSpec &spec);
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_SYNTHETIC_HH

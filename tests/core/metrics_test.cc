@@ -1,0 +1,83 @@
+/** @file RunResult aggregation and derived ratios. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hh"
+#include "core/runtime.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+TEST(MetricsTest, AggregatesAcrossProcessors)
+{
+    sim::MachineConfig mc;
+    mc.numProcs = 3;
+    mc.fabric = sim::FabricKind::registers;
+    sim::Machine machine(mc);
+
+    std::vector<std::vector<sim::Program>> progs(3);
+    for (unsigned p = 0; p < 3; ++p) {
+        progs[p].resize(1);
+        progs[p][0].iter = p + 1;
+        progs[p][0].ops = {sim::Op::mkCompute(10 * (p + 1))};
+    }
+    auto r = core::runPerProcessorPrograms(machine, progs);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.numProcs, 3u);
+    EXPECT_EQ(r.computeCycles, 60u);
+    EXPECT_EQ(r.cycles, 30u);
+    EXPECT_DOUBLE_EQ(r.utilization(), 60.0 / 90.0);
+}
+
+TEST(MetricsTest, SpeedupOverSequential)
+{
+    core::RunResult r;
+    r.cycles = 100;
+    EXPECT_DOUBLE_EQ(r.speedupOver(400), 4.0);
+    core::RunResult zero;
+    EXPECT_DOUBLE_EQ(zero.speedupOver(400), 0.0);
+}
+
+TEST(MetricsTest, FabricCountersLandInResult)
+{
+    dep::Loop loop = workloads::makeFig21Loop(32);
+    core::RunConfig cfg;
+    cfg.machine.numProcs = 4;
+    cfg.machine.fabric = sim::FabricKind::registers;
+
+    auto reg = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(reg.run.completed);
+    EXPECT_GT(reg.run.syncBusBroadcasts, 0u);
+    EXPECT_EQ(reg.run.syncMemPolls, 0u);
+
+    cfg.machine.fabric = sim::FabricKind::memory;
+    auto mem = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(mem.run.completed);
+    EXPECT_EQ(mem.run.syncBusBroadcasts, 0u);
+    EXPECT_GT(mem.run.syncMemPolls, 0u);
+}
+
+TEST(MetricsTest, PrintResultEmitsRow)
+{
+    core::RunResult r;
+    r.cycles = 1234;
+    r.numProcs = 4;
+    r.computeCycles = 2000;
+    std::ostringstream os;
+    core::printResult(os, "test-row", r);
+    EXPECT_NE(os.str().find("test-row"), std::string::npos);
+    EXPECT_NE(os.str().find("1234"), std::string::npos);
+}
+
+TEST(MetricsTest, IncompleteRunFlagged)
+{
+    core::RunResult r;
+    r.completed = false;
+    std::ostringstream os;
+    core::printResult(os, "dead", r);
+    EXPECT_NE(os.str().find("DEADLOCK"), std::string::npos);
+}

@@ -1,0 +1,124 @@
+/** @file Chunked and guided self-scheduling policies. */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/fig21.hh"
+#include "workloads/synthetic.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+config(core::SchedulePolicy policy, std::uint64_t chunk = 4)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = 4;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 1024;
+    cfg.schedule = policy;
+    cfg.chunkSize = chunk;
+    cfg.tickLimit = 50000000;
+    return cfg;
+}
+
+} // namespace
+
+class SchedulingPolicyTest
+    : public ::testing::TestWithParam<core::SchedulePolicy>
+{
+};
+
+TEST_P(SchedulingPolicyTest, CorrectAndComplete)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    for (auto kind : {sync::SchemeKind::processBasic,
+                      sync::SchemeKind::processImproved,
+                      sync::SchemeKind::statementOriented}) {
+        auto r = core::runDoacross(loop, kind, config(GetParam()));
+        ASSERT_TRUE(r.run.completed)
+            << sync::schemeKindName(kind);
+        EXPECT_EQ(r.run.programsRun, 64u);
+        EXPECT_TRUE(r.correct())
+            << sync::schemeKindName(kind) << ": "
+            << (r.violations.empty() ? "" : r.violations.front());
+    }
+}
+
+TEST_P(SchedulingPolicyTest, RandomLoopsCorrect)
+{
+    for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+        workloads::SyntheticSpec spec;
+        spec.seed = seed;
+        spec.n = 40;
+        dep::Loop loop = workloads::makeSyntheticLoop(spec);
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::processImproved,
+            config(GetParam()));
+        ASSERT_TRUE(r.run.completed) << "seed=" << seed;
+        EXPECT_TRUE(r.correct()) << "seed=" << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, SchedulingPolicyTest,
+    ::testing::Values(core::SchedulePolicy::selfScheduling,
+                      core::SchedulePolicy::chunkedSelfScheduling,
+                      core::SchedulePolicy::guidedSelfScheduling,
+                      core::SchedulePolicy::staticCyclic),
+    [](const ::testing::TestParamInfo<core::SchedulePolicy> &info) {
+        return core::schedulePolicyName(info.param);
+    });
+
+TEST(SchedulingTest, ChunkingCutsDispatchTraffic)
+{
+    dep::Loop loop = workloads::makeFig21Loop(128);
+    auto fine = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(core::SchedulePolicy::selfScheduling));
+    auto chunked = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(core::SchedulePolicy::chunkedSelfScheduling, 8));
+    ASSERT_TRUE(fine.run.completed);
+    ASSERT_TRUE(chunked.run.completed);
+    // One RMW per chunk of 8 instead of per iteration.
+    EXPECT_LT(chunked.run.memAccesses + 100, fine.run.memAccesses);
+}
+
+TEST(SchedulingTest, ChunkSizeOneEqualsSelfScheduling)
+{
+    dep::Loop loop = workloads::makeFig21Loop(48);
+    auto a = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(core::SchedulePolicy::selfScheduling));
+    auto b = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(core::SchedulePolicy::chunkedSelfScheduling, 1));
+    ASSERT_TRUE(a.run.completed);
+    ASSERT_TRUE(b.run.completed);
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.memAccesses, b.run.memAccesses);
+}
+
+TEST(SchedulingTest, GuidedClaimsShrink)
+{
+    // Guided scheduling finishes a Doall-style loop with fewer
+    // dispatch RMWs than per-iteration self-scheduling.
+    workloads::SyntheticSpec spec;
+    spec.seed = 9;
+    spec.n = 200;
+    spec.writeProb = 0.0; // reads only -> few deps
+    dep::Loop loop = workloads::makeSyntheticLoop(spec);
+
+    auto fine = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(core::SchedulePolicy::selfScheduling));
+    auto guided = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(core::SchedulePolicy::guidedSelfScheduling));
+    ASSERT_TRUE(fine.run.completed);
+    ASSERT_TRUE(guided.run.completed);
+    EXPECT_LT(guided.run.memAccesses, fine.run.memAccesses);
+    EXPECT_EQ(guided.run.programsRun, 200u);
+}

@@ -1,0 +1,140 @@
+/** @file Loop IR: index mapping, branch resolution, data layout. */
+
+#include <gtest/gtest.h>
+
+#include "dep/loop_ir.hh"
+#include "workloads/fig21.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+
+TEST(LoopIrTest, Depth1IndexMapping)
+{
+    dep::Loop loop = workloads::makeFig21Loop(10);
+    EXPECT_EQ(loop.iterations(), 10u);
+    long i, j;
+    loop.indicesOf(1, i, j);
+    EXPECT_EQ(i, 1);
+    loop.indicesOf(10, i, j);
+    EXPECT_EQ(i, 10);
+    EXPECT_EQ(loop.lpidOf(7, 0), 7u);
+}
+
+TEST(LoopIrTest, Depth2LinearizationRoundTrip)
+{
+    dep::Loop loop = workloads::makeNestedLoop(4, 5);
+    EXPECT_EQ(loop.iterations(), 20u);
+    EXPECT_EQ(loop.innerTrip(), 5);
+    std::uint64_t lpid = 1;
+    for (long i = 1; i <= 4; ++i) {
+        for (long j = 1; j <= 5; ++j, ++lpid) {
+            EXPECT_EQ(loop.lpidOf(i, j), lpid);
+            long ri, rj;
+            loop.indicesOf(lpid, ri, rj);
+            EXPECT_EQ(ri, i);
+            EXPECT_EQ(rj, j);
+        }
+    }
+}
+
+TEST(LoopIrTest, NonUnitLowerBounds)
+{
+    dep::Loop loop;
+    loop.depth = 2;
+    loop.outer = {2, 6};
+    loop.inner = {3, 7};
+    EXPECT_EQ(loop.iterations(), 25u);
+    EXPECT_EQ(loop.lpidOf(2, 3), 1u);
+    EXPECT_EQ(loop.lpidOf(2, 7), 5u);
+    EXPECT_EQ(loop.lpidOf(3, 3), 6u);
+    long i, j;
+    loop.indicesOf(25, i, j);
+    EXPECT_EQ(i, 6);
+    EXPECT_EQ(j, 7);
+}
+
+TEST(LoopIrTest, BranchOutcomesDeterministicAndBiased)
+{
+    dep::Loop loop;
+    loop.depth = 1;
+    loop.outer = {1, 2000};
+    loop.seed = 99;
+    loop.branchProb = {0.25};
+
+    int taken = 0;
+    for (std::uint64_t it = 1; it <= 2000; ++it) {
+        bool t1 = dep::branchTaken(loop, it, 0);
+        bool t2 = dep::branchTaken(loop, it, 0);
+        EXPECT_EQ(t1, t2);
+        taken += t1 ? 1 : 0;
+    }
+    EXPECT_NEAR(taken / 2000.0, 0.25, 0.05);
+}
+
+TEST(LoopIrTest, StmtActiveFollowsGuard)
+{
+    dep::Loop loop;
+    loop.depth = 1;
+    loop.outer = {1, 100};
+    loop.seed = 5;
+    loop.branchProb = {0.5};
+    dep::Statement on_taken, on_else, uncond;
+    on_taken.guard = dep::Guard{0, true};
+    on_else.guard = dep::Guard{0, false};
+    loop.body = {uncond, on_taken, on_else};
+
+    for (std::uint64_t it = 1; it <= 100; ++it) {
+        EXPECT_TRUE(dep::stmtActive(loop, loop.body[0], it));
+        bool a = dep::stmtActive(loop, loop.body[1], it);
+        bool b = dep::stmtActive(loop, loop.body[2], it);
+        EXPECT_NE(a, b); // exactly one arm executes
+    }
+}
+
+TEST(LoopIrTest, DataLayoutDistinctElements)
+{
+    dep::Loop loop = workloads::makeFig21Loop(16);
+    dep::DataLayout layout(loop);
+    // A[I-1..I+3] over I=1..16 -> elements 0..19 -> 20 elements.
+    EXPECT_EQ(layout.totalElements(), 20u);
+    EXPECT_EQ(layout.numArrays(), 1u);
+
+    const auto &write3 = loop.body[0].refs[0]; // A[I+3]
+    const auto &read1 = loop.body[1].refs[0];  // A[I+1]
+    // A[I+3] at iteration i equals A[I+1] at iteration i+2.
+    EXPECT_EQ(layout.addrOf(write3, 4, 0), layout.addrOf(read1, 6, 0));
+    EXPECT_NE(layout.addrOf(write3, 4, 0), layout.addrOf(read1, 5, 0));
+}
+
+TEST(LoopIrTest, DataLayout2DOrdinals)
+{
+    dep::Loop loop = workloads::makeNestedLoop(3, 4);
+    dep::DataLayout layout(loop);
+    // Arrays A (with J-1 => extent 3x5), B (3x5 w/ I-1 -> extent
+    // 4x5... compute: A: dim0 over I=1..3 offset0 -> lo 1 hi 3;
+    // dim1 over J-1..J -> lo 0 hi 4 (5). B: dim0 I-1..I -> 0..3
+    // (4); dim1 J-1..J -> 0..4 (5). C: 3x4? C[I,J] -> 3 x 4.
+    EXPECT_EQ(layout.numArrays(), 3u);
+    EXPECT_GT(layout.totalElements(), 0u);
+
+    // Same element, different refs: A[I,J] written at (2,2) is
+    // A[I,J-1] read at (2,3).
+    const auto &a_write = loop.body[0].refs[0];
+    const auto &a_read = loop.body[1].refs[0];
+    EXPECT_EQ(layout.addrOf(a_write, 2, 2), layout.addrOf(a_read, 2, 3));
+    EXPECT_EQ(layout.globalOrdinal(a_write, 2, 2),
+              layout.globalOrdinal(a_read, 2, 3));
+}
+
+TEST(LoopIrTest, DistinctArraysNeverCollide)
+{
+    dep::Loop loop = workloads::makeNestedLoop(3, 4);
+    dep::DataLayout layout(loop);
+    const auto &a = loop.body[0].refs[0]; // A[I,J]
+    const auto &b = loop.body[1].refs[1]; // B[I,J]
+    for (long i = 1; i <= 3; ++i) {
+        for (long j = 1; j <= 4; ++j) {
+            EXPECT_NE(layout.addrOf(a, i, j), layout.addrOf(b, i, j));
+        }
+    }
+}

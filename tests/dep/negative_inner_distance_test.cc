@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Anti-diagonal dependences: distance vectors like (1,-1) are
+ * lexicographically positive, linearize to M-1, and must be
+ * enforced like any other arc.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "dep/dep_graph.hh"
+#include "dep/transform.hh"
+
+using namespace psync;
+
+namespace {
+
+/** A[I,J] = A[I-1,J+1]: skewed recurrence. */
+dep::Loop
+makeSkewedLoop(long n, long m)
+{
+    dep::Loop loop;
+    loop.name = "skewed";
+    loop.depth = 2;
+    loop.outer = {1, n};
+    loop.inner = {1, m};
+    dep::Statement s;
+    s.label = "S1";
+    s.cost = 4;
+    dep::ArrayRef rd, wr;
+    rd.array = "A";
+    rd.subs = {dep::Subscript{1, 0, -1}, dep::Subscript{0, 1, 1}};
+    rd.isWrite = false;
+    wr.array = "A";
+    wr.subs = {dep::Subscript{1, 0, 0}, dep::Subscript{0, 1, 0}};
+    wr.isWrite = true;
+    s.refs = {rd, wr};
+    loop.body = {s};
+    return loop;
+}
+
+} // namespace
+
+TEST(NegativeInnerDistanceTest, VectorAndLinearization)
+{
+    dep::Loop loop = makeSkewedLoop(6, 8);
+    dep::DepGraph graph(loop);
+    auto enforced = graph.enforced();
+    ASSERT_EQ(enforced.size(), 1u);
+    EXPECT_EQ(enforced[0].type, dep::DepType::flow);
+    EXPECT_EQ(enforced[0].d1, 1);
+    EXPECT_EQ(enforced[0].d2, -1);
+    EXPECT_EQ(enforced[0].linearDistance(loop.innerTrip()), 7);
+}
+
+TEST(NegativeInnerDistanceTest, AllSchemesCorrect)
+{
+    dep::Loop loop = makeSkewedLoop(6, 8);
+    for (auto kind : sync::allSyncSchemes()) {
+        core::RunConfig cfg;
+        cfg.machine.numProcs = 4;
+        cfg.machine.syncRegisters = 1024;
+        cfg.machine.fabric =
+            (kind == sync::SchemeKind::referenceBased ||
+             kind == sync::SchemeKind::instanceBased)
+                ? sim::FabricKind::memory
+                : sim::FabricKind::registers;
+        cfg.tickLimit = 20000000;
+        auto r = core::runDoacross(loop, kind, cfg);
+        ASSERT_TRUE(r.run.completed) << sync::schemeKindName(kind);
+        EXPECT_TRUE(r.correct())
+            << sync::schemeKindName(kind) << ": "
+            << (r.violations.empty() ? "" : r.violations.front());
+        EXPECT_GT(r.instancesChecked, 0u)
+            << sync::schemeKindName(kind);
+    }
+}
+
+TEST(NegativeInnerDistanceTest, BoundaryPredicate)
+{
+    dep::Loop loop = makeSkewedLoop(6, 8);
+    dep::DepGraph graph(loop);
+    const dep::Dep &d = graph.enforced()[0];
+    // Sink (i, j) has a source iff (i-1, j+1) is in bounds:
+    // i >= 2 and j <= 7.
+    EXPECT_TRUE(dep::sinkHasSource(loop, d, loop.lpidOf(2, 3)));
+    EXPECT_FALSE(dep::sinkHasSource(loop, d, loop.lpidOf(1, 3)));
+    EXPECT_FALSE(dep::sinkHasSource(loop, d, loop.lpidOf(3, 8)));
+}

@@ -1,0 +1,83 @@
+/** @file Boundary predicates, extra-dep counting, wavefronts. */
+
+#include <gtest/gtest.h>
+
+#include "dep/dep_graph.hh"
+#include "dep/transform.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+
+TEST(TransformTest, SinkHasSourceRespectsInnerBoundary)
+{
+    dep::Loop loop = workloads::makeNestedLoop(4, 5);
+    dep::DepGraph graph(loop);
+
+    // S1->S2 flow with d=(0,1): sinks at J=1 have no source.
+    const dep::Dep *d01 = nullptr;
+    const dep::Dep *d11 = nullptr;
+    for (const auto &d : graph.deps()) {
+        if (d.d1 == 0 && d.d2 == 1)
+            d01 = &d;
+        if (d.d1 == 1 && d.d2 == 1)
+            d11 = &d;
+    }
+    ASSERT_NE(d01, nullptr);
+    ASSERT_NE(d11, nullptr);
+
+    EXPECT_FALSE(dep::sinkHasSource(loop, *d01, loop.lpidOf(2, 1)));
+    EXPECT_TRUE(dep::sinkHasSource(loop, *d01, loop.lpidOf(2, 2)));
+
+    // S2->S3 with d=(1,1): sinks at J=1 or I=1 have no source.
+    EXPECT_FALSE(dep::sinkHasSource(loop, *d11, loop.lpidOf(2, 1)));
+    EXPECT_FALSE(dep::sinkHasSource(loop, *d11, loop.lpidOf(1, 3)));
+    EXPECT_TRUE(dep::sinkHasSource(loop, *d11, loop.lpidOf(2, 2)));
+}
+
+TEST(TransformTest, ExtraDepCountMatchesBoundaryCells)
+{
+    dep::Loop loop = workloads::makeNestedLoop(4, 5);
+    dep::DepGraph graph(loop);
+    for (const auto &d : graph.enforced()) {
+        std::uint64_t extra = dep::extraDepCount(loop, d);
+        if (d.d1 == 0 && d.d2 == 1) {
+            // Linear distance 1; sinks J=1 for I=2..4: lpids 6,11,16
+            // are > 1 and have no source: 3 extra.
+            EXPECT_EQ(extra, 3u);
+        } else if (d.d1 == 1 && d.d2 == 1) {
+            // Linear distance 6; sinks with lpid > 6 lacking a
+            // source: J=1 rows of I=2..4 minus those with lpid<=6.
+            EXPECT_EQ(extra, 2u);
+        }
+    }
+}
+
+TEST(TransformTest, WavefrontsCoverSpaceExactlyOnce)
+{
+    auto fronts = dep::makeWavefronts({2, 6}, {2, 9});
+    // (5 x 8) iteration space: 5+8-1 fronts.
+    EXPECT_EQ(fronts.size(), 12u);
+    size_t cells = 0;
+    for (size_t w = 0; w < fronts.size(); ++w) {
+        for (auto [i, j] : fronts[w]) {
+            EXPECT_EQ(static_cast<size_t>((i - 2) + (j - 2)), w);
+            ++cells;
+        }
+    }
+    EXPECT_EQ(cells, 40u);
+}
+
+TEST(TransformTest, WavefrontSizesRampUpAndDown)
+{
+    auto fronts = dep::makeWavefronts({1, 4}, {1, 4});
+    ASSERT_EQ(fronts.size(), 7u);
+    EXPECT_EQ(fronts[0].size(), 1u);
+    EXPECT_EQ(fronts[3].size(), 4u);
+    EXPECT_EQ(fronts[6].size(), 1u);
+}
+
+TEST(TransformTest, EmptyBoundsGiveNoFronts)
+{
+    auto fronts = dep::makeWavefronts({3, 2}, {1, 4});
+    EXPECT_TRUE(fronts.empty());
+}

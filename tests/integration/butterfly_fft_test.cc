@@ -1,0 +1,138 @@
+/** @file Examples 4 & 5 end-to-end: barriers and FFT phases. */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/butterfly.hh"
+#include "workloads/fft.hh"
+
+using namespace psync;
+
+namespace {
+
+sim::MachineConfig
+config(unsigned procs, sim::FabricKind fabric)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = fabric;
+    cfg.syncRegisters = 512;
+    return cfg;
+}
+
+core::RunResult
+runFft(workloads::FftSync mode, const workloads::FftSpec &spec,
+       sim::FabricKind fabric)
+{
+    sim::Machine machine(config(spec.numProcs, fabric));
+    std::vector<std::vector<sim::Program>> progs;
+    switch (mode) {
+      case workloads::FftSync::pairwise: {
+        sim::SyncVarId base =
+            machine.fabric().allocate(spec.numProcs, 0);
+        progs = workloads::buildFftPairwise(base, spec);
+        break;
+      }
+      case workloads::FftSync::butterflyBarrier: {
+        sync::ButterflyBarrier barrier(machine.fabric(),
+                                       spec.numProcs);
+        progs = workloads::buildFftButterfly(barrier, spec);
+        break;
+      }
+      case workloads::FftSync::counterBarrier: {
+        sync::CounterBarrier barrier(machine.fabric(),
+                                     spec.numProcs);
+        progs = workloads::buildFftCounter(barrier, spec);
+        break;
+      }
+    }
+    return core::runPerProcessorPrograms(machine, progs);
+}
+
+} // namespace
+
+TEST(FftTest, AllSyncModesComplete)
+{
+    workloads::FftSpec spec;
+    spec.numProcs = 8;
+    spec.rounds = 3;
+    for (auto mode : {workloads::FftSync::pairwise,
+                      workloads::FftSync::butterflyBarrier,
+                      workloads::FftSync::counterBarrier}) {
+        auto r = runFft(mode, spec, sim::FabricKind::registers);
+        EXPECT_TRUE(r.completed);
+        EXPECT_GT(r.cycles, 0u);
+    }
+}
+
+TEST(FftTest, PairwiseNeverSlowerThanGlobalBarrier)
+{
+    workloads::FftSpec spec;
+    spec.numProcs = 16;
+    spec.rounds = 4;
+    spec.stageJitter = 40;
+    auto pairwise = runFft(workloads::FftSync::pairwise, spec,
+                           sim::FabricKind::registers);
+    auto butterfly = runFft(workloads::FftSync::butterflyBarrier,
+                            spec, sim::FabricKind::registers);
+    auto counter = runFft(workloads::FftSync::counterBarrier, spec,
+                          sim::FabricKind::registers);
+    ASSERT_TRUE(pairwise.completed);
+    ASSERT_TRUE(butterfly.completed);
+    ASSERT_TRUE(counter.completed);
+    EXPECT_LE(pairwise.cycles, butterfly.cycles);
+    EXPECT_LE(pairwise.cycles, counter.cycles);
+}
+
+TEST(FftTest, PairwiseIssuesFewerSyncOps)
+{
+    workloads::FftSpec spec;
+    spec.numProcs = 16;
+    spec.rounds = 2;
+    auto pairwise = runFft(workloads::FftSync::pairwise, spec,
+                           sim::FabricKind::registers);
+    auto butterfly = runFft(workloads::FftSync::butterflyBarrier,
+                            spec, sim::FabricKind::registers);
+    // Pairwise: 1 write + 1 wait per stage. Butterfly barrier:
+    // log2(P) write/wait pairs per stage.
+    EXPECT_LT(pairwise.syncOps, butterfly.syncOps);
+}
+
+TEST(FftTest, StageCountIsLog2)
+{
+    EXPECT_EQ(workloads::fftStages(2), 1u);
+    EXPECT_EQ(workloads::fftStages(16), 4u);
+    EXPECT_EXIT(workloads::fftStages(12),
+                ::testing::ExitedWithCode(1), "power-of-two");
+}
+
+TEST(FftTest, PartnerExchangeIsVisible)
+{
+    // Data written per stage lands in memory: 2 words out + 2 in,
+    // per processor per stage per round.
+    workloads::FftSpec spec;
+    spec.numProcs = 4;
+    spec.rounds = 1;
+    spec.exchangeWords = 2;
+    auto r = runFft(workloads::FftSync::pairwise, spec,
+                    sim::FabricKind::registers);
+    ASSERT_TRUE(r.completed);
+    // 4 procs x 2 stages x (2 writes + 2 reads).
+    EXPECT_EQ(r.memAccesses, 4u * 2u * 4u);
+}
+
+TEST(ButterflyTest, LockstepUnderJitter)
+{
+    for (unsigned p : {2u, 4u, 8u, 16u}) {
+        sim::Machine m(config(p, sim::FabricKind::registers));
+        sync::ButterflyBarrier barrier(m.fabric(), p);
+        workloads::BarrierSpec spec;
+        spec.numProcs = p;
+        spec.episodes = 6;
+        spec.workCost = 10;
+        spec.workJitter = 30;
+        auto progs = workloads::buildButterflyPrograms(barrier, spec);
+        auto r = core::runPerProcessorPrograms(m, progs);
+        ASSERT_TRUE(r.completed) << "P=" << p;
+    }
+}

@@ -1,0 +1,79 @@
+/** @file Bit-for-bit reproducibility of whole simulations. */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/fig21.hh"
+#include "workloads/synthetic.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+config()
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = 6;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 1024;
+    cfg.tickLimit = 50000000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(DeterminismTest, IdenticalRunsIdenticalResults)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    auto a = core::runDoacross(loop,
+                               sync::SchemeKind::processImproved,
+                               config());
+    auto b = core::runDoacross(loop,
+                               sync::SchemeKind::processImproved,
+                               config());
+    EXPECT_EQ(a.run.cycles, b.run.cycles);
+    EXPECT_EQ(a.run.computeCycles, b.run.computeCycles);
+    EXPECT_EQ(a.run.spinCycles, b.run.spinCycles);
+    EXPECT_EQ(a.run.syncOps, b.run.syncOps);
+    EXPECT_EQ(a.run.syncBusBroadcasts, b.run.syncBusBroadcasts);
+    EXPECT_EQ(a.run.coalescedWrites, b.run.coalescedWrites);
+    EXPECT_EQ(a.run.memAccesses, b.run.memAccesses);
+}
+
+TEST(DeterminismTest, AllSchemesDeterministic)
+{
+    workloads::SyntheticSpec spec;
+    spec.seed = 3;
+    spec.n = 32;
+    dep::Loop loop = workloads::makeSyntheticLoop(spec);
+    for (auto kind : sync::allSyncSchemes()) {
+        auto cfg = config();
+        if (kind == sync::SchemeKind::referenceBased ||
+            kind == sync::SchemeKind::instanceBased) {
+            cfg.machine.fabric = sim::FabricKind::memory;
+        }
+        auto a = core::runDoacross(loop, kind, cfg);
+        auto b = core::runDoacross(loop, kind, cfg);
+        EXPECT_EQ(a.run.cycles, b.run.cycles)
+            << sync::schemeKindName(kind);
+        EXPECT_EQ(a.run.syncOps, b.run.syncOps)
+            << sync::schemeKindName(kind);
+    }
+}
+
+TEST(DeterminismTest, SeedChangesWorkload)
+{
+    workloads::SyntheticSpec s1, s2;
+    s1.seed = 5;
+    s2.seed = 6;
+    dep::Loop l1 = workloads::makeSyntheticLoop(s1);
+    dep::Loop l2 = workloads::makeSyntheticLoop(s2);
+    auto a = core::runDoacross(l1,
+                               sync::SchemeKind::processImproved,
+                               config());
+    auto b = core::runDoacross(l2,
+                               sync::SchemeKind::processImproved,
+                               config());
+    EXPECT_NE(a.run.cycles, b.run.cycles);
+}

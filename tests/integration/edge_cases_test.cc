@@ -1,0 +1,190 @@
+/** @file Degenerate shapes every layer must survive. */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/fig21.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+config(unsigned procs = 4, unsigned num_pcs = 4)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 4096;
+    cfg.scheme.numPcs = num_pcs;
+    cfg.tickLimit = 20000000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(EdgeCasesTest, SingleIterationLoop)
+{
+    dep::Loop loop = workloads::makeFig21Loop(1);
+    for (auto kind : sync::allSyncSchemes()) {
+        auto cfg = config();
+        if (kind == sync::SchemeKind::referenceBased ||
+            kind == sync::SchemeKind::instanceBased) {
+            cfg.machine.fabric = sim::FabricKind::memory;
+        }
+        auto r = core::runDoacross(loop, kind, cfg);
+        ASSERT_TRUE(r.run.completed) << sync::schemeKindName(kind);
+        EXPECT_EQ(r.run.programsRun, 1u);
+        EXPECT_TRUE(r.correct());
+    }
+}
+
+TEST(EdgeCasesTest, DistancesExceedTripCount)
+{
+    // N=3 with distances up to 4: most waits fall off the front.
+    dep::Loop loop = workloads::makeFig21Loop(3);
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config());
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct());
+}
+
+TEST(EdgeCasesTest, MorePcsThanIterations)
+{
+    dep::Loop loop = workloads::makeFig21Loop(4);
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(4, 64));
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct());
+    EXPECT_EQ(r.plan.numSyncVars, 64u);
+}
+
+TEST(EdgeCasesTest, SinglePc)
+{
+    // X=1: every process shares one PC — fully serialized
+    // ownership, still correct.
+    dep::Loop loop = workloads::makeFig21Loop(24);
+    for (bool improved : {false, true}) {
+        auto r = core::runDoacross(
+            loop,
+            improved ? sync::SchemeKind::processImproved
+                     : sync::SchemeKind::processBasic,
+            config(4, 1));
+        ASSERT_TRUE(r.run.completed) << improved;
+        EXPECT_TRUE(r.correct()) << improved;
+    }
+}
+
+TEST(EdgeCasesTest, SelfDependentSingleStatement)
+{
+    // A[I] = A[I-1]: a pure recurrence; parallel execution cannot
+    // beat sequential but must stay correct.
+    dep::Loop loop;
+    loop.name = "recurrence";
+    loop.depth = 1;
+    loop.outer = {1, 32};
+    dep::Statement s;
+    s.label = "S1";
+    s.cost = 4;
+    dep::ArrayRef rd, wr;
+    rd.array = "A";
+    rd.subs = {dep::Subscript{1, 0, -1}};
+    rd.isWrite = false;
+    wr.array = "A";
+    wr.subs = {dep::Subscript{1, 0, 0}};
+    wr.isWrite = true;
+    s.refs = {rd, wr};
+    loop.body = {s};
+
+    for (auto kind : sync::allSyncSchemes()) {
+        auto cfg = config();
+        if (kind == sync::SchemeKind::referenceBased ||
+            kind == sync::SchemeKind::instanceBased) {
+            cfg.machine.fabric = sim::FabricKind::memory;
+        }
+        auto r = core::runDoacross(loop, kind, cfg);
+        ASSERT_TRUE(r.run.completed) << sync::schemeKindName(kind);
+        EXPECT_TRUE(r.correct()) << sync::schemeKindName(kind);
+    }
+}
+
+TEST(EdgeCasesTest, ProcessorsExceedIterations)
+{
+    dep::Loop loop = workloads::makeFig21Loop(3);
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(16, 16));
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_EQ(r.run.programsRun, 3u);
+    EXPECT_TRUE(r.correct());
+}
+
+TEST(EdgeCasesTest, CachesPreserveCorrectness)
+{
+    dep::Loop loop = workloads::makeNestedLoop(8, 8);
+    auto cfg = config(8, 16);
+    cfg.machine.cache.enabled = true;
+    cfg.machine.cache.linesPerProc = 64;
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_GT(r.run.cacheHits + r.run.cacheMisses, 0u);
+}
+
+TEST(EdgeCasesTest, CachesCaptureSameProcessorReuse)
+{
+    // On one processor, every element of the Fig. 2.1 loop is
+    // touched five times; with caches on, the four re-reads of
+    // each value hit locally and bus traffic drops.
+    dep::Loop loop = workloads::makeFig21Loop(32);
+    auto off = config(1, 16);
+    auto on = config(1, 16);
+    off.schedule = on.schedule = core::SchedulePolicy::staticCyclic;
+    on.machine.cache.enabled = true;
+    auto r_off = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, off);
+    auto r_on = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, on);
+    ASSERT_TRUE(r_off.run.completed);
+    ASSERT_TRUE(r_on.run.completed);
+    EXPECT_LE(r_on.run.cycles, r_off.run.cycles);
+    EXPECT_LT(r_on.run.dataBusTransactions,
+              r_off.run.dataBusTransactions);
+    EXPECT_GT(r_on.run.cacheHits, 0u);
+}
+
+TEST(EdgeCasesTest, OmegaMachineRunsDoacross)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    auto cfg = config(8, 16);
+    cfg.machine.interconnect = sim::InterconnectKind::omega;
+    cfg.machine.fabric = sim::FabricKind::memory;
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::referenceBased, cfg);
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct());
+}
+
+TEST(EdgeCasesTest, CoverageAblationCorrectBothWays)
+{
+    dep::Loop loop = workloads::makeFig21Loop(48);
+    for (bool eliminate : {true, false}) {
+        auto cfg = config();
+        cfg.eliminateCoveredDeps = eliminate;
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::processImproved, cfg);
+        ASSERT_TRUE(r.run.completed) << eliminate;
+        EXPECT_TRUE(r.correct()) << eliminate;
+    }
+}
+
+TEST(EdgeCasesTest, ZeroCostStatements)
+{
+    dep::Loop loop = workloads::makeFig21Loop(16, 0);
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config());
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct());
+}

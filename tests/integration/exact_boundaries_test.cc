@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Exact-boundary codegen: skip linearization-only waits in nested
+ * loops at the price of the O(r*d) boundary check — the design
+ * point Example 2 weighs against implicit coalescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/nested.hh"
+#include "workloads/relaxation.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+config(bool exact, unsigned procs = 8)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 1024;
+    cfg.scheme.exactBoundaries = exact;
+    cfg.scheme.numPcs = 2 * procs;
+    cfg.tickLimit = 50000000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ExactBoundariesTest, CorrectOnNestedLoop)
+{
+    dep::Loop loop = workloads::makeNestedLoop(10, 10);
+    for (auto kind : {sync::SchemeKind::processBasic,
+                      sync::SchemeKind::processImproved,
+                      sync::SchemeKind::statementOriented}) {
+        auto r = core::runDoacross(loop, kind, config(true));
+        ASSERT_TRUE(r.run.completed) << sync::schemeKindName(kind);
+        EXPECT_TRUE(r.correct())
+            << sync::schemeKindName(kind) << ": "
+            << (r.violations.empty() ? "" : r.violations.front());
+    }
+}
+
+TEST(ExactBoundariesTest, CorrectOnRelaxationPseudoLoop)
+{
+    // The relaxation loop's covered (1,0) arc is the case where a
+    // covering chain crosses a row boundary: exact mode must
+    // disable coverage elimination to stay correct.
+    dep::Loop loop = workloads::makeRelaxationLoop(12, 6);
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(true));
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(ExactBoundariesTest, SkipsBoundaryWaits)
+{
+    dep::Loop loop = workloads::makeNestedLoop(10, 10);
+    auto coalesced = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(false));
+    auto exact = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(true));
+    ASSERT_TRUE(coalesced.run.completed);
+    ASSERT_TRUE(exact.run.completed);
+    EXPECT_TRUE(coalesced.correct());
+    EXPECT_TRUE(exact.correct());
+    // Fewer waits issued...
+    EXPECT_LT(exact.run.syncOps, coalesced.run.syncOps);
+    // ...but more compute: the boundary checks.
+    EXPECT_GT(exact.run.computeCycles,
+              coalesced.run.computeCycles);
+}
+
+TEST(ExactBoundariesTest, NoEffectOnDepthOneLoops)
+{
+    dep::Loop loop;
+    loop.depth = 1;
+    loop.outer = {1, 32};
+    dep::Statement s;
+    s.label = "S1";
+    s.cost = 4;
+    dep::ArrayRef rd, wr;
+    rd.array = "A";
+    rd.subs = {dep::Subscript{1, 0, -1}};
+    rd.isWrite = false;
+    wr.array = "A";
+    wr.subs = {dep::Subscript{1, 0, 0}};
+    wr.isWrite = true;
+    s.refs = {rd, wr};
+    loop.body = {s};
+
+    auto off = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(false));
+    auto on = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, config(true));
+    ASSERT_TRUE(off.run.completed);
+    ASSERT_TRUE(on.run.completed);
+    EXPECT_EQ(off.run.computeCycles, on.run.computeCycles);
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * End-to-end: the Fig. 2.1 loop runs under every scheme, on both
+ * fabrics where meaningful, with the execution trace verified
+ * against the dependences each scheme claims to enforce.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+baseConfig(sim::FabricKind fabric, unsigned procs = 4)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = fabric;
+    cfg.machine.syncRegisters = 4096;
+    cfg.tickLimit = 50000000;
+    return cfg;
+}
+
+} // namespace
+
+class Fig21SchemeTest
+    : public ::testing::TestWithParam<sync::SchemeKind>
+{
+};
+
+TEST_P(Fig21SchemeTest, RegisterFabricCorrect)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    core::DoacrossResult r = core::runDoacross(
+        loop, GetParam(), baseConfig(sim::FabricKind::registers));
+    EXPECT_TRUE(r.run.completed) << "deadlock under "
+        << sync::schemeKindName(GetParam());
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_GT(r.instancesChecked, 0u);
+    EXPECT_EQ(r.run.programsRun, 64u);
+}
+
+TEST_P(Fig21SchemeTest, MemoryFabricCorrect)
+{
+    dep::Loop loop = workloads::makeFig21Loop(48);
+    core::DoacrossResult r = core::runDoacross(
+        loop, GetParam(), baseConfig(sim::FabricKind::memory));
+    EXPECT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+    EXPECT_GT(r.instancesChecked, 0u);
+}
+
+TEST_P(Fig21SchemeTest, StaticSchedulingCorrect)
+{
+    dep::Loop loop = workloads::makeFig21Loop(48);
+    core::RunConfig cfg = baseConfig(sim::FabricKind::registers);
+    cfg.schedule = core::SchedulePolicy::staticCyclic;
+    core::DoacrossResult r = core::runDoacross(loop, GetParam(), cfg);
+    EXPECT_TRUE(r.run.completed);
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, Fig21SchemeTest,
+    ::testing::Values(sync::SchemeKind::referenceBased,
+                      sync::SchemeKind::instanceBased,
+                      sync::SchemeKind::statementOriented,
+                      sync::SchemeKind::processBasic,
+                      sync::SchemeKind::processImproved),
+    [](const ::testing::TestParamInfo<sync::SchemeKind> &info) {
+        std::string name = sync::schemeKindName(info.param);
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Fig21Integration, ParallelBeatsSequential)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    core::RunConfig cfg = baseConfig(sim::FabricKind::registers, 8);
+    sim::Tick seq = core::sequentialCycles(loop, cfg.machine);
+    core::DoacrossResult r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_GT(r.run.speedupOver(seq), 1.5)
+        << "seq=" << seq << " par=" << r.run.cycles;
+}
+
+TEST(Fig21Integration, ImprovedNoSlowerThanBasic)
+{
+    dep::Loop loop = workloads::makeFig21Loop(96);
+    auto cfg = baseConfig(sim::FabricKind::registers, 8);
+    auto basic = core::runDoacross(
+        loop, sync::SchemeKind::processBasic, cfg);
+    auto improved = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(basic.run.completed);
+    ASSERT_TRUE(improved.run.completed);
+    EXPECT_LE(improved.run.cycles, basic.run.cycles + 64);
+}
+
+TEST(Fig21Integration, ProcessSchemeUsesFewVariables)
+{
+    dep::Loop loop = workloads::makeFig21Loop(256);
+    auto cfg = baseConfig(sim::FabricKind::memory, 8);
+    cfg.scheme.numPcs = 16;
+
+    auto process = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    auto reference = core::runDoacross(
+        loop, sync::SchemeKind::referenceBased, cfg);
+    auto instance = core::runDoacross(
+        loop, sync::SchemeKind::instanceBased, cfg);
+
+    EXPECT_EQ(process.plan.numSyncVars, 16u);
+    // One key per element of A[ (1-1)..(256+3) ].
+    EXPECT_GE(reference.plan.numSyncVars, 256u);
+    // One key per reader of every written instance.
+    EXPECT_GE(instance.plan.numSyncVars, 3 * 256u - 16);
+    EXPECT_LT(process.plan.numSyncVars,
+              reference.plan.numSyncVars / 4);
+}
+
+TEST(Fig21Integration, FoldingAcrossManyPcCounts)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    for (unsigned x : {1u, 2u, 3u, 5u, 8u, 64u, 128u}) {
+        auto cfg = baseConfig(sim::FabricKind::registers, 4);
+        cfg.scheme.numPcs = x;
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::processImproved, cfg);
+        EXPECT_TRUE(r.run.completed) << "X=" << x;
+        EXPECT_TRUE(r.correct())
+            << "X=" << x << ": "
+            << (r.violations.empty() ? "" : r.violations.front());
+    }
+}

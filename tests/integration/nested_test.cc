@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Example 2 end-to-end: implicit coalescing under the process
+ * scheme vs exact boundary handling under data-oriented schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "dep/dep_graph.hh"
+#include "dep/transform.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+config(sim::FabricKind fabric, unsigned procs = 4)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = fabric;
+    cfg.machine.syncRegisters = 1024;
+    cfg.tickLimit = 50000000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(NestedTest, AllSchemesCorrectOnNestedLoop)
+{
+    dep::Loop loop = workloads::makeNestedLoop(8, 6);
+    for (auto kind : sync::allSyncSchemes()) {
+        auto fabric = (kind == sync::SchemeKind::referenceBased ||
+                       kind == sync::SchemeKind::instanceBased)
+                          ? sim::FabricKind::memory
+                          : sim::FabricKind::registers;
+        auto r = core::runDoacross(loop, kind, config(fabric));
+        ASSERT_TRUE(r.run.completed) << sync::schemeKindName(kind);
+        EXPECT_TRUE(r.correct())
+            << sync::schemeKindName(kind) << ": "
+            << (r.violations.empty() ? "" : r.violations.front());
+        EXPECT_EQ(r.run.programsRun, 48u)
+            << sync::schemeKindName(kind);
+    }
+}
+
+TEST(NestedTest, LinearizationIntroducesExtraDeps)
+{
+    dep::Loop loop = workloads::makeNestedLoop(6, 5);
+    dep::DepGraph graph(loop);
+    std::uint64_t extras = 0;
+    for (const auto &d : graph.enforced())
+        extras += dep::extraDepCount(loop, d);
+    EXPECT_GT(extras, 0u);
+}
+
+TEST(NestedTest, ProcessSchemeAvoidsBoundaryCost)
+{
+    // Data-oriented schemes pay O(r*d) boundary-check compute per
+    // iteration; the process scheme's compute is just the bodies.
+    dep::Loop loop = workloads::makeNestedLoop(8, 8);
+    auto process = core::runDoacross(
+        loop, sync::SchemeKind::processImproved,
+        config(sim::FabricKind::registers, 1));
+    auto reference = core::runDoacross(
+        loop, sync::SchemeKind::referenceBased,
+        config(sim::FabricKind::memory, 1));
+    ASSERT_TRUE(process.run.completed);
+    ASSERT_TRUE(reference.run.completed);
+    // 64 iterations x 20 boundary cycles.
+    EXPECT_GE(reference.run.computeCycles,
+              process.run.computeCycles + 64 * 20);
+}
+
+TEST(NestedTest, ProcessSchemeKeepsVariableCountFlat)
+{
+    for (long size : {4L, 8L, 16L}) {
+        dep::Loop loop = workloads::makeNestedLoop(size, size);
+        auto cfg = config(sim::FabricKind::registers);
+        cfg.scheme.numPcs = 16;
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::processImproved, cfg);
+        ASSERT_TRUE(r.run.completed);
+        EXPECT_EQ(r.plan.numSyncVars, 16u) << "size=" << size;
+    }
+    // Whereas the reference scheme's keys grow with the data.
+    dep::Loop small = workloads::makeNestedLoop(4, 4);
+    dep::Loop big = workloads::makeNestedLoop(16, 16);
+    auto cfg = config(sim::FabricKind::memory);
+    auto r_small = core::runDoacross(
+        small, sync::SchemeKind::referenceBased, cfg);
+    auto r_big = core::runDoacross(
+        big, sync::SchemeKind::referenceBased, cfg);
+    EXPECT_GT(r_big.plan.numSyncVars, 10 * r_small.plan.numSyncVars);
+}
+
+TEST(NestedTest, RectangularShapes)
+{
+    for (auto [n, m] : {std::pair<long, long>{2, 12},
+                        {12, 2},
+                        {1, 8},
+                        {8, 1}}) {
+        dep::Loop loop = workloads::makeNestedLoop(n, m);
+        auto r = core::runDoacross(
+            loop, sync::SchemeKind::processImproved,
+            config(sim::FabricKind::registers));
+        ASSERT_TRUE(r.run.completed) << n << "x" << m;
+        EXPECT_TRUE(r.correct()) << n << "x" << m;
+    }
+}

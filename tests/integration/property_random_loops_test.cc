@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Property tests: for randomly generated Doacross loops, every
+ * scheme on every fabric must (a) terminate, (b) run each
+ * iteration exactly once, and (c) leave a trace in which every
+ * dependence it claims to enforce actually holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "workloads/synthetic.hh"
+
+using namespace psync;
+
+namespace {
+
+struct Combo
+{
+    std::uint64_t seed;
+    sync::SchemeKind kind;
+    sim::FabricKind fabric;
+    unsigned procs;
+    unsigned numPcs;
+};
+
+std::string
+comboName(const ::testing::TestParamInfo<Combo> &info)
+{
+    std::string name = sync::schemeKindName(info.param.kind);
+    for (char &c : name) {
+        if (c == '-')
+            c = '_';
+    }
+    return name + "_" +
+           sim::fabricKindName(info.param.fabric) + "_s" +
+           std::to_string(info.param.seed) + "_p" +
+           std::to_string(info.param.procs) + "_x" +
+           std::to_string(info.param.numPcs);
+}
+
+std::vector<Combo>
+makeCombos()
+{
+    std::vector<Combo> combos;
+    std::vector<sync::SchemeKind> kinds = sync::allSyncSchemes();
+    unsigned k = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        for (auto kind : kinds) {
+            Combo c;
+            c.seed = seed;
+            c.kind = kind;
+            c.fabric = (k % 2 == 0) ? sim::FabricKind::registers
+                                    : sim::FabricKind::memory;
+            if (kind == sync::SchemeKind::referenceBased ||
+                kind == sync::SchemeKind::instanceBased) {
+                c.fabric = sim::FabricKind::memory;
+            }
+            c.procs = 1 + (k % 8);
+            c.numPcs = 1 + (k % 5) * 3;
+            combos.push_back(c);
+            ++k;
+        }
+    }
+    return combos;
+}
+
+} // namespace
+
+class RandomLoopProperty : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(RandomLoopProperty, SchemeEnforcesItsDependences)
+{
+    const Combo &combo = GetParam();
+
+    workloads::SyntheticSpec spec;
+    spec.seed = combo.seed;
+    spec.n = 48;
+    spec.numStatements = 3 + combo.seed % 4;
+    spec.numArrays = 1 + combo.seed % 3;
+    spec.maxOffset = 1 + combo.seed % 4;
+    // Instance-based rejects guarded statements.
+    spec.guardProb =
+        combo.kind == sync::SchemeKind::instanceBased ? 0.0 : 0.3;
+    dep::Loop loop = workloads::makeSyntheticLoop(spec);
+
+    core::RunConfig cfg;
+    cfg.machine.numProcs = combo.procs;
+    cfg.machine.fabric = combo.fabric;
+    cfg.machine.syncRegisters = 4096;
+    cfg.scheme.numPcs = combo.numPcs;
+    cfg.scheme.numScs = 256;
+    cfg.tickLimit = 100000000;
+
+    // Derive further machine axes from the seed so the sweep also
+    // covers caches, uncached spinning, coalescing-off, Cedar
+    // combining and chunked dispatch.
+    cfg.machine.cache.enabled = combo.seed % 2 == 0;
+    cfg.machine.cachedSpinning = combo.seed % 3 != 0;
+    cfg.machine.coalesceWrites = combo.seed % 5 != 0;
+    cfg.scheme.cedarCombining = combo.seed % 4 == 0;
+    if (combo.seed % 7 == 0) {
+        cfg.schedule = core::SchedulePolicy::chunkedSelfScheduling;
+        cfg.chunkSize = 3;
+    }
+
+    auto r = core::runDoacross(loop, combo.kind, cfg);
+    ASSERT_TRUE(r.run.completed) << "deadlock";
+    EXPECT_EQ(r.run.programsRun, loop.iterations());
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomLoopProperty,
+                         ::testing::ValuesIn(makeCombos()),
+                         comboName);
+
+TEST(RandomLoopProperty2, DenseDependenceLoops)
+{
+    // Many statements, small offsets: dependence-heavy loops.
+    for (std::uint64_t seed = 100; seed < 105; ++seed) {
+        workloads::SyntheticSpec spec;
+        spec.seed = seed;
+        spec.n = 32;
+        spec.numStatements = 8;
+        spec.numArrays = 1;
+        spec.maxOffset = 2;
+        spec.writeProb = 0.6;
+        dep::Loop loop = workloads::makeSyntheticLoop(spec);
+
+        core::RunConfig cfg;
+        cfg.machine.numProcs = 4;
+        cfg.machine.fabric = sim::FabricKind::registers;
+        cfg.machine.syncRegisters = 64;
+        cfg.scheme.numPcs = 4;
+        cfg.tickLimit = 100000000;
+
+        for (auto kind : {sync::SchemeKind::processBasic,
+                          sync::SchemeKind::processImproved,
+                          sync::SchemeKind::statementOriented}) {
+            auto r = core::runDoacross(loop, kind, cfg);
+            ASSERT_TRUE(r.run.completed)
+                << "seed=" << seed << " "
+                << sync::schemeKindName(kind);
+            EXPECT_TRUE(r.correct())
+                << "seed=" << seed << " "
+                << sync::schemeKindName(kind) << ": "
+                << (r.violations.empty() ? ""
+                                         : r.violations.front());
+        }
+    }
+}
+
+TEST(RandomLoopProperty2, SingleProcessorAlwaysCorrect)
+{
+    // P=1 degenerates to sequential execution; any scheme must
+    // still satisfy its dependences trivially.
+    workloads::SyntheticSpec spec;
+    spec.seed = 7;
+    spec.n = 24;
+    dep::Loop loop = workloads::makeSyntheticLoop(spec);
+    core::RunConfig cfg;
+    cfg.machine.numProcs = 1;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 4096;
+    cfg.tickLimit = 100000000;
+    for (auto kind : sync::allSyncSchemes()) {
+        if (kind == sync::SchemeKind::instanceBased ||
+            kind == sync::SchemeKind::referenceBased) {
+            cfg.machine.fabric = sim::FabricKind::memory;
+        } else {
+            cfg.machine.fabric = sim::FabricKind::registers;
+        }
+        auto r = core::runDoacross(loop, kind, cfg);
+        ASSERT_TRUE(r.run.completed);
+        EXPECT_TRUE(r.correct()) << sync::schemeKindName(kind);
+    }
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Example 1 end-to-end: asynchronous pipelining vs wavefront, the
+ * G-grouping tradeoff, and statement-counter degradation — all
+ * trace-verified against the relaxation loop's dependences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "core/trace_check.hh"
+#include "dep/dep_graph.hh"
+#include "workloads/relaxation.hh"
+
+using namespace psync;
+
+namespace {
+
+sim::MachineConfig
+regConfig(unsigned procs)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = sim::FabricKind::registers;
+    cfg.syncRegisters = 256;
+    return cfg;
+}
+
+struct PipelineRun
+{
+    core::RunResult result;
+    std::vector<std::string> violations;
+};
+
+PipelineRun
+runPipelined(const workloads::RelaxationSpec &spec, unsigned procs,
+             unsigned num_pcs)
+{
+    core::TraceChecker checker;
+    sim::Machine machine(regConfig(procs), &checker);
+    sync::PcFile pcs(machine.fabric(), num_pcs);
+    dep::Loop loop = workloads::makeRelaxationLoop(spec.n,
+                                                   spec.stmtCost);
+    dep::DataLayout layout(loop);
+    auto programs = workloads::buildPipelinedPrograms(pcs, loop,
+                                                      layout, spec);
+    PipelineRun out;
+    out.result = core::runProgramPool(
+        machine, programs, core::SchedulePolicy::selfScheduling);
+    dep::DepGraph graph(loop);
+    out.violations = checker.verify(loop, graph.crossIteration());
+    return out;
+}
+
+} // namespace
+
+TEST(RelaxationTest, PipelinedCorrectAndParallel)
+{
+    workloads::RelaxationSpec spec;
+    spec.n = 16;
+    spec.group = 1;
+    auto run = runPipelined(spec, 4, 16);
+    ASSERT_TRUE(run.result.completed);
+    EXPECT_TRUE(run.violations.empty())
+        << (run.violations.empty() ? "" : run.violations.front());
+    EXPECT_EQ(run.result.programsRun, 15u);
+}
+
+TEST(RelaxationTest, BasicPrimitivesAlsoCorrect)
+{
+    workloads::RelaxationSpec spec;
+    spec.n = 12;
+    spec.group = 2;
+    spec.improved = false;
+    auto run = runPipelined(spec, 4, 8);
+    ASSERT_TRUE(run.result.completed);
+    EXPECT_TRUE(run.violations.empty());
+}
+
+TEST(RelaxationTest, GroupingReducesSyncOps)
+{
+    workloads::RelaxationSpec fine, coarse;
+    fine.n = coarse.n = 24;
+    fine.group = 1;
+    coarse.group = 6;
+    auto fine_run = runPipelined(fine, 4, 16);
+    auto coarse_run = runPipelined(coarse, 4, 16);
+    ASSERT_TRUE(fine_run.result.completed);
+    ASSERT_TRUE(coarse_run.result.completed);
+    EXPECT_TRUE(fine_run.violations.empty());
+    EXPECT_TRUE(coarse_run.violations.empty());
+    EXPECT_LT(coarse_run.result.syncOps, fine_run.result.syncOps);
+}
+
+TEST(RelaxationTest, FoldedPcsStillCorrect)
+{
+    workloads::RelaxationSpec spec;
+    spec.n = 20;
+    for (unsigned x : {2u, 3u, 8u}) {
+        auto run = runPipelined(spec, 4, x);
+        ASSERT_TRUE(run.result.completed) << "X=" << x;
+        EXPECT_TRUE(run.violations.empty()) << "X=" << x;
+    }
+}
+
+TEST(RelaxationTest, WavefrontCorrect)
+{
+    workloads::RelaxationSpec spec;
+    spec.n = 12;
+    core::TraceChecker checker;
+    sim::Machine machine(regConfig(4), &checker);
+    sync::ButterflyBarrier barrier(machine.fabric(), 4);
+    dep::Loop loop = workloads::makeRelaxationLoop(spec.n,
+                                                   spec.stmtCost);
+    dep::DataLayout layout(loop);
+    auto programs = workloads::buildWavefrontPrograms(
+        barrier, 4, loop, layout, spec);
+    auto result = core::runPerProcessorPrograms(machine, programs);
+    ASSERT_TRUE(result.completed);
+    dep::DepGraph graph(loop);
+    auto violations = checker.verify(loop, graph.crossIteration());
+    EXPECT_TRUE(violations.empty())
+        << (violations.empty() ? "" : violations.front());
+}
+
+TEST(RelaxationTest, PipelinedBeatsWavefront)
+{
+    // Same parallel steps, but no global barrier stalls: the
+    // asynchronous pipeline should finish no later (Fig. 5.1).
+    workloads::RelaxationSpec spec;
+    spec.n = 32;
+    spec.stmtCost = 8;
+
+    auto pipe = runPipelined(spec, 8, 32);
+    ASSERT_TRUE(pipe.result.completed);
+
+    sim::Machine machine(regConfig(8));
+    sync::ButterflyBarrier barrier(machine.fabric(), 8);
+    dep::Loop loop = workloads::makeRelaxationLoop(spec.n,
+                                                   spec.stmtCost);
+    dep::DataLayout layout(loop);
+    auto programs = workloads::buildWavefrontPrograms(
+        barrier, 8, loop, layout, spec);
+    auto wave = core::runPerProcessorPrograms(machine, programs);
+    ASSERT_TRUE(wave.completed);
+
+    EXPECT_LT(pipe.result.cycles, wave.cycles);
+}
+
+TEST(RelaxationTest, ScPipelineNeedsManyCounters)
+{
+    workloads::RelaxationSpec spec;
+    spec.n = 33; // 32 inner sync points
+    EXPECT_EQ(workloads::requiredScs(spec, 64), 32u);
+    EXPECT_EQ(workloads::effectiveScGroup(spec, 64), 1);
+    // With only 4 SCs the group is forced to 8.
+    EXPECT_EQ(workloads::effectiveScGroup(spec, 4), 8);
+    EXPECT_EQ(workloads::requiredScs(spec, 4), 4u);
+}
+
+TEST(RelaxationTest, ScPipelineCorrectAndSlowerWhenStarved)
+{
+    workloads::RelaxationSpec spec;
+    spec.n = 25; // 24 sync points
+    spec.stmtCost = 8;
+
+    auto run_sc = [&](unsigned scs) {
+        core::TraceChecker checker;
+        sim::Machine machine(regConfig(4), &checker);
+        unsigned used = workloads::requiredScs(spec, scs);
+        sim::SyncVarId base = machine.fabric().allocate(used, 0);
+        dep::Loop loop = workloads::makeRelaxationLoop(spec.n,
+                                                       spec.stmtCost);
+        dep::DataLayout layout(loop);
+        auto programs = workloads::buildScPipelinedPrograms(
+            base, scs, loop, layout, spec);
+        auto result = core::runProgramPool(
+            machine, programs, core::SchedulePolicy::selfScheduling);
+        EXPECT_TRUE(result.completed);
+        dep::DepGraph graph(loop);
+        auto violations = checker.verify(loop, graph.crossIteration());
+        EXPECT_TRUE(violations.empty())
+            << "SCs=" << scs << " "
+            << (violations.empty() ? "" : violations.front());
+        return result.cycles;
+    };
+
+    sim::Tick rich = run_sc(64); // full fine-grain pipeline
+    sim::Tick poor = run_sc(2);  // starved: giant groups
+    EXPECT_LT(rich, poor);
+}

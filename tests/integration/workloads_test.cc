@@ -1,0 +1,140 @@
+/** @file Structural properties of the workload builders. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dep/dep_graph.hh"
+#include "sim/machine.hh"
+#include "workloads/branches.hh"
+#include "workloads/fft.hh"
+#include "workloads/fig21.hh"
+#include "workloads/nested.hh"
+#include "workloads/relaxation.hh"
+#include "workloads/synthetic.hh"
+
+using namespace psync;
+
+TEST(WorkloadsTest, Fig21Shape)
+{
+    dep::Loop loop = workloads::makeFig21Loop(100, 6);
+    EXPECT_EQ(loop.body.size(), 5u);
+    EXPECT_EQ(loop.iterations(), 100u);
+    for (const auto &stmt : loop.body) {
+        EXPECT_EQ(stmt.cost, 6u);
+        EXPECT_EQ(stmt.refs.size(), 1u);
+        EXPECT_FALSE(stmt.guard.conditional());
+    }
+    EXPECT_TRUE(loop.body[0].refs[0].isWrite);  // S1
+    EXPECT_FALSE(loop.body[1].refs[0].isWrite); // S2
+    EXPECT_TRUE(loop.body[3].refs[0].isWrite);  // S4
+}
+
+TEST(WorkloadsTest, JitterLoopKeepsFig21Deps)
+{
+    dep::Loop plain = workloads::makeFig21Loop(50);
+    dep::Loop jitter = workloads::makeFig21JitterLoop(50, 8, 100,
+                                                      0.3, 3);
+    dep::DepGraph g_plain(plain);
+    dep::DepGraph g_jitter(jitter);
+    // The delay statement carries no references, so the enforced
+    // dependence structure is unchanged.
+    EXPECT_EQ(g_plain.enforced().size(), g_jitter.enforced().size());
+    EXPECT_EQ(jitter.body.size(), 6u);
+    EXPECT_TRUE(jitter.body[1].guard.conditional());
+    EXPECT_TRUE(jitter.body[1].refs.empty());
+}
+
+TEST(WorkloadsTest, RelaxationDeps)
+{
+    dep::Loop loop = workloads::makeRelaxationLoop(16);
+    dep::DepGraph graph(loop);
+    // Exactly the two flow arcs (1,0) and (0,1); the (1,0) arc is
+    // covered by chains of (0,1) in the linearized space.
+    unsigned flow = 0;
+    for (const auto &d : graph.crossIteration()) {
+        EXPECT_EQ(d.type, dep::DepType::flow);
+        ++flow;
+    }
+    EXPECT_EQ(flow, 2u);
+}
+
+TEST(WorkloadsTest, BranchLoopArmsAreExclusive)
+{
+    dep::Loop loop = workloads::makeBranchLoop(200, 0.4);
+    unsigned taken_arm = 0, else_arm = 0;
+    for (std::uint64_t i = 1; i <= 200; ++i) {
+        bool s4 = dep::stmtActive(loop, loop.body[3], i);
+        bool s5 = dep::stmtActive(loop, loop.body[4], i);
+        EXPECT_NE(s4, s5) << "iteration " << i;
+        taken_arm += s4;
+        else_arm += s5;
+    }
+    EXPECT_EQ(taken_arm + else_arm, 200u);
+    EXPECT_NEAR(taken_arm / 200.0, 0.4, 0.12);
+}
+
+TEST(WorkloadsTest, SyntheticAlwaysHasAWrite)
+{
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+        workloads::SyntheticSpec spec;
+        spec.seed = seed;
+        spec.writeProb = 0.05; // writes rare: forcing path matters
+        dep::Loop loop = workloads::makeSyntheticLoop(spec);
+        bool any_write = false;
+        for (const auto &stmt : loop.body) {
+            for (const auto &ref : stmt.refs)
+                any_write = any_write || ref.isWrite;
+        }
+        EXPECT_TRUE(any_write) << "seed " << seed;
+    }
+}
+
+TEST(WorkloadsTest, SyntheticRespectsSpecBounds)
+{
+    workloads::SyntheticSpec spec;
+    spec.seed = 4;
+    spec.n = 77;
+    spec.numStatements = 6;
+    spec.numArrays = 3;
+    spec.maxOffset = 2;
+    spec.minCost = 5;
+    spec.maxCost = 9;
+    dep::Loop loop = workloads::makeSyntheticLoop(spec);
+    EXPECT_EQ(loop.body.size(), 6u);
+    EXPECT_EQ(loop.iterations(), 77u);
+    for (const auto &stmt : loop.body) {
+        EXPECT_GE(stmt.cost, 5u);
+        EXPECT_LE(stmt.cost, 9u);
+        for (const auto &ref : stmt.refs) {
+            EXPECT_LE(std::abs(ref.subs[0].offset), 2);
+            EXPECT_EQ(ref.subs[0].coeffI, 1);
+        }
+    }
+}
+
+TEST(WorkloadsTest, FftOutboxesAreDisjoint)
+{
+    // Different (pid, step) pairs must never share outbox words.
+    workloads::FftSpec spec;
+    spec.numProcs = 8;
+    spec.rounds = 3;
+    sim::MachineConfig mc;
+    mc.numProcs = 8;
+    mc.syncRegisters = 64;
+    sim::Machine m(mc);
+    sim::SyncVarId base = m.fabric().allocate(8, 0);
+    auto progs = workloads::buildFftPairwise(base, spec);
+
+    std::set<sim::Addr> writes;
+    for (const auto &list : progs) {
+        for (const auto &prog : list) {
+            for (const auto &op : prog.ops) {
+                if (op.kind == sim::OpKind::dataWrite) {
+                    EXPECT_TRUE(writes.insert(op.addr).second)
+                        << "duplicate outbox word";
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+/** @file Write-through invalidate data caches. */
+
+#include <gtest/gtest.h>
+
+#include "sim/bus.hh"
+#include "sim/cache.hh"
+
+using namespace psync::sim;
+
+namespace {
+
+struct Rig
+{
+    EventQueue eq;
+    Bus bus;
+    Memory mem;
+    CacheSystem caches;
+
+    explicit Rig(bool enabled = true, unsigned num_procs = 2)
+        : bus(eq, "data_bus", 1),
+          mem(eq, bus, MemoryConfig{}),
+          caches(eq, mem, num_procs, makeConfig(enabled))
+    {}
+
+    static CacheConfig
+    makeConfig(bool enabled)
+    {
+        CacheConfig cfg;
+        cfg.enabled = enabled;
+        cfg.linesPerProc = 8;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST(CacheTest, MissThenHitTiming)
+{
+    Rig rig;
+    Tick first_done = 0, second_done = 0, start2 = 0;
+    rig.eq.schedule(0, [&]() {
+        rig.caches.read(0, 64, [&]() {
+            first_done = rig.eq.now();
+            start2 = rig.eq.now();
+            rig.caches.read(0, 64, [&]() {
+                second_done = rig.eq.now();
+            });
+        });
+    });
+    rig.eq.run();
+    EXPECT_EQ(first_done, 5u);           // bus + module
+    EXPECT_EQ(second_done - start2, 1u); // hit
+    EXPECT_EQ(rig.caches.hits(), 1u);
+    EXPECT_EQ(rig.caches.misses(), 1u);
+}
+
+TEST(CacheTest, WriteInvalidatesOtherCopies)
+{
+    Rig rig;
+    bool done = false;
+    rig.eq.schedule(0, [&]() {
+        // P0 caches addr 64; P1 writes it; P0's next read misses.
+        rig.caches.read(0, 64, [&]() {
+            rig.caches.write(1, 64, [&]() {
+                rig.caches.read(0, 64, [&]() { done = true; });
+            });
+        });
+    });
+    rig.eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(rig.caches.invalidations(), 1u);
+    EXPECT_EQ(rig.caches.misses(), 2u);
+    EXPECT_EQ(rig.caches.hits(), 0u);
+}
+
+TEST(CacheTest, WriteThroughReachesMemory)
+{
+    Rig rig;
+    rig.eq.schedule(0, [&]() {
+        rig.caches.write(0, 128, []() {});
+        rig.caches.write(0, 128, []() {});
+    });
+    rig.eq.run();
+    EXPECT_EQ(rig.mem.totalAccesses(), 2u); // both go through
+}
+
+TEST(CacheTest, WriterReadsOwnLine)
+{
+    Rig rig;
+    rig.eq.schedule(0, [&]() {
+        rig.caches.write(0, 64, [&]() {
+            rig.caches.read(0, 64, []() {});
+        });
+    });
+    rig.eq.run();
+    EXPECT_EQ(rig.caches.hits(), 1u); // fill on write
+}
+
+TEST(CacheTest, ConflictEviction)
+{
+    Rig rig; // 8 lines, word-indexed: 64 and 64 + 8*8 collide
+    rig.eq.schedule(0, [&]() {
+        rig.caches.read(0, 64, [&]() {
+            rig.caches.read(0, 64 + 8 * 8, [&]() {
+                rig.caches.read(0, 64, []() {});
+            });
+        });
+    });
+    rig.eq.run();
+    EXPECT_EQ(rig.caches.misses(), 3u);
+    EXPECT_EQ(rig.caches.hits(), 0u);
+}
+
+TEST(CacheTest, DisabledPassesThrough)
+{
+    Rig rig(false);
+    rig.eq.schedule(0, [&]() {
+        rig.caches.read(0, 64, [&]() {
+            rig.caches.read(0, 64, []() {});
+        });
+    });
+    rig.eq.run();
+    EXPECT_EQ(rig.mem.totalAccesses(), 2u);
+    EXPECT_EQ(rig.caches.hits(), 0u);
+    EXPECT_EQ(rig.caches.misses(), 0u);
+    EXPECT_FALSE(rig.caches.enabled());
+}
+
+TEST(CacheTest, HitRate)
+{
+    Rig rig;
+    rig.eq.schedule(0, [&]() {
+        rig.caches.read(0, 64, [&]() {
+            rig.caches.read(0, 64, [&]() {
+                rig.caches.read(0, 64, []() {});
+            });
+        });
+    });
+    rig.eq.run();
+    EXPECT_NEAR(rig.caches.hitRate(), 2.0 / 3.0, 1e-9);
+}

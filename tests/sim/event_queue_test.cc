@@ -1,0 +1,87 @@
+/** @file Deterministic ordering and draining of the DES core. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace psync::sim;
+
+TEST(EventQueueTest, RunsInTickOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int k = 0; k < 8; ++k)
+        eq.schedule(5, [&order, k]() { order.push_back(k); });
+    EXPECT_TRUE(eq.run());
+    for (int k = 0; k < 8; ++k)
+        EXPECT_EQ(order[k], k);
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(2, chain);
+    };
+    eq.schedule(0, chain);
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 8u);
+}
+
+TEST(EventQueueTest, LimitStopsEarly)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(5, []() {});
+    eq.schedule(100, [&]() { late = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueueTest, ZeroDelayRunsAtSameTick)
+{
+    EventQueue eq;
+    Tick seen = maxTick;
+    eq.schedule(7, [&]() {
+        eq.scheduleIn(0, [&]() { seen = eq.now(); });
+    });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int k = 0; k < 10; ++k)
+        eq.schedule(k, []() {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 10u);
+}
+
+TEST(EventQueueTest, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&eq]() {
+        EXPECT_DEATH(eq.schedule(5, []() {}), "past");
+    });
+    eq.run();
+}

@@ -1,0 +1,42 @@
+/** @file Logging and error-termination helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace psync::sim;
+
+TEST(LoggingTest, CsprintfFormats)
+{
+    EXPECT_EQ(csprintf("x=%d y=%s", 7, "ok"), "x=7 y=ok");
+    EXPECT_EQ(csprintf("%05u", 42u), "00042");
+    EXPECT_EQ(csprintf("plain"), "plain");
+}
+
+TEST(LoggingTest, CsprintfLongStrings)
+{
+    std::string big(5000, 'a');
+    std::string out = csprintf("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d broken", 3),
+                 "invariant 3 broken");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "bad config x");
+}
+
+TEST(LoggingTest, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning %d", 1);
+    inform("just info %d", 2);
+    SUCCEED();
+}

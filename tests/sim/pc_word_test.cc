@@ -1,0 +1,50 @@
+/** @file <owner, step> packing and its ordering (section 6). */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+using namespace psync::sim;
+
+TEST(PcWordTest, PackUnpackRoundTrip)
+{
+    SyncWord w = PcWord::pack(123456, 789);
+    EXPECT_EQ(PcWord::owner(w), 123456u);
+    EXPECT_EQ(PcWord::step(w), 789u);
+}
+
+TEST(PcWordTest, OrderingMatchesPaperDefinition)
+{
+    // <w,x> >= <y,z> iff w>y, or w==y and x>=z.
+    EXPECT_GT(PcWord::pack(2, 0), PcWord::pack(1, 999));
+    EXPECT_GE(PcWord::pack(3, 5), PcWord::pack(3, 5));
+    EXPECT_GT(PcWord::pack(3, 6), PcWord::pack(3, 5));
+    EXPECT_LT(PcWord::pack(3, 4), PcWord::pack(3, 5));
+    EXPECT_LT(PcWord::pack(2, 999999), PcWord::pack(3, 0));
+}
+
+TEST(PcWordTest, TransferValueCoversAllSteps)
+{
+    // transfer_PC writes <i+X, 0>, which must satisfy any waiter on
+    // <i, step> for every step.
+    SyncWord transferred = PcWord::pack(10 + 4, 0);
+    for (std::uint32_t step = 0; step < 100; ++step)
+        EXPECT_GE(transferred, PcWord::pack(10, step));
+}
+
+TEST(PcWordTest, MonotoneUpdateSequence)
+{
+    // set_PC(1), set_PC(2), ..., release_PC: strictly increasing.
+    SyncWord prev = PcWord::pack(7, 0);
+    for (std::uint32_t step = 1; step <= 5; ++step) {
+        SyncWord next = PcWord::pack(7, step);
+        EXPECT_GT(next, prev);
+        prev = next;
+    }
+    EXPECT_GT(PcWord::pack(7 + 16, 0), prev);
+}
+
+TEST(PcWordTest, ZeroIsMinimal)
+{
+    EXPECT_EQ(PcWord::pack(0, 0), 0u);
+}

@@ -1,0 +1,98 @@
+/** @file Op builders and program disassembly. */
+
+#include <gtest/gtest.h>
+
+#include "sim/program.hh"
+
+using namespace psync::sim;
+
+TEST(ProgramTest, BuildersFillFields)
+{
+    Op c = Op::mkCompute(12);
+    EXPECT_EQ(c.kind, OpKind::compute);
+    EXPECT_EQ(c.cycles, 12u);
+
+    Op r = Op::mkData(false, 0x100, 3, 2);
+    EXPECT_EQ(r.kind, OpKind::dataRead);
+    EXPECT_EQ(r.addr, 0x100u);
+    EXPECT_EQ(r.stmt, 3u);
+    EXPECT_EQ(r.ref, 2u);
+
+    Op w = Op::mkData(true, 0x200, 1);
+    EXPECT_EQ(w.kind, OpKind::dataWrite);
+
+    Op wait = Op::mkWaitGE(7, PcWord::pack(4, 2));
+    EXPECT_EQ(wait.kind, OpKind::syncWaitGE);
+    EXPECT_EQ(wait.var, 7u);
+    EXPECT_EQ(PcWord::owner(wait.value), 4u);
+
+    Op inc = Op::mkFetchInc(9);
+    EXPECT_EQ(inc.kind, OpKind::syncFetchInc);
+
+    Op mark = Op::mkPcMark(2, PcWord::pack(6, 1));
+    EXPECT_EQ(mark.kind, OpKind::pcMark);
+
+    Op xfer = Op::mkPcTransfer(2, PcWord::pack(10, 0),
+                               PcWord::pack(6, 0));
+    EXPECT_EQ(xfer.kind, OpKind::pcTransfer);
+    EXPECT_EQ(xfer.aux, PcWord::pack(6, 0));
+
+    Op bar = Op::mkCtrBarrier(1, 2, 3, 8);
+    EXPECT_EQ(bar.kind, OpKind::ctrBarrier);
+    EXPECT_EQ(bar.var, 1u);
+    EXPECT_EQ(bar.aux, 2u);
+    EXPECT_EQ(bar.value, 3u);
+    EXPECT_EQ(bar.cycles, 8u);
+}
+
+TEST(ProgramTest, OpKindNamesDistinct)
+{
+    EXPECT_STREQ(opKindName(OpKind::compute), "compute");
+    EXPECT_STREQ(opKindName(OpKind::pcMark), "pc_mark");
+    EXPECT_STREQ(opKindName(OpKind::pcTransfer), "pc_transfer");
+    EXPECT_STREQ(opKindName(OpKind::ctrBarrier), "ctr_barrier");
+    EXPECT_STREQ(opKindName(OpKind::stmtStart), "stmt_start");
+}
+
+TEST(ProgramTest, DisassembleShowsOwnerStepPairs)
+{
+    Program prog;
+    prog.iter = 42;
+    prog.ops = {Op::mkWaitGE(3, PcWord::pack(40, 2)),
+                Op::mkCompute(5),
+                Op::mkWrite(3, PcWord::pack(42, 1))};
+    std::string text = disassemble(prog);
+    EXPECT_NE(text.find("iter 42"), std::string::npos);
+    EXPECT_NE(text.find("ge=<40,2>"), std::string::npos);
+    EXPECT_NE(text.find("val=<42,1>"), std::string::npos);
+    EXPECT_NE(text.find("compute 5"), std::string::npos);
+}
+
+TEST(ProgramTest, DisassembleEveryKind)
+{
+    Program prog;
+    prog.iter = 1;
+    prog.ops = {Op::mkCompute(1),
+                Op::mkData(false, 8, 0),
+                Op::mkData(true, 16, 0),
+                Op::mkWaitGE(0, 1),
+                Op::mkWrite(0, 1),
+                Op::mkFetchInc(0),
+                Op::mkPcMark(0, 1),
+                Op::mkPcTransfer(0, 2, 1),
+                Op::mkCtrBarrier(0, 1, 1, 4),
+                Op::mkStmtStart(0),
+                Op::mkStmtEnd(0)};
+    std::string text = disassemble(prog);
+    for (const Op &op : prog.ops)
+        EXPECT_NE(text.find(opKindName(op.kind)), std::string::npos);
+}
+
+TEST(ProgramTest, DefaultTraceSinkIgnoresEverything)
+{
+    TraceSink sink;
+    sink.stmtStart(0, 1, 2);
+    sink.stmtEnd(0, 1, 3);
+    sink.access(0, 0, 1, 8, true, 2, 3);
+    SUCCEED();
+}

@@ -1,0 +1,62 @@
+/** @file Determinism and distribution sanity of the RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+using namespace psync::sim;
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int k = 0; k < 100; ++k)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int k = 0; k < 64; ++k) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int k = 0; k < 1000; ++k) {
+        std::uint64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int k = 0; k < 10000; ++k) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceRespectsBias)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int k = 0; k < 10000; ++k)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}

@@ -1,0 +1,69 @@
+/** @file Statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/stats.hh"
+
+using namespace psync::sim::stats;
+
+TEST(StatsTest, ScalarAccumulates)
+{
+    Scalar s("s");
+    s += 3;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(StatsTest, VectorAggregates)
+{
+    Vector v("v", 4);
+    v[0] = 1;
+    v[1] = 5;
+    v[3] = 2;
+    EXPECT_DOUBLE_EQ(v.total(), 8.0);
+    EXPECT_DOUBLE_EQ(v.maxValue(), 5.0);
+    EXPECT_DOUBLE_EQ(v.mean(), 2.0);
+}
+
+TEST(StatsTest, DistributionMoments)
+{
+    Distribution d("d");
+    d.sample(2);
+    d.sample(4);
+    d.sample(6);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 2.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 6.0);
+    EXPECT_NEAR(d.variance(), 8.0 / 3.0, 1e-9);
+}
+
+TEST(StatsTest, DistributionWeightedSamples)
+{
+    Distribution d("d");
+    d.sample(3, 4);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.sum(), 12.0);
+}
+
+TEST(StatsTest, EmptyDistributionIsZero)
+{
+    Distribution d("d");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 0.0);
+}
+
+TEST(StatsTest, DumpContainsNameAndValue)
+{
+    Scalar s("my.stat");
+    s += 42;
+    std::ostringstream os;
+    dump(os, s);
+    EXPECT_NE(os.str().find("my.stat"), std::string::npos);
+    EXPECT_NE(os.str().find("42"), std::string::npos);
+}

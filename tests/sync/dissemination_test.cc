@@ -1,0 +1,118 @@
+/** @file Dissemination barrier — any processor count. */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "sim/machine.hh"
+#include "sync/barrier.hh"
+#include "workloads/butterfly.hh"
+
+using namespace psync;
+
+namespace {
+
+sim::MachineConfig
+config(unsigned procs)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = sim::FabricKind::registers;
+    cfg.syncRegisters = 2 * procs + 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(DisseminationTest, RoundsAreCeilLog2)
+{
+    auto cfg = config(4);
+    cfg.syncRegisters = 64; // four barriers share this fabric
+    sim::Machine m(cfg);
+    EXPECT_EQ(sync::DisseminationBarrier(m.fabric(), 2).rounds(),
+              1u);
+    EXPECT_EQ(sync::DisseminationBarrier(m.fabric(), 3).rounds(),
+              2u);
+    EXPECT_EQ(sync::DisseminationBarrier(m.fabric(), 8).rounds(),
+              3u);
+    EXPECT_EQ(sync::DisseminationBarrier(m.fabric(), 9).rounds(),
+              4u);
+}
+
+TEST(DisseminationTest, NonPowerOfTwoProcessorCounts)
+{
+    for (unsigned p : {2u, 3u, 5u, 6u, 7u, 12u, 13u}) {
+        sim::Machine m(config(p));
+        sync::DisseminationBarrier barrier(m.fabric(), p);
+        workloads::BarrierSpec spec;
+        spec.numProcs = p;
+        spec.episodes = 5;
+        spec.workCost = 10;
+        spec.workJitter = 40;
+        auto progs =
+            workloads::buildDisseminationPrograms(barrier, spec);
+        auto r = core::runPerProcessorPrograms(m, progs);
+        ASSERT_TRUE(r.completed) << "P=" << p;
+    }
+}
+
+TEST(DisseminationTest, NoArrivalEscapesEarly)
+{
+    const unsigned p = 6;
+    sim::Machine m(config(p));
+    sync::DisseminationBarrier barrier(m.fabric(), p);
+    workloads::BarrierSpec spec;
+    spec.numProcs = p;
+    spec.episodes = 1;
+    spec.workCost = 10;
+    auto progs = workloads::buildDisseminationPrograms(barrier, spec);
+    // Processor 4 is 300 cycles slower than everyone else.
+    progs[4][0].ops.insert(progs[4][0].ops.begin(),
+                           sim::Op::mkCompute(300));
+    auto r = core::runPerProcessorPrograms(m, progs);
+    ASSERT_TRUE(r.completed);
+    for (unsigned q = 0; q < p; ++q)
+        EXPECT_GE(m.proc(q).haltTick(), 310u) << "proc " << q;
+}
+
+TEST(DisseminationTest, MatchesButterflyOnPowersOfTwo)
+{
+    // Same round count and write/wait volume as the butterfly when
+    // P is a power of two.
+    const unsigned p = 8;
+    workloads::BarrierSpec spec;
+    spec.numProcs = p;
+    spec.episodes = 8;
+    spec.workCost = 16;
+
+    sim::Machine md(config(p));
+    sync::DisseminationBarrier dis(md.fabric(), p);
+    auto rd = core::runPerProcessorPrograms(
+        md, workloads::buildDisseminationPrograms(dis, spec));
+
+    sim::Machine mb(config(p));
+    sync::ButterflyBarrier bf(mb.fabric(), p);
+    auto rb = core::runPerProcessorPrograms(
+        mb, workloads::buildButterflyPrograms(bf, spec));
+
+    ASSERT_TRUE(rd.completed);
+    ASSERT_TRUE(rb.completed);
+    EXPECT_EQ(rd.syncOps, rb.syncOps);
+    // Cycle counts may differ slightly (different partner
+    // patterns), but stay in the same ballpark.
+    EXPECT_NEAR(static_cast<double>(rd.cycles),
+                static_cast<double>(rb.cycles),
+                0.25 * rb.cycles);
+}
+
+TEST(DisseminationTest, SingleProcessorDegenerates)
+{
+    sim::Machine m(config(1));
+    sync::DisseminationBarrier barrier(m.fabric(), 1);
+    workloads::BarrierSpec spec;
+    spec.numProcs = 1;
+    spec.episodes = 3;
+    spec.workCost = 5;
+    auto progs = workloads::buildDisseminationPrograms(barrier, spec);
+    auto r = core::runPerProcessorPrograms(m, progs);
+    EXPECT_TRUE(r.completed);
+}

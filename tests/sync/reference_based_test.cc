@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Reference-based keys: the access-order numbering must reproduce
+ * Fig. 3.1a, where both reads of a written value share one order
+ * number and may proceed in parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+#include "sync/reference_based.hh"
+#include "workloads/branches.hh"
+#include "workloads/fig21.hh"
+#include "workloads/nested.hh"
+
+using namespace psync;
+using sim::OpKind;
+
+namespace {
+
+sim::MachineConfig
+memConfig()
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = 4;
+    cfg.fabric = sim::FabricKind::memory;
+    return cfg;
+}
+
+struct Rig
+{
+    sim::Machine machine;
+    dep::Loop loop;
+    dep::DepGraph graph;
+    dep::DataLayout layout;
+    sync::ReferenceBasedScheme scheme;
+    sync::SchemePlan plan;
+
+    explicit Rig(dep::Loop l)
+        : machine(memConfig()),
+          loop(std::move(l)),
+          graph(loop),
+          layout(loop),
+          scheme()
+    {
+        sync::SchemeConfig cfg;
+        plan = scheme.plan(graph, layout, machine.fabric(), cfg);
+    }
+};
+
+} // namespace
+
+TEST(ReferenceBasedTest, OneKeyPerElement)
+{
+    Rig rig(workloads::makeFig21Loop(16));
+    // A[0..19]: 20 elements, 20 keys.
+    EXPECT_EQ(rig.plan.numSyncVars, 20u);
+    EXPECT_EQ(rig.plan.initWrites, 20u);
+}
+
+TEST(ReferenceBasedTest, Fig31aOrderNumbers)
+{
+    // Element A[i+3] (deep inside the loop) is accessed in
+    // sequential order: S1 write (iter i), S2 read (i+2), S3 read
+    // (i+1), S4 write (i+3), S5 read (i+4).
+    // Orders: write 0; the two reads both 1 (read run); the second
+    // write 3; the final read 4 — exactly the circles in Fig. 3.1a.
+    Rig rig(workloads::makeFig21Loop(32));
+
+    std::uint64_t i = 10;
+    EXPECT_EQ(rig.scheme.orderOf(i, 0, 0), 0u);        // S1 write
+    EXPECT_EQ(rig.scheme.orderOf(i + 2, 1, 0), 1u);    // S2 read
+    EXPECT_EQ(rig.scheme.orderOf(i + 1, 2, 0), 1u);    // S3 read
+    EXPECT_EQ(rig.scheme.orderOf(i + 3, 3, 0), 3u);    // S4 write
+    EXPECT_EQ(rig.scheme.orderOf(i + 4, 4, 0), 4u);    // S5 read
+}
+
+TEST(ReferenceBasedTest, SharedReadOrderUsesSameKey)
+{
+    Rig rig(workloads::makeFig21Loop(32));
+    // S2@i+2 and S3@i+1 touch the same element => same key.
+    const auto &s2 = rig.loop.body[1].refs[0];
+    const auto &s3 = rig.loop.body[2].refs[0];
+    EXPECT_EQ(rig.scheme.keyOf(s2, 12, 0), rig.scheme.keyOf(s3, 11, 0));
+}
+
+TEST(ReferenceBasedTest, EmissionWaitsAccessesIncrements)
+{
+    Rig rig(workloads::makeFig21Loop(32));
+    sim::Program prog = rig.scheme.emit(10);
+
+    // Each of the 5 refs: wait, access, fetch-inc, in that order.
+    unsigned triples = 0;
+    for (size_t k = 0; k + 2 < prog.ops.size(); ++k) {
+        if (prog.ops[k].kind == OpKind::syncWaitGE &&
+            (prog.ops[k + 1].kind == OpKind::dataRead ||
+             prog.ops[k + 1].kind == OpKind::dataWrite) &&
+            prog.ops[k + 2].kind == OpKind::syncFetchInc) {
+            EXPECT_EQ(prog.ops[k].var, prog.ops[k + 2].var);
+            ++triples;
+        }
+    }
+    EXPECT_EQ(triples, 5u);
+}
+
+TEST(ReferenceBasedTest, BoundaryElementsGetSmallerOrders)
+{
+    // A[I+3] at the last iterations is never re-accessed: the order
+    // numbers per element simply stop growing. First iteration's
+    // reads of A[2] (never written): order 0 immediately.
+    Rig rig(workloads::makeFig21Loop(8));
+    // S3 reads A[I+2]: at I=1 reads A[3]... written by S1@0? No:
+    // A[3] < A[1+3]=A[4]; A[3] is written by... I+3=3 -> I=0 (out
+    // of range). So first access order is 0.
+    EXPECT_EQ(rig.scheme.orderOf(1, 2, 0), 0u);
+}
+
+TEST(ReferenceBasedTest, NestedLoopPaysBoundaryCheckCost)
+{
+    Rig nested(workloads::makeNestedLoop(6, 6));
+    sim::Program prog = nested.scheme.emit(8);
+    // First op: the O(r*d) boundary-check compute.
+    ASSERT_FALSE(prog.ops.empty());
+    EXPECT_EQ(prog.ops.front().kind, OpKind::compute);
+    // r = 5 refs, d = 2, default cost 2 -> 20 cycles.
+    EXPECT_EQ(prog.ops.front().cycles, 20u);
+
+    Rig flat(workloads::makeFig21Loop(16));
+    sim::Program flat_prog = flat.scheme.emit(8);
+    EXPECT_NE(flat_prog.ops.front().kind, OpKind::compute);
+}
+
+TEST(ReferenceBasedTest, GuardedStatementsGetConsistentOrders)
+{
+    // With branches, order numbers follow the *resolved* execution,
+    // so an untaken writer simply doesn't bump its element's count.
+    dep::Loop loop = workloads::makeBranchLoop(64, 0.5, 4, 8, 16, 7);
+    Rig rig(std::move(loop));
+    EXPECT_GT(rig.plan.numSyncVars, 0u);
+}

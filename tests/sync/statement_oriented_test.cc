@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Statement-oriented Advance/Await codegen (Fig. 3.2) and its
+ * hallmark serialization behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "sim/machine.hh"
+#include "sync/statement_oriented.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+using sim::Op;
+using sim::OpKind;
+
+namespace {
+
+sim::MachineConfig
+regConfig(unsigned procs = 4)
+{
+    sim::MachineConfig cfg;
+    cfg.numProcs = procs;
+    cfg.fabric = sim::FabricKind::registers;
+    cfg.syncRegisters = 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(StatementOrientedTest, OneCounterPerSourceStatement)
+{
+    sim::Machine machine(regConfig());
+    dep::Loop loop = workloads::makeFig21Loop(32);
+    dep::DepGraph graph(loop);
+    dep::DataLayout layout(loop);
+    sync::StatementOrientedScheme scheme;
+    sync::SchemeConfig cfg;
+    auto plan = scheme.plan(graph, layout, machine.fabric(), cfg);
+
+    // Sources S1, S2, S3, S4 -> 4 SCs.
+    EXPECT_EQ(plan.numSyncVars, 4u);
+    EXPECT_TRUE(scheme.isSource(0));
+    EXPECT_TRUE(scheme.isSource(1));
+    EXPECT_TRUE(scheme.isSource(2));
+    EXPECT_TRUE(scheme.isSource(3));
+    EXPECT_FALSE(scheme.isSource(4));
+}
+
+TEST(StatementOrientedTest, AdvanceIsWaitThenSet)
+{
+    sim::Machine machine(regConfig());
+    dep::Loop loop = workloads::makeFig21Loop(32);
+    dep::DepGraph graph(loop);
+    dep::DataLayout layout(loop);
+    sync::StatementOrientedScheme scheme;
+    sync::SchemeConfig cfg;
+    scheme.plan(graph, layout, machine.fabric(), cfg);
+
+    sim::Program prog = scheme.emit(10);
+    // Every Advance: waitGE(sc, 9) immediately followed by
+    // write(sc, 10).
+    unsigned advances = 0;
+    for (size_t k = 0; k + 1 < prog.ops.size(); ++k) {
+        const Op &a = prog.ops[k];
+        const Op &b = prog.ops[k + 1];
+        if (a.kind == OpKind::syncWaitGE &&
+            b.kind == OpKind::syncWrite && a.var == b.var) {
+            EXPECT_EQ(a.value, 9u);
+            EXPECT_EQ(b.value, 10u);
+            ++advances;
+        }
+    }
+    EXPECT_EQ(advances, 4u);
+}
+
+TEST(StatementOrientedTest, AwaitThresholds)
+{
+    sim::Machine machine(regConfig());
+    dep::Loop loop = workloads::makeFig21Loop(32);
+    dep::DepGraph graph(loop);
+    dep::DataLayout layout(loop);
+    sync::StatementOrientedScheme scheme;
+    sync::SchemeConfig cfg;
+    scheme.plan(graph, layout, machine.fabric(), cfg);
+
+    sim::Program prog = scheme.emit(10);
+    // S2's Await on S1's counter must be sc[S1] >= 10-2 = 8.
+    bool found = false;
+    for (const Op &op : prog.ops) {
+        if (op.kind == OpKind::syncWaitGE &&
+            op.var == scheme.scVarOf(0) && op.value == 8u) {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(StatementOrientedTest, TooFewCountersIsFatal)
+{
+    sim::Machine machine(regConfig());
+    dep::Loop loop = workloads::makeFig21Loop(32);
+    dep::DepGraph graph(loop);
+    dep::DataLayout layout(loop);
+    sync::StatementOrientedScheme scheme;
+    sync::SchemeConfig cfg;
+    cfg.numScs = 2; // needs 4
+    EXPECT_EXIT(scheme.plan(graph, layout, machine.fabric(), cfg),
+                ::testing::ExitedWithCode(1), "statement counters");
+}
+
+TEST(StatementOrientedTest, DelayedProcessStallsSuccessors)
+{
+    // The section 4 criticism: under SCs, one slow process delays
+    // the Advance chain of *every* later process; under PCs only
+    // the real dependence sinks wait. A long guarded delay in a
+    // few iterations should therefore hurt the statement scheme
+    // more than the process scheme.
+    dep::Loop loop = workloads::makeFig21JitterLoop(
+        96, 4, 400, 0.10, 99);
+    core::RunConfig cfg;
+    cfg.machine = regConfig(8);
+    cfg.tickLimit = 10000000;
+
+    auto sc = core::runDoacross(
+        loop, sync::SchemeKind::statementOriented, cfg);
+    auto pc = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(sc.run.completed);
+    ASSERT_TRUE(pc.run.completed);
+    EXPECT_TRUE(sc.correct());
+    EXPECT_TRUE(pc.correct());
+    // Process-oriented must not lose; typically it wins clearly.
+    EXPECT_LE(pc.run.cycles, sc.run.cycles);
+}
