@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex1_relaxation.dir/bench_ex1_relaxation.cc.o"
+  "CMakeFiles/bench_ex1_relaxation.dir/bench_ex1_relaxation.cc.o.d"
+  "bench_ex1_relaxation"
+  "bench_ex1_relaxation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex1_relaxation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

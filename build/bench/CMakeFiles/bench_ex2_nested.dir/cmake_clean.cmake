@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex2_nested.dir/bench_ex2_nested.cc.o"
+  "CMakeFiles/bench_ex2_nested.dir/bench_ex2_nested.cc.o.d"
+  "bench_ex2_nested"
+  "bench_ex2_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex2_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

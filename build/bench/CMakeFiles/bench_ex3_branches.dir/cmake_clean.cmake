@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex3_branches.dir/bench_ex3_branches.cc.o"
+  "CMakeFiles/bench_ex3_branches.dir/bench_ex3_branches.cc.o.d"
+  "bench_ex3_branches"
+  "bench_ex3_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex3_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex4_butterfly.dir/bench_ex4_butterfly.cc.o"
+  "CMakeFiles/bench_ex4_butterfly.dir/bench_ex4_butterfly.cc.o.d"
+  "bench_ex4_butterfly"
+  "bench_ex4_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex4_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex5_fft.dir/bench_ex5_fft.cc.o"
+  "CMakeFiles/bench_ex5_fft.dir/bench_ex5_fft.cc.o.d"
+  "bench_ex5_fft"
+  "bench_ex5_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex5_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

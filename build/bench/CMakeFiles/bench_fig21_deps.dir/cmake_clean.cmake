@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_deps.dir/bench_fig21_deps.cc.o"
+  "CMakeFiles/bench_fig21_deps.dir/bench_fig21_deps.cc.o.d"
+  "bench_fig21_deps"
+  "bench_fig21_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig31_data_oriented.dir/bench_fig31_data_oriented.cc.o"
+  "CMakeFiles/bench_fig31_data_oriented.dir/bench_fig31_data_oriented.cc.o.d"
+  "bench_fig31_data_oriented"
+  "bench_fig31_data_oriented.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31_data_oriented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

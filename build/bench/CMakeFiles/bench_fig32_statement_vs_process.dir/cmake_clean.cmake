@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig32_statement_vs_process.dir/bench_fig32_statement_vs_process.cc.o"
+  "CMakeFiles/bench_fig32_statement_vs_process.dir/bench_fig32_statement_vs_process.cc.o.d"
+  "bench_fig32_statement_vs_process"
+  "bench_fig32_statement_vs_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32_statement_vs_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

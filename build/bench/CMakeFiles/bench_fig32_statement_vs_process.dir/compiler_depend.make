@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig32_statement_vs_process.
+# This may be replaced when dependencies are built.

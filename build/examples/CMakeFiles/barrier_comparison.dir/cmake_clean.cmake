@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barrier_comparison.dir/barrier_comparison.cpp.o"
+  "CMakeFiles/barrier_comparison.dir/barrier_comparison.cpp.o.d"
+  "barrier_comparison"
+  "barrier_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barrier_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_phases.dir/fft_phases.cpp.o"
+  "CMakeFiles/fft_phases.dir/fft_phases.cpp.o.d"
+  "fft_phases"
+  "fft_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

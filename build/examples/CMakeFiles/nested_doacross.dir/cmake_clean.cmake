@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_doacross.dir/nested_doacross.cpp.o"
+  "CMakeFiles/nested_doacross.dir/nested_doacross.cpp.o.d"
+  "nested_doacross"
+  "nested_doacross.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_doacross.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

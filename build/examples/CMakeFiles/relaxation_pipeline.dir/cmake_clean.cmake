@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relaxation_pipeline.dir/relaxation_pipeline.cpp.o"
+  "CMakeFiles/relaxation_pipeline.dir/relaxation_pipeline.cpp.o.d"
+  "relaxation_pipeline"
+  "relaxation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relaxation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/critical_path.cc" "src/core/CMakeFiles/psync_core.dir/critical_path.cc.o" "gcc" "src/core/CMakeFiles/psync_core.dir/critical_path.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/psync_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/psync_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/psync_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/psync_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/trace_check.cc" "src/core/CMakeFiles/psync_core.dir/trace_check.cc.o" "gcc" "src/core/CMakeFiles/psync_core.dir/trace_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/psync_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/psync_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psync_core.dir/critical_path.cc.o"
+  "CMakeFiles/psync_core.dir/critical_path.cc.o.d"
+  "CMakeFiles/psync_core.dir/metrics.cc.o"
+  "CMakeFiles/psync_core.dir/metrics.cc.o.d"
+  "CMakeFiles/psync_core.dir/runtime.cc.o"
+  "CMakeFiles/psync_core.dir/runtime.cc.o.d"
+  "CMakeFiles/psync_core.dir/trace_check.cc.o"
+  "CMakeFiles/psync_core.dir/trace_check.cc.o.d"
+  "libpsync_core.a"
+  "libpsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

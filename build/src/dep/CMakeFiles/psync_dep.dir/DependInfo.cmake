@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dep/dep_graph.cc" "src/dep/CMakeFiles/psync_dep.dir/dep_graph.cc.o" "gcc" "src/dep/CMakeFiles/psync_dep.dir/dep_graph.cc.o.d"
+  "/root/repo/src/dep/dependence.cc" "src/dep/CMakeFiles/psync_dep.dir/dependence.cc.o" "gcc" "src/dep/CMakeFiles/psync_dep.dir/dependence.cc.o.d"
+  "/root/repo/src/dep/loop_ir.cc" "src/dep/CMakeFiles/psync_dep.dir/loop_ir.cc.o" "gcc" "src/dep/CMakeFiles/psync_dep.dir/loop_ir.cc.o.d"
+  "/root/repo/src/dep/transform.cc" "src/dep/CMakeFiles/psync_dep.dir/transform.cc.o" "gcc" "src/dep/CMakeFiles/psync_dep.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/psync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

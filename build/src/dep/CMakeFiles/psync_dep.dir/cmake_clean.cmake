@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psync_dep.dir/dep_graph.cc.o"
+  "CMakeFiles/psync_dep.dir/dep_graph.cc.o.d"
+  "CMakeFiles/psync_dep.dir/dependence.cc.o"
+  "CMakeFiles/psync_dep.dir/dependence.cc.o.d"
+  "CMakeFiles/psync_dep.dir/loop_ir.cc.o"
+  "CMakeFiles/psync_dep.dir/loop_ir.cc.o.d"
+  "CMakeFiles/psync_dep.dir/transform.cc.o"
+  "CMakeFiles/psync_dep.dir/transform.cc.o.d"
+  "libpsync_dep.a"
+  "libpsync_dep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psync_dep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cc" "src/sim/CMakeFiles/psync_sim.dir/bus.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/bus.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/psync_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/psync_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/sim/CMakeFiles/psync_sim.dir/logging.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/logging.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/psync_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/sim/CMakeFiles/psync_sim.dir/memory.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/memory.cc.o.d"
+  "/root/repo/src/sim/omega_network.cc" "src/sim/CMakeFiles/psync_sim.dir/omega_network.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/omega_network.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/psync_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/processor.cc.o.d"
+  "/root/repo/src/sim/program.cc" "src/sim/CMakeFiles/psync_sim.dir/program.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/program.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/psync_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/stats.cc.o.d"
+  "/root/repo/src/sim/sync_fabric.cc" "src/sim/CMakeFiles/psync_sim.dir/sync_fabric.cc.o" "gcc" "src/sim/CMakeFiles/psync_sim.dir/sync_fabric.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psync_sim.dir/bus.cc.o"
+  "CMakeFiles/psync_sim.dir/bus.cc.o.d"
+  "CMakeFiles/psync_sim.dir/cache.cc.o"
+  "CMakeFiles/psync_sim.dir/cache.cc.o.d"
+  "CMakeFiles/psync_sim.dir/event_queue.cc.o"
+  "CMakeFiles/psync_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/psync_sim.dir/logging.cc.o"
+  "CMakeFiles/psync_sim.dir/logging.cc.o.d"
+  "CMakeFiles/psync_sim.dir/machine.cc.o"
+  "CMakeFiles/psync_sim.dir/machine.cc.o.d"
+  "CMakeFiles/psync_sim.dir/memory.cc.o"
+  "CMakeFiles/psync_sim.dir/memory.cc.o.d"
+  "CMakeFiles/psync_sim.dir/omega_network.cc.o"
+  "CMakeFiles/psync_sim.dir/omega_network.cc.o.d"
+  "CMakeFiles/psync_sim.dir/processor.cc.o"
+  "CMakeFiles/psync_sim.dir/processor.cc.o.d"
+  "CMakeFiles/psync_sim.dir/program.cc.o"
+  "CMakeFiles/psync_sim.dir/program.cc.o.d"
+  "CMakeFiles/psync_sim.dir/stats.cc.o"
+  "CMakeFiles/psync_sim.dir/stats.cc.o.d"
+  "CMakeFiles/psync_sim.dir/sync_fabric.cc.o"
+  "CMakeFiles/psync_sim.dir/sync_fabric.cc.o.d"
+  "libpsync_sim.a"
+  "libpsync_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

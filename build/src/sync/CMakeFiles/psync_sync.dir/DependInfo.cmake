@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/barrier.cc" "src/sync/CMakeFiles/psync_sync.dir/barrier.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/barrier.cc.o.d"
+  "/root/repo/src/sync/instance_based.cc" "src/sync/CMakeFiles/psync_sync.dir/instance_based.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/instance_based.cc.o.d"
+  "/root/repo/src/sync/pc_file.cc" "src/sync/CMakeFiles/psync_sync.dir/pc_file.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/pc_file.cc.o.d"
+  "/root/repo/src/sync/process_oriented.cc" "src/sync/CMakeFiles/psync_sync.dir/process_oriented.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/process_oriented.cc.o.d"
+  "/root/repo/src/sync/reference_based.cc" "src/sync/CMakeFiles/psync_sync.dir/reference_based.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/reference_based.cc.o.d"
+  "/root/repo/src/sync/scheme.cc" "src/sync/CMakeFiles/psync_sync.dir/scheme.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/scheme.cc.o.d"
+  "/root/repo/src/sync/statement_oriented.cc" "src/sync/CMakeFiles/psync_sync.dir/statement_oriented.cc.o" "gcc" "src/sync/CMakeFiles/psync_sync.dir/statement_oriented.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dep/CMakeFiles/psync_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

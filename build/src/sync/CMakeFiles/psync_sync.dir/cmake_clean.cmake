@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psync_sync.dir/barrier.cc.o"
+  "CMakeFiles/psync_sync.dir/barrier.cc.o.d"
+  "CMakeFiles/psync_sync.dir/instance_based.cc.o"
+  "CMakeFiles/psync_sync.dir/instance_based.cc.o.d"
+  "CMakeFiles/psync_sync.dir/pc_file.cc.o"
+  "CMakeFiles/psync_sync.dir/pc_file.cc.o.d"
+  "CMakeFiles/psync_sync.dir/process_oriented.cc.o"
+  "CMakeFiles/psync_sync.dir/process_oriented.cc.o.d"
+  "CMakeFiles/psync_sync.dir/reference_based.cc.o"
+  "CMakeFiles/psync_sync.dir/reference_based.cc.o.d"
+  "CMakeFiles/psync_sync.dir/scheme.cc.o"
+  "CMakeFiles/psync_sync.dir/scheme.cc.o.d"
+  "CMakeFiles/psync_sync.dir/statement_oriented.cc.o"
+  "CMakeFiles/psync_sync.dir/statement_oriented.cc.o.d"
+  "libpsync_sync.a"
+  "libpsync_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psync_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

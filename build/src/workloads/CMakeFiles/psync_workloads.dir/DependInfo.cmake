@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/branches.cc" "src/workloads/CMakeFiles/psync_workloads.dir/branches.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/branches.cc.o.d"
+  "/root/repo/src/workloads/butterfly.cc" "src/workloads/CMakeFiles/psync_workloads.dir/butterfly.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/butterfly.cc.o.d"
+  "/root/repo/src/workloads/fft.cc" "src/workloads/CMakeFiles/psync_workloads.dir/fft.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/fft.cc.o.d"
+  "/root/repo/src/workloads/fig21.cc" "src/workloads/CMakeFiles/psync_workloads.dir/fig21.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/fig21.cc.o.d"
+  "/root/repo/src/workloads/nested.cc" "src/workloads/CMakeFiles/psync_workloads.dir/nested.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/nested.cc.o.d"
+  "/root/repo/src/workloads/relaxation.cc" "src/workloads/CMakeFiles/psync_workloads.dir/relaxation.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/relaxation.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/psync_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/psync_workloads.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sync/CMakeFiles/psync_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/psync_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

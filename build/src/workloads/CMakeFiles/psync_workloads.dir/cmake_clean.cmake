@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psync_workloads.dir/branches.cc.o"
+  "CMakeFiles/psync_workloads.dir/branches.cc.o.d"
+  "CMakeFiles/psync_workloads.dir/butterfly.cc.o"
+  "CMakeFiles/psync_workloads.dir/butterfly.cc.o.d"
+  "CMakeFiles/psync_workloads.dir/fft.cc.o"
+  "CMakeFiles/psync_workloads.dir/fft.cc.o.d"
+  "CMakeFiles/psync_workloads.dir/fig21.cc.o"
+  "CMakeFiles/psync_workloads.dir/fig21.cc.o.d"
+  "CMakeFiles/psync_workloads.dir/nested.cc.o"
+  "CMakeFiles/psync_workloads.dir/nested.cc.o.d"
+  "CMakeFiles/psync_workloads.dir/relaxation.cc.o"
+  "CMakeFiles/psync_workloads.dir/relaxation.cc.o.d"
+  "CMakeFiles/psync_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/psync_workloads.dir/synthetic.cc.o.d"
+  "libpsync_workloads.a"
+  "libpsync_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psync_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

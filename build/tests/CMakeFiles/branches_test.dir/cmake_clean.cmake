@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branches_test.dir/integration/branches_test.cc.o"
+  "CMakeFiles/branches_test.dir/integration/branches_test.cc.o.d"
+  "branches_test"
+  "branches_test.pdb"
+  "branches_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branches_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_fft_test.dir/integration/butterfly_fft_test.cc.o"
+  "CMakeFiles/butterfly_fft_test.dir/integration/butterfly_fft_test.cc.o.d"
+  "butterfly_fft_test"
+  "butterfly_fft_test.pdb"
+  "butterfly_fft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_fft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

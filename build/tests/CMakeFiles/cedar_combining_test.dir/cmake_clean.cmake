@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cedar_combining_test.dir/sync/cedar_combining_test.cc.o"
+  "CMakeFiles/cedar_combining_test.dir/sync/cedar_combining_test.cc.o.d"
+  "cedar_combining_test"
+  "cedar_combining_test.pdb"
+  "cedar_combining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cedar_combining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_graph_test.dir/dep/dep_graph_test.cc.o"
+  "CMakeFiles/dep_graph_test.dir/dep/dep_graph_test.cc.o.d"
+  "dep_graph_test"
+  "dep_graph_test.pdb"
+  "dep_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

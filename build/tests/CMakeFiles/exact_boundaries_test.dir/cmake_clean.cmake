@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_boundaries_test.dir/integration/exact_boundaries_test.cc.o"
+  "CMakeFiles/exact_boundaries_test.dir/integration/exact_boundaries_test.cc.o.d"
+  "exact_boundaries_test"
+  "exact_boundaries_test.pdb"
+  "exact_boundaries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_boundaries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_integration_test.dir/integration/fig21_integration_test.cc.o"
+  "CMakeFiles/fig21_integration_test.dir/integration/fig21_integration_test.cc.o.d"
+  "fig21_integration_test"
+  "fig21_integration_test.pdb"
+  "fig21_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

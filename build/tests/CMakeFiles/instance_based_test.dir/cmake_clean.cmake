@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_based_test.dir/sync/instance_based_test.cc.o"
+  "CMakeFiles/instance_based_test.dir/sync/instance_based_test.cc.o.d"
+  "instance_based_test"
+  "instance_based_test.pdb"
+  "instance_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_ir_test.dir/dep/loop_ir_test.cc.o"
+  "CMakeFiles/loop_ir_test.dir/dep/loop_ir_test.cc.o.d"
+  "loop_ir_test"
+  "loop_ir_test.pdb"
+  "loop_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dep/negative_inner_distance_test.cc" "tests/CMakeFiles/negative_inner_distance_test.dir/dep/negative_inner_distance_test.cc.o" "gcc" "tests/CMakeFiles/negative_inner_distance_test.dir/dep/negative_inner_distance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/psync_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/psync_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/dep/CMakeFiles/psync_dep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

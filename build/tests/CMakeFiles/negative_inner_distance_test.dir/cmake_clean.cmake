@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_inner_distance_test.dir/dep/negative_inner_distance_test.cc.o"
+  "CMakeFiles/negative_inner_distance_test.dir/dep/negative_inner_distance_test.cc.o.d"
+  "negative_inner_distance_test"
+  "negative_inner_distance_test.pdb"
+  "negative_inner_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_inner_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omega_network_test.dir/sim/omega_network_test.cc.o"
+  "CMakeFiles/omega_network_test.dir/sim/omega_network_test.cc.o.d"
+  "omega_network_test"
+  "omega_network_test.pdb"
+  "omega_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omega_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

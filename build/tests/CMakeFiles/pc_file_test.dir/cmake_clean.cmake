@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_file_test.dir/sync/pc_file_test.cc.o"
+  "CMakeFiles/pc_file_test.dir/sync/pc_file_test.cc.o.d"
+  "pc_file_test"
+  "pc_file_test.pdb"
+  "pc_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_word_test.dir/sim/pc_word_test.cc.o"
+  "CMakeFiles/pc_word_test.dir/sim/pc_word_test.cc.o.d"
+  "pc_word_test"
+  "pc_word_test.pdb"
+  "pc_word_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_word_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_oriented_test.dir/sync/process_oriented_test.cc.o"
+  "CMakeFiles/process_oriented_test.dir/sync/process_oriented_test.cc.o.d"
+  "process_oriented_test"
+  "process_oriented_test.pdb"
+  "process_oriented_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_oriented_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

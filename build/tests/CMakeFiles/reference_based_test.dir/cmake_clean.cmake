@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_based_test.dir/sync/reference_based_test.cc.o"
+  "CMakeFiles/reference_based_test.dir/sync/reference_based_test.cc.o.d"
+  "reference_based_test"
+  "reference_based_test.pdb"
+  "reference_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

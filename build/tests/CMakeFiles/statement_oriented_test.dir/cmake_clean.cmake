@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statement_oriented_test.dir/sync/statement_oriented_test.cc.o"
+  "CMakeFiles/statement_oriented_test.dir/sync/statement_oriented_test.cc.o.d"
+  "statement_oriented_test"
+  "statement_oriented_test.pdb"
+  "statement_oriented_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statement_oriented_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

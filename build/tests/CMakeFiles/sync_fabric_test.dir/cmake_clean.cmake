@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_fabric_test.dir/sim/sync_fabric_test.cc.o"
+  "CMakeFiles/sync_fabric_test.dir/sim/sync_fabric_test.cc.o.d"
+  "sync_fabric_test"
+  "sync_fabric_test.pdb"
+  "sync_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

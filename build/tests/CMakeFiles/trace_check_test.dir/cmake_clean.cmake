@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_check_test.dir/core/trace_check_test.cc.o"
+  "CMakeFiles/trace_check_test.dir/core/trace_check_test.cc.o.d"
+  "trace_check_test"
+  "trace_check_test.pdb"
+  "trace_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
