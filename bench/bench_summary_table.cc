@@ -20,7 +20,8 @@ using namespace psync;
 namespace {
 
 void
-sweep(const char *name, const dep::Loop &loop)
+sweep(const char *name, const dep::Loop &loop,
+      bench::JsonReport &report)
 {
     auto seq_cfg = bench::registerMachine();
     sim::Tick seq = core::sequentialCycles(loop, seq_cfg.machine);
@@ -51,6 +52,7 @@ sweep(const char *name, const dep::Loop &loop)
 
     auto row = [&](const char *label,
                    const core::DoacrossResult &r) {
+        report.addRun(name, label, r);
         std::printf("%-18s %10llu %10llu %10llu %10llu %10.3f "
                     "%10.2f %9.2fx\n",
                     label,
@@ -96,8 +98,10 @@ sweep(const char *name, const dep::Loop &loop)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::JsonReport report(bench::extractJsonPath(argc, argv),
+                             "bench_summary_table");
     bench::banner(
         "E11: the scheme taxonomy, quantified",
         "sections 3-6 (summary of advantages, end of section 6)",
@@ -105,9 +109,11 @@ main()
         "initialization, and competitive-or-better execution time "
         "across the paper's workloads");
 
-    sweep("fig2.1 (N=256)", workloads::makeFig21Loop(256));
-    sweep("nested (32x32)", workloads::makeNestedLoop(32, 32));
+    sweep("fig2.1 (N=256)", workloads::makeFig21Loop(256), report);
+    sweep("nested (32x32)", workloads::makeNestedLoop(32, 32),
+          report);
     sweep("branches (N=256, p=0.5)",
-          workloads::makeBranchLoop(256, 0.5));
+          workloads::makeBranchLoop(256, 0.5), report);
+    report.write();
     return 0;
 }

@@ -5,14 +5,22 @@
  * of G inner iterations) versus the wavefront method with a
  * barrier between anti-diagonal fronts.
  *
- * Usage: relaxation_pipeline [N] [P] [G]
+ * Usage: relaxation_pipeline [N] [P] [G] [--trace out.json]
+ *
+ * With --trace, the pipelined run's cycle-level event trace is
+ * written as Chrome trace-event JSON (open in Perfetto or
+ * chrome://tracing).
  */
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/runtime.hh"
 #include "core/trace_check.hh"
+#include "core/tracing.hh"
 #include "dep/dep_graph.hh"
 #include "workloads/relaxation.hh"
 
@@ -35,6 +43,20 @@ machineConfig(unsigned procs)
 int
 main(int argc, char **argv)
 {
+    std::string trace_path;
+    {
+        int out = 1;
+        for (int in = 1; in < argc; ++in) {
+            if (std::strcmp(argv[in], "--trace") == 0 &&
+                in + 1 < argc) {
+                trace_path = argv[++in];
+                continue;
+            }
+            argv[out++] = argv[in];
+        }
+        argc = out;
+    }
+
     workloads::RelaxationSpec spec;
     spec.n = argc > 1 ? std::atol(argv[1]) : 64;
     unsigned procs = argc > 2 ? std::atoi(argv[2]) : 8;
@@ -45,9 +67,14 @@ main(int argc, char **argv)
     dep::DataLayout layout(loop);
     dep::DepGraph graph(loop);
 
+    core::TraceRecorder recorder;
+    core::TraceRecorder *tracer =
+        trace_path.empty() ? nullptr : &recorder;
+
     // Asynchronous pipelining (Fig. 5.1d).
     core::TraceChecker pipe_checker;
-    sim::Machine pipe_machine(machineConfig(procs), &pipe_checker);
+    sim::Machine pipe_machine(machineConfig(procs), &pipe_checker,
+                              tracer);
     sync::PcFile pcs(pipe_machine.fabric(), 2 * procs);
     auto pipe_programs = workloads::buildPipelinedPrograms(
         pcs, loop, layout, spec);
@@ -91,5 +118,17 @@ main(int argc, char **argv)
     std::cout << "\npipelined speedup over wavefront: "
               << static_cast<double>(wave.cycles) / pipe.cycles
               << "x\n";
+
+    if (tracer) {
+        std::ofstream os(trace_path);
+        if (!os) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return 1;
+        }
+        recorder.writeChromeTrace(os);
+        std::cout << "\nwrote " << recorder.eventCount()
+                  << " trace events to " << trace_path
+                  << " (open in Perfetto / chrome://tracing)\n";
+    }
     return 0;
 }

@@ -1,0 +1,437 @@
+#include "core/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace psync {
+namespace core {
+namespace json {
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::object)
+        return nullptr;
+    for (const auto &member : obj_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+void
+dumpNumber(std::ostream &os, double d)
+{
+    // Integers (the common case: ticks and counts) print without a
+    // fraction; doubles use enough digits to round-trip.
+    if (std::isfinite(d) && d == std::floor(d) &&
+        std::fabs(d) < 9.007199254740992e15) {
+        os << static_cast<long long>(d);
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    os << buf;
+}
+
+} // namespace
+
+void
+Value::dumpImpl(std::ostream &os, int indent, int depth) const
+{
+    auto newline = [&](int level) {
+        if (indent > 0) {
+            os << '\n';
+            for (int i = 0; i < indent * level; ++i)
+                os << ' ';
+        }
+    };
+
+    switch (type_) {
+      case Type::null:
+        os << "null";
+        break;
+      case Type::boolean:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Type::number:
+        dumpNumber(os, num_);
+        break;
+      case Type::string:
+        os << quote(str_);
+        break;
+      case Type::array:
+        os << '[';
+        for (size_t i = 0; i < arr_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            arr_[i].dumpImpl(os, indent, depth + 1);
+        }
+        if (!arr_.empty())
+            newline(depth);
+        os << ']';
+        break;
+      case Type::object:
+        os << '{';
+        for (size_t i = 0; i < obj_.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            os << quote(obj_[i].first) << ':';
+            if (indent > 0)
+                os << ' ';
+            obj_[i].second.dumpImpl(os, indent, depth + 1);
+        }
+        if (!obj_.empty())
+            newline(depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Value::dump(std::ostream &os, int indent) const
+{
+    dumpImpl(os, indent, 0);
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::ostringstream os;
+    dump(os, indent);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent parser over a string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    ParseResult
+    run()
+    {
+        ParseResult result;
+        skipWs();
+        if (!parseValue(result.value)) {
+            result.error = error_;
+            return result;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            result.error = "trailing characters at offset " +
+                           std::to_string(pos_);
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_.empty())
+            error_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, Value v, Value &out)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += len;
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case 'n':
+            return literal("null", Value(nullptr), out);
+          case 't':
+            return literal("true", Value(true), out);
+          case 'f':
+            return literal("false", Value(false), out);
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out);
+          case '{':
+            return parseObject(out);
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    bool
+    parseString(Value &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = Value(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return fail("expected string");
+        ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code |= h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code |= h - 'A' + 10;
+                    else
+                        return fail("bad \\u escape");
+                }
+                // Encode the code point as UTF-8 (BMP only — the
+                // sinks never emit surrogate pairs).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        try {
+            size_t used = 0;
+            std::string tok = text_.substr(start, pos_ - start);
+            double d = std::stod(tok, &used);
+            if (used != tok.size())
+                return fail("bad number");
+            out = Value(d);
+            return true;
+        } catch (...) {
+            return fail("bad number");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        ++pos_; // '['
+        Array arr;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = Value(std::move(arr));
+            return true;
+        }
+        while (true) {
+            Value element;
+            skipWs();
+            if (!parseValue(element))
+                return false;
+            arr.push_back(std::move(element));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                out = Value(std::move(arr));
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        ++pos_; // '{'
+        Object obj;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = Value(std::move(obj));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            Value val;
+            if (!parseValue(val))
+                return false;
+            obj.emplace_back(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                out = Value(std::move(obj));
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace json
+} // namespace core
+} // namespace psync

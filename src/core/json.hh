@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Minimal JSON value type with a parser and a serializer.
+ *
+ * The observability sinks (Chrome trace export, machine-readable
+ * stats dumps) emit JSON, and the tests must parse those emissions
+ * back to validate them. Rather than take an external dependency
+ * the repo carries this small, strict implementation: UTF-8 pass
+ * through, objects preserve insertion order so dumps are
+ * deterministic and diffable.
+ */
+
+#ifndef PSYNC_CORE_JSON_HH
+#define PSYNC_CORE_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psync {
+namespace core {
+namespace json {
+
+class Value;
+
+/** Ordered key/value storage — insertion order is emission order. */
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+enum class Type
+{
+    null,
+    boolean,
+    number,
+    string,
+    array,
+    object,
+};
+
+/** One JSON value of any type. */
+class Value
+{
+  public:
+    Value() : type_(Type::null) {}
+    Value(std::nullptr_t) : type_(Type::null) {}
+    Value(bool b) : type_(Type::boolean), bool_(b) {}
+    Value(double d) : type_(Type::number), num_(d) {}
+    Value(int i) : type_(Type::number), num_(i) {}
+    Value(unsigned u) : type_(Type::number), num_(u) {}
+    Value(std::int64_t i)
+        : type_(Type::number), num_(static_cast<double>(i)) {}
+    Value(std::uint64_t u)
+        : type_(Type::number), num_(static_cast<double>(u)) {}
+    Value(const char *s) : type_(Type::string), str_(s) {}
+    Value(std::string s) : type_(Type::string), str_(std::move(s)) {}
+    Value(Array a) : type_(Type::array), arr_(std::move(a)) {}
+    Value(Object o) : type_(Type::object), obj_(std::move(o)) {}
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::null; }
+    bool isBool() const { return type_ == Type::boolean; }
+    bool isNumber() const { return type_ == Type::number; }
+    bool isString() const { return type_ == Type::string; }
+    bool isArray() const { return type_ == Type::array; }
+    bool isObject() const { return type_ == Type::object; }
+
+    bool asBool() const { return bool_; }
+    double asNumber() const { return num_; }
+    const std::string &asString() const { return str_; }
+    const Array &asArray() const { return arr_; }
+    Array &asArray() { return arr_; }
+    const Object &asObject() const { return obj_; }
+    Object &asObject() { return obj_; }
+
+    /** Object lookup; nullptr when absent or not an object. */
+    const Value *find(const std::string &key) const;
+
+    /** True when the object has `key`. */
+    bool has(const std::string &key) const { return find(key); }
+
+    /** Append a member to an object value. */
+    void
+    set(std::string key, Value value)
+    {
+        type_ = Type::object;
+        obj_.emplace_back(std::move(key), std::move(value));
+    }
+
+    /** Append an element to an array value. */
+    void
+    push(Value value)
+    {
+        type_ = Type::array;
+        arr_.push_back(std::move(value));
+    }
+
+    /** Serialize; indent > 0 pretty-prints with that step. */
+    void dump(std::ostream &os, int indent = 0) const;
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpImpl(std::ostream &os, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/** Build an object value (convenience for call sites). */
+inline Value
+object()
+{
+    return Value(Object{});
+}
+
+/** Build an array value. */
+inline Value
+array()
+{
+    return Value(Array{});
+}
+
+/**
+ * Parse one JSON document. Strict: trailing garbage, trailing
+ * commas, and unquoted keys are errors.
+ * @param error receives a message on failure when non-null.
+ * @return the parsed value, or nullopt-like null value with
+ *         `ok == false`.
+ */
+struct ParseResult
+{
+    bool ok = false;
+    Value value;
+    std::string error;
+};
+
+ParseResult parse(const std::string &text);
+
+/** Escape and quote a string for JSON emission. */
+std::string quote(const std::string &s);
+
+} // namespace json
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_JSON_HH

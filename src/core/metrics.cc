@@ -54,6 +54,42 @@ collectResult(sim::Machine &machine, bool completed)
     return r;
 }
 
+json::Value
+RunResult::toJson() const
+{
+    json::Value v = json::object();
+    v.set("completed", completed);
+    v.set("cycles", static_cast<std::uint64_t>(cycles));
+    v.set("num_procs", numProcs);
+    v.set("compute_cycles", static_cast<std::uint64_t>(computeCycles));
+    v.set("spin_cycles", static_cast<std::uint64_t>(spinCycles));
+    v.set("sync_overhead_cycles",
+          static_cast<std::uint64_t>(syncOverheadCycles));
+    v.set("stall_cycles", static_cast<std::uint64_t>(stallCycles));
+    v.set("utilization", utilization());
+    v.set("spin_fraction", spinFraction());
+    v.set("sync_ops", syncOps);
+    v.set("marks_skipped", marksSkipped);
+    v.set("programs_run", programsRun);
+    v.set("data_bus_transactions", dataBusTransactions);
+    v.set("data_bus_queue_delay",
+          static_cast<std::uint64_t>(dataBusQueueDelay));
+    v.set("data_bus_utilization", dataBusUtilization);
+    v.set("sync_bus_broadcasts", syncBusBroadcasts);
+    v.set("coalesced_writes", coalescedWrites);
+    v.set("sync_bus_utilization", syncBusUtilization);
+    v.set("mem_accesses", memAccesses);
+    v.set("hottest_module_accesses", hottestModuleAccesses);
+    v.set("hot_spot_ratio", hotSpotRatio);
+    v.set("module_queue_delay",
+          static_cast<std::uint64_t>(moduleQueueDelay));
+    v.set("sync_mem_polls", syncMemPolls);
+    v.set("cache_hits", cacheHits);
+    v.set("cache_misses", cacheMisses);
+    v.set("cache_invalidations", cacheInvalidations);
+    return v;
+}
+
 void
 printResult(std::ostream &os, const char *label, const RunResult &r)
 {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <ostream>
 
+#include "core/json.hh"
 #include "sim/machine.hh"
 
 namespace psync {
@@ -87,6 +88,14 @@ struct RunResult
         return static_cast<double>(sequential_cycles) /
                static_cast<double>(cycles);
     }
+
+    /**
+     * Machine-readable dump: every raw field plus the derived
+     * utilization/spin fractions, a superset of what printResult
+     * shows. Keys are stable snake_case; tools should treat absent
+     * keys as zero.
+     */
+    json::Value toJson() const;
 };
 
 /** Snapshot a machine's statistics into a RunResult. */

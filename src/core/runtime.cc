@@ -35,7 +35,8 @@ runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
 
     TraceChecker checker;
     sim::Machine machine(cfg.machine,
-                         cfg.checkTrace ? &checker : nullptr);
+                         cfg.checkTrace ? &checker : nullptr,
+                         cfg.tracer);
 
     // Coverage elimination justifies dropped arcs by chains that
     // may pass through linearization-only boundary arcs; exact-
@@ -47,8 +48,11 @@ runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
     dep::DataLayout layout(loop, cfg.machine.memory.wordBytes);
 
     std::unique_ptr<sync::Scheme> scheme = sync::makeScheme(kind);
+    sync::SchemeConfig scheme_cfg = cfg.scheme;
+    if (scheme_cfg.tracer == nullptr)
+        scheme_cfg.tracer = cfg.tracer;
     result.plan = scheme->plan(graph, layout, machine.fabric(),
-                               cfg.scheme);
+                               scheme_cfg);
     result.initCycles = initCost(result.plan, cfg.machine);
 
     const std::uint64_t total = loop.iterations();
@@ -121,10 +125,12 @@ runProgramPool(sim::Machine &machine,
             std::vector<std::pair<std::uint64_t, std::uint64_t>>>(
             p, std::pair<std::uint64_t, std::uint64_t>{0, 0});
 
+        sim::EventQueue &eq = machine.eventq();
         auto dispatch =
-            [&mem, &programs, total, claim_size,
+            [&mem, &eq, &programs, total, claim_size,
              local](sim::ProcId who,
                     std::function<void(const sim::Program *)> cb) {
+            (void)eq;
             auto &range = (*local)[who];
             if (range.first < range.second) {
                 cb(&programs[range.first++]);
@@ -134,8 +140,9 @@ runProgramPool(sim::Machine &machine,
                     [claim_size](sim::SyncWord old_value) {
                         return old_value + claim_size(old_value);
                     },
-                    [&programs, total, claim_size, local, who,
+                    [&eq, &programs, total, claim_size, local, who,
                      cb = std::move(cb)](sim::SyncWord old_value) {
+                        (void)eq;
                         if (old_value >= total) {
                             cb(nullptr);
                             return;
@@ -143,6 +150,14 @@ runProgramPool(sim::Machine &machine,
                         std::uint64_t end = std::min(
                             total,
                             old_value + claim_size(old_value));
+                        PSYNC_DPRINTF(eq, Sched,
+                                      "proc %u claims iters "
+                                      "[%llu, %llu]",
+                                      who,
+                                      static_cast<unsigned long long>(
+                                          old_value + 1),
+                                      static_cast<unsigned long long>(
+                                          end));
                         (*local)[who] = {old_value + 1, end};
                         cb(&programs[old_value]);
                     });
@@ -150,18 +165,23 @@ runProgramPool(sim::Machine &machine,
         completed = machine.run(dispatch, tick_limit);
     } else {
         unsigned p = machine.numProcs();
+        sim::EventQueue &eq = machine.eventq();
         std::vector<std::uint64_t> next(p);
         for (unsigned q = 0; q < p; ++q)
             next[q] = q;
         auto dispatch =
-            [&next, &programs, total,
+            [&next, &eq, &programs, total,
              p](sim::ProcId who,
                 std::function<void(const sim::Program *)> cb) {
+            (void)eq;
             std::uint64_t idx = next[who];
             if (idx >= total) {
                 cb(nullptr);
                 return;
             }
+            PSYNC_DPRINTF(eq, Sched, "proc %u takes iter %llu",
+                          who,
+                          static_cast<unsigned long long>(idx + 1));
             next[who] += p;
             cb(&programs[idx]);
         };

@@ -70,6 +70,12 @@ struct RunConfig
     bool checkTrace = true;
     /** Abort threshold for deadlocked synchronization. */
     sim::Tick tickLimit = 1000000000ull;
+    /**
+     * Optional event tracer attached to the machine (and handed to
+     * the scheme for sync-variable labeling). Null — the default —
+     * records nothing and costs one branch per hook site. Not owned.
+     */
+    sim::Tracer *tracer = nullptr;
 };
 
 /** Outcome of one Doacross run. */

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Concrete trace recorder and exporters.
+ *
+ * TraceRecorder implements sim::Tracer by buffering every reported
+ * event in memory; after the run it can be exported as Chrome
+ * trace-event JSON (load in Perfetto / chrome://tracing) or reduced
+ * to a per-synchronization-variable contention summary. Recording is
+ * append-only and passive — it never touches the event queue — so a
+ * traced run produces statistics identical to an untraced one.
+ */
+
+#ifndef PSYNC_CORE_TRACING_HH
+#define PSYNC_CORE_TRACING_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "sim/tracing.hh"
+
+namespace psync {
+namespace core {
+
+/** In-memory recording of one run's trace events. */
+class TraceRecorder : public sim::Tracer
+{
+  public:
+    struct PhaseEvent
+    {
+        sim::ProcId who;
+        sim::TracePhase phase;
+        sim::Tick start;
+        sim::Tick end;
+    };
+
+    struct ResourceEvent
+    {
+        std::string resource;
+        unsigned index;
+        sim::ProcId who;
+        sim::Tick start;
+        sim::Tick end;
+    };
+
+    struct CounterEvent
+    {
+        std::string counter;
+        sim::Tick at;
+        double value;
+    };
+
+    struct InstantEvent
+    {
+        std::string name;
+        sim::ProcId who;
+        sim::Tick at;
+    };
+
+    struct SyncVarStats
+    {
+        std::string label;
+        /** op name -> count ("write", "poll", "wait", ...). */
+        std::map<std::string, std::uint64_t> opCounts;
+        std::uint64_t total = 0;
+    };
+
+    void phaseInterval(sim::ProcId who, sim::TracePhase phase,
+                       sim::Tick start, sim::Tick end) override;
+    void resourceBusy(const std::string &resource, unsigned index,
+                      sim::ProcId who, sim::Tick start,
+                      sim::Tick end) override;
+    void counterSample(const std::string &counter, sim::Tick at,
+                       double value) override;
+    void instant(const std::string &name, sim::ProcId who,
+                 sim::Tick at) override;
+    void syncVarOp(sim::SyncVarId var, const char *op,
+                   sim::ProcId who, sim::Tick at) override;
+    void nameSyncVar(sim::SyncVarId var,
+                     const std::string &label) override;
+
+    const std::vector<PhaseEvent> &phases() const { return phases_; }
+    const std::vector<ResourceEvent> &resources() const
+    {
+        return resources_;
+    }
+    const std::vector<CounterEvent> &counters() const
+    {
+        return counters_;
+    }
+    const std::vector<InstantEvent> &instants() const
+    {
+        return instants_;
+    }
+    const std::map<sim::SyncVarId, SyncVarStats> &syncVars() const
+    {
+        return syncVars_;
+    }
+
+    std::size_t
+    eventCount() const
+    {
+        return phases_.size() + resources_.size() +
+               counters_.size() + instants_.size();
+    }
+
+    /** Drop everything recorded so far (reuse across runs). */
+    void clear();
+
+    /**
+     * Export as a Chrome trace-event JSON document:
+     * `{"traceEvents": [...], "displayTimeUnit": "ns"}`. One tick
+     * maps to one microsecond of trace time. Process 0 holds one
+     * thread per simulated processor (phase intervals as complete
+     * "X" events, instants as "i"); process 1 holds one thread per
+     * hardware resource (bus, memory modules) plus counter "C"
+     * tracks for the sampled queue depths.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Chrome trace as a json::Value (tests introspect this). */
+    json::Value chromeTrace() const;
+
+    /**
+     * Per-sync-variable contention summary:
+     * `[{"var": id, "label": ..., "total": n, "ops": {...}}, ...]`
+     * sorted by descending total so the hottest variable is first.
+     */
+    json::Value syncVarSummary() const;
+
+  private:
+    std::vector<PhaseEvent> phases_;
+    std::vector<ResourceEvent> resources_;
+    std::vector<CounterEvent> counters_;
+    std::vector<InstantEvent> instants_;
+    std::map<sim::SyncVarId, SyncVarStats> syncVars_;
+};
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_TRACING_HH

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/logging.hh"
+
 namespace psync {
 namespace sim {
 
-Bus::Bus(EventQueue &eq, std::string bus_name, Tick cycles_per_txn)
+Bus::Bus(EventQueue &eq, std::string bus_name, Tick cycles_per_txn,
+         Tracer *trace)
     : eventq(eq),
       name_(std::move(bus_name)),
       cyclesPerTxn(cycles_per_txn),
+      tracer(trace),
       numTransactions(name_ + ".transactions"),
       busyCyclesStat(name_ + ".busy_cycles"),
       queueDelayStat(name_ + ".queue_delay"),
@@ -28,7 +32,9 @@ Bus::transact(ProcId who, GrantHandler on_grant, GrantHandler on_done)
 {
     pending.push_back(Request{who, eventq.now(), std::move(on_grant),
                               std::move(on_done)});
-    maxQueueStat.set(std::max(maxQueueStat.value(),
+    maxQueueStat.updateMax(static_cast<double>(pending.size()));
+    PSYNC_TRACE(tracer,
+                counterSample(name_ + ".queue_depth", eventq.now(),
                               static_cast<double>(pending.size())));
     if (!granting)
         grantNext();
@@ -53,6 +59,15 @@ Bus::grantNext()
     ++numTransactions;
     busyCyclesStat += static_cast<double>(cyclesPerTxn);
     queueDelayStat += static_cast<double>(grant - req.issued);
+
+    PSYNC_DPRINTF(eventq, Bus,
+                  "%s grant proc %u (queued %llu cycles)",
+                  name_.c_str(), req.who,
+                  static_cast<unsigned long long>(grant - req.issued));
+    PSYNC_TRACE(tracer, resourceBusy(name_, 0, req.who, grant, done));
+    PSYNC_TRACE(tracer,
+                counterSample(name_ + ".queue_depth", eventq.now(),
+                              static_cast<double>(pending.size())));
 
     // grant == now() here: arbitration happens either immediately
     // on request or right as the previous transaction completes.
@@ -81,6 +96,15 @@ Bus::dumpStats(std::ostream &os) const
     stats::dump(os, busyCyclesStat);
     stats::dump(os, queueDelayStat);
     stats::dump(os, maxQueueStat);
+}
+
+void
+Bus::registerStats(stats::Group &group) const
+{
+    group.add(numTransactions);
+    group.add(busyCyclesStat);
+    group.add(queueDelayStat);
+    group.add(maxQueueStat);
 }
 
 } // namespace sim

@@ -20,6 +20,7 @@
 #include "sim/event_queue.hh"
 #include "sim/interconnect.hh"
 #include "sim/stats.hh"
+#include "sim/tracing.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -33,8 +34,10 @@ class Bus : public Interconnect
      * @param eq            event queue driving the simulation
      * @param bus_name      name used in statistics output
      * @param cycles_per_txn bus occupancy of one transaction
+     * @param tracer        optional event tracer (may be null)
      */
-    Bus(EventQueue &eq, std::string bus_name, Tick cycles_per_txn);
+    Bus(EventQueue &eq, std::string bus_name, Tick cycles_per_txn,
+        Tracer *tracer = nullptr);
 
     /**
      * Queue a transaction. `on_done` runs when the transaction has
@@ -85,6 +88,9 @@ class Bus : public Interconnect
     /** Write the bus statistics to a stream. */
     void dumpStats(std::ostream &os) const override;
 
+    /** Register this bus's statistics with a walker group. */
+    void registerStats(stats::Group &group) const override;
+
     const std::string &name() const override { return name_; }
 
   private:
@@ -101,6 +107,7 @@ class Bus : public Interconnect
     EventQueue &eventq;
     std::string name_;
     Tick cyclesPerTxn;
+    Tracer *tracer;
     Tick freeAt = 0;
     bool granting = false;
     std::deque<Request> pending;
@@ -108,7 +115,7 @@ class Bus : public Interconnect
     stats::Scalar numTransactions;
     stats::Scalar busyCyclesStat;
     stats::Scalar queueDelayStat;
-    stats::Scalar maxQueueStat;
+    stats::Gauge maxQueueStat;
 };
 
 } // namespace sim

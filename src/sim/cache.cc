@@ -106,5 +106,14 @@ CacheSystem::dumpStats(std::ostream &os) const
     stats::dump(os, writeThroughsStat);
 }
 
+void
+CacheSystem::registerStats(stats::Group &group) const
+{
+    group.add(hitsStat);
+    group.add(missesStat);
+    group.add(invalidationsStat);
+    group.add(writeThroughsStat);
+}
+
 } // namespace sim
 } // namespace psync

@@ -84,6 +84,9 @@ class CacheSystem
 
     void dumpStats(std::ostream &os) const;
 
+    /** Register the cache statistics with a walker group. */
+    void registerStats(stats::Group &group) const;
+
   private:
     struct Line
     {

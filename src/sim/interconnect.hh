@@ -18,6 +18,7 @@
 #include <ostream>
 #include <string>
 
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -55,6 +56,9 @@ class Interconnect
     virtual double utilization(Tick end_tick) const = 0;
 
     virtual void dumpStats(std::ostream &os) const = 0;
+
+    /** Register the transport's statistics with a walker group. */
+    virtual void registerStats(stats::Group &group) const = 0;
 
     virtual const std::string &name() const = 0;
 };

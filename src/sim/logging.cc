@@ -77,5 +77,104 @@ csprintf(const char *fmt, ...)
     return msg;
 }
 
+namespace {
+
+struct ComponentName
+{
+    const char *name;
+    unsigned bit;
+};
+
+constexpr ComponentName debugComponents[] = {
+    {"sync", DebugSync},   {"bus", DebugBus},
+    {"mem", DebugMem},     {"proc", DebugProc},
+    {"sched", DebugSched}, {"cache", DebugCache},
+    {"net", DebugNet},     {"all", DebugAll},
+};
+
+/** -1 = uninitialized; otherwise the active mask. */
+int activeMask = -1;
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out) {
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    }
+    return out;
+}
+
+} // namespace
+
+unsigned
+parseDebugFilter(const std::string &spec, std::string *unknown)
+{
+    unsigned mask = 0;
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token =
+            lowered(spec.substr(pos, comma - pos));
+        // Trim surrounding spaces.
+        size_t b = token.find_first_not_of(" \t");
+        size_t e = token.find_last_not_of(" \t");
+        token = b == std::string::npos
+                    ? std::string()
+                    : token.substr(b, e - b + 1);
+        if (!token.empty()) {
+            bool matched = false;
+            for (const auto &c : debugComponents) {
+                if (token == c.name) {
+                    mask |= c.bit;
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched && unknown && unknown->empty())
+                *unknown = token;
+        }
+        pos = comma + 1;
+    }
+    return mask;
+}
+
+unsigned
+debugMask()
+{
+    if (activeMask < 0) {
+        const char *env = std::getenv("PSYNC_DEBUG");
+        std::string unknown;
+        unsigned mask =
+            env ? parseDebugFilter(env, &unknown) : 0;
+        if (!unknown.empty())
+            warn("PSYNC_DEBUG: unknown component '%s'",
+                 unknown.c_str());
+        activeMask = static_cast<int>(mask);
+    }
+    return static_cast<unsigned>(activeMask);
+}
+
+void
+setDebugMask(unsigned mask)
+{
+    activeMask = static_cast<int>(mask);
+}
+
+void
+debugPrint(const char *component, Tick tick, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vformat(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "%10llu: %s: %s\n",
+                 static_cast<unsigned long long>(tick), component,
+                 msg.c_str());
+}
+
 } // namespace sim
 } // namespace psync

@@ -33,7 +33,8 @@ stagesFor(unsigned endpoints)
 
 } // namespace
 
-Machine::Machine(const MachineConfig &cfg, TraceSink *trace)
+Machine::Machine(const MachineConfig &cfg, TraceSink *trace,
+                 Tracer *tracer)
     : config_(cfg)
 {
     if (config_.numProcs == 0)
@@ -42,7 +43,8 @@ Machine::Machine(const MachineConfig &cfg, TraceSink *trace)
     switch (config_.interconnect) {
       case InterconnectKind::bus:
         dataNet_ = std::make_unique<Bus>(eventq_, "data_bus",
-                                         config_.dataBusCycles);
+                                         config_.dataBusCycles,
+                                         tracer);
         break;
       case InterconnectKind::omega:
         dataNet_ = std::make_unique<OmegaNetwork>(
@@ -53,7 +55,7 @@ Machine::Machine(const MachineConfig &cfg, TraceSink *trace)
         break;
     }
     memory_ = std::make_unique<Memory>(eventq_, *dataNet_,
-                                       config_.memory);
+                                       config_.memory, tracer);
     caches_ = std::make_unique<CacheSystem>(
         eventq_, *memory_, config_.numProcs, config_.cache);
 
@@ -61,21 +63,23 @@ Machine::Machine(const MachineConfig &cfg, TraceSink *trace)
       case FabricKind::memory:
         fabric_ = std::make_unique<MemorySyncFabric>(
             eventq_, *memory_, config_.syncVarBase,
-            config_.pollIntervalCycles, config_.cachedSpinning);
+            config_.pollIntervalCycles, config_.cachedSpinning,
+            tracer);
         break;
       case FabricKind::registers:
         syncBus_ = std::make_unique<Bus>(eventq_, "sync_bus",
-                                         config_.syncBusCycles);
+                                         config_.syncBusCycles,
+                                         tracer);
         fabric_ = std::make_unique<RegisterSyncFabric>(
             eventq_, *syncBus_, config_.syncRegisters,
-            config_.coalesceWrites);
+            config_.coalesceWrites, tracer);
         break;
     }
 
     processors_.reserve(config_.numProcs);
     for (ProcId id = 0; id < config_.numProcs; ++id) {
         processors_.push_back(std::make_unique<Processor>(
-            eventq_, id, *fabric_, *caches_, trace));
+            eventq_, id, *fabric_, *caches_, trace, tracer));
     }
 }
 
@@ -115,6 +119,18 @@ Machine::dumpStats(std::ostream &os) const
     fabric_->dumpStats(os);
     for (const auto &proc : processors_)
         proc->dumpStats(os);
+}
+
+void
+Machine::registerStats(stats::Group &group) const
+{
+    dataNet_->registerStats(group);
+    if (syncBus_)
+        syncBus_->registerStats(group);
+    memory_->registerStats(group);
+    if (caches_->enabled())
+        caches_->registerStats(group);
+    fabric_->registerStats(group);
 }
 
 } // namespace sim

@@ -97,7 +97,8 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &cfg,
-                     TraceSink *trace = nullptr);
+                     TraceSink *trace = nullptr,
+                     Tracer *tracer = nullptr);
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -133,6 +134,9 @@ class Machine
     Tick completionTick() const;
 
     void dumpStats(std::ostream &os) const;
+
+    /** Register every component's statistics with a walker group. */
+    void registerStats(stats::Group &group) const;
 
   private:
     MachineConfig config_;

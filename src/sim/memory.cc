@@ -9,10 +9,11 @@ namespace psync {
 namespace sim {
 
 Memory::Memory(EventQueue &eq, Interconnect &data_net,
-               const MemoryConfig &cfg)
+               const MemoryConfig &cfg, Tracer *trace)
     : eventq(eq),
       dataNet(data_net),
       config(cfg),
+      tracer(trace),
       moduleFreeAt(cfg.numModules, 0),
       accessesStat("memory.module_accesses", cfg.numModules),
       queueDelayStat("memory.module_queue_delay"),
@@ -31,13 +32,21 @@ Memory::service(ProcId who, Addr addr, Tick service_cycles,
     unsigned module = moduleOf(addr);
     accessesStat[module] += 1;
 
-    dataNet.transact(who, [this, module, service_cycles,
+    dataNet.transact(who, [this, who, module, service_cycles,
                            at_done = std::move(at_done)](Tick) {
         Tick arrive = eventq.now();
         Tick start = std::max(arrive, moduleFreeAt[module]);
         Tick done = start + service_cycles;
         moduleFreeAt[module] = done;
         queueDelayStat += static_cast<double>(start - arrive);
+        PSYNC_DPRINTF(eventq, Mem,
+                      "module %u service proc %u [%llu, %llu)",
+                      module, who,
+                      static_cast<unsigned long long>(start),
+                      static_cast<unsigned long long>(done));
+        PSYNC_TRACE(tracer,
+                    resourceBusy("memory.module", module, who, start,
+                                 done));
         eventq.schedule(done, [at_done = std::move(at_done), done]() {
             at_done(done);
         });
@@ -92,6 +101,8 @@ Memory::serviceAtModule(Addr addr, AccessHandler on_done)
     Tick done = start + config.serviceCycles;
     moduleFreeAt[module] = done;
     queueDelayStat += static_cast<double>(start - arrive);
+    PSYNC_TRACE(tracer, resourceBusy("memory.module", module,
+                                     /*who=*/0, start, done));
     eventq.schedule(done, std::move(on_done));
 }
 
@@ -113,6 +124,16 @@ Memory::dumpStats(std::ostream &os) const
     stats::dump(os, readsStat);
     stats::dump(os, writesStat);
     stats::dump(os, rmwsStat);
+}
+
+void
+Memory::registerStats(stats::Group &group) const
+{
+    group.add(accessesStat);
+    group.add(queueDelayStat);
+    group.add(readsStat);
+    group.add(writesStat);
+    group.add(rmwsStat);
 }
 
 } // namespace sim

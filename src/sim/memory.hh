@@ -28,6 +28,7 @@
 #include "sim/event_queue.hh"
 #include "sim/interconnect.hh"
 #include "sim/stats.hh"
+#include "sim/tracing.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -56,7 +57,7 @@ class Memory
     using Modify = std::function<SyncWord(SyncWord old_value)>;
 
     Memory(EventQueue &eq, Interconnect &data_net,
-           const MemoryConfig &cfg);
+           const MemoryConfig &cfg, Tracer *tracer = nullptr);
 
     /** Which module services an address. */
     unsigned
@@ -122,6 +123,9 @@ class Memory
 
     void dumpStats(std::ostream &os) const;
 
+    /** Register the memory statistics with a walker group. */
+    void registerStats(stats::Group &group) const;
+
   private:
     /** Issue the module-side portion of a request. */
     void service(ProcId who, Addr addr, Tick service_cycles,
@@ -130,6 +134,7 @@ class Memory
     EventQueue &eventq;
     Interconnect &dataNet;
     MemoryConfig config;
+    Tracer *tracer;
 
     std::vector<Tick> moduleFreeAt;
     std::unordered_map<Addr, SyncWord> words;

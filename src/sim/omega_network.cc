@@ -81,5 +81,13 @@ OmegaNetwork::dumpStats(std::ostream &os) const
     stats::dump(os, busyCyclesStat);
 }
 
+void
+OmegaNetwork::registerStats(stats::Group &group) const
+{
+    group.add(numTransactions);
+    group.add(queueDelayStat);
+    group.add(busyCyclesStat);
+}
+
 } // namespace sim
 } // namespace psync

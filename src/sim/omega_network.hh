@@ -66,6 +66,7 @@ class OmegaNetwork : public Interconnect
     double utilization(Tick end_tick) const override;
 
     void dumpStats(std::ostream &os) const override;
+    void registerStats(stats::Group &group) const override;
     const std::string &name() const override { return name_; }
 
     unsigned stages() const { return numStages; }

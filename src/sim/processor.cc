@@ -8,9 +8,10 @@ namespace psync {
 namespace sim {
 
 Processor::Processor(EventQueue &eq, ProcId id, SyncFabric &fab,
-                     CacheSystem &cache_sys, TraceSink *sink)
+                     CacheSystem &cache_sys, TraceSink *sink,
+                     Tracer *event_tracer)
     : eventq(eq), id_(id), fabric(fab), caches(cache_sys),
-      trace(sink)
+      trace(sink), tracer(event_tracer)
 {
 }
 
@@ -26,10 +27,14 @@ Processor::start(Dispatch dispatch)
 void
 Processor::fetchNext()
 {
-    dispatch_(id_, [this](const Program *program) {
+    Tick fetch_start = eventq.now();
+    dispatch_(id_, [this, fetch_start](const Program *program) {
+        tracePhase(TracePhase::dispatch, fetch_start, eventq.now());
         if (program == nullptr) {
             halted_ = true;
             haltTick_ = eventq.now();
+            PSYNC_DPRINTF(eventq, Proc, "proc %u halted", id_);
+            PSYNC_TRACE(tracer, instant("halt", id_, eventq.now()));
             return;
         }
         beginProgram(program);
@@ -43,6 +48,9 @@ Processor::beginProgram(const Program *program)
     opIndex = 0;
     ownedPc = false;
     ++programsRun_;
+    PSYNC_DPRINTF(eventq, Proc, "proc %u begins program iter %llu",
+                  id_,
+                  static_cast<unsigned long long>(program->iter));
     step();
 }
 
@@ -108,6 +116,8 @@ void
 Processor::execCompute(const Op &op)
 {
     computeCycles_ += op.cycles;
+    tracePhase(TracePhase::compute, eventq.now(),
+               eventq.now() + op.cycles);
     eventq.scheduleIn(op.cycles, [this]() { step(); });
 }
 
@@ -119,6 +129,7 @@ Processor::execData(const Op &op)
     auto done = [this, op, start, is_write]() {
         Tick end = eventq.now();
         stallCycles_ += end - start;
+        tracePhase(TracePhase::stall, start, end);
         if (trace) {
             trace->access(op.stmt, op.ref,
                           op.iterTag ? op.iterTag : current->iter,
@@ -138,9 +149,13 @@ Processor::execWaitGE(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     eventq.scheduleIn(issue, [this, op]() {
         fabric.waitGE(id_, op.var, op.value, [this](Tick waited) {
             spinCycles_ += waited;
+            tracePhase(TracePhase::spin, eventq.now() - waited,
+                       eventq.now());
             step();
         });
     });
@@ -152,6 +167,8 @@ Processor::execWrite(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     Tick start = eventq.now();
     eventq.scheduleIn(issue, [this, op, start]() {
         fabric.write(id_, op.var, op.value, [this, start, issue = 0]() {
@@ -161,6 +178,8 @@ Processor::execWrite(const Op &op)
             Tick total = eventq.now() - start;
             Tick fixed = fabric.issueCost();
             syncOverheadCycles_ += total > fixed ? total - fixed : 0;
+            tracePhase(TracePhase::syncOverhead, start + fixed,
+                       eventq.now());
             step();
         });
     });
@@ -172,12 +191,16 @@ Processor::execFetchInc(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     Tick start = eventq.now();
     eventq.scheduleIn(issue, [this, op, start]() {
         fabric.fetchInc(id_, op.var, [this, start](SyncWord) {
             Tick total = eventq.now() - start;
             Tick fixed = fabric.issueCost();
             syncOverheadCycles_ += total > fixed ? total - fixed : 0;
+            tracePhase(TracePhase::syncOverhead, start + fixed,
+                       eventq.now());
             step();
         });
     });
@@ -189,6 +212,8 @@ Processor::execPcMark(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     std::uint32_t my_owner = PcWord::owner(op.value);
     eventq.scheduleIn(issue, [this, op, my_owner]() {
         if (ownedPc) {
@@ -220,6 +245,8 @@ Processor::execPcTransfer(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     eventq.scheduleIn(issue, [this, op]() {
         if (ownedPc) {
             fabric.write(id_, op.var, op.value, [this]() { step(); });
@@ -228,6 +255,8 @@ Processor::execPcTransfer(const Op &op)
         // get_PC: wait until ownership reaches this process.
         fabric.waitGE(id_, op.var, op.aux, [this, op](Tick waited) {
             spinCycles_ += waited;
+            tracePhase(TracePhase::spin, eventq.now() - waited,
+                       eventq.now());
             ownedPc = true;
             fabric.write(id_, op.var, op.value, [this]() { step(); });
         });
@@ -246,6 +275,8 @@ Processor::execKeyed(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     Tick start = eventq.now();
     bool is_write = op.kind == OpKind::keyedWrite;
     eventq.scheduleIn(issue, [this, op, start, is_write,
@@ -254,6 +285,8 @@ Processor::execKeyed(const Op &op)
                              [this, op, start,
                               is_write](Tick waited) {
             spinCycles_ += waited;
+            tracePhase(TracePhase::spin, eventq.now() - waited,
+                       eventq.now());
             stallCycles_ += eventq.now() - start > waited
                 ? eventq.now() - start - waited
                 : 0;
@@ -278,13 +311,18 @@ Processor::execCtrBarrier(const Op &op)
     ++syncOpsIssued_;
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
+    tracePhase(TracePhase::syncOverhead, eventq.now(),
+               eventq.now() + issue);
     Tick start = eventq.now();
     std::uint64_t num_procs = op.cycles;
-    eventq.scheduleIn(issue, [this, op, start, num_procs]() {
+    eventq.scheduleIn(issue, [this, op, start, num_procs, issue]() {
         fabric.fetchInc(id_, op.var,
-                        [this, op, start, num_procs](SyncWord old_val) {
-            auto resume = [this, start]() {
+                        [this, op, start, num_procs,
+                         issue](SyncWord old_val) {
+            auto resume = [this, start, issue]() {
                 spinCycles_ += eventq.now() - start;
+                tracePhase(TracePhase::spin, start + issue,
+                           eventq.now());
                 step();
             };
             if (old_val + 1 == op.value * num_procs) {

@@ -23,6 +23,7 @@
 #include "sim/program.hh"
 #include "sim/stats.hh"
 #include "sim/sync_fabric.hh"
+#include "sim/tracing.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -42,7 +43,8 @@ class Processor
                            std::function<void(const Program *)>)>;
 
     Processor(EventQueue &eq, ProcId id, SyncFabric &fabric,
-              CacheSystem &caches, TraceSink *sink);
+              CacheSystem &caches, TraceSink *sink,
+              Tracer *tracer = nullptr);
 
     /** Begin the fetch-execute loop. */
     void start(Dispatch dispatch);
@@ -71,6 +73,20 @@ class Processor
     void beginProgram(const Program *program);
     void step();
 
+    /** Emit a non-empty phase interval to the attached tracer. */
+    void
+    tracePhase(TracePhase phase, Tick start, Tick end)
+    {
+#ifndef PSYNC_TRACING_DISABLED
+        if (tracer && end > start)
+            tracer->phaseInterval(id_, phase, start, end);
+#else
+        (void)phase;
+        (void)start;
+        (void)end;
+#endif
+    }
+
     void execCompute(const Op &op);
     void execData(const Op &op);
     void execWaitGE(const Op &op);
@@ -86,6 +102,7 @@ class Processor
     SyncFabric &fabric;
     CacheSystem &caches;
     TraceSink *trace;
+    Tracer *tracer;
 
     Dispatch dispatch_;
     const Program *current = nullptr;

@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <cmath>
 #include <iomanip>
 
 namespace psync {
@@ -10,6 +11,13 @@ void
 dump(std::ostream &os, const Scalar &s)
 {
     os << std::left << std::setw(40) << s.name() << " " << s.value()
+       << "\n";
+}
+
+void
+dump(std::ostream &os, const Gauge &g)
+{
+    os << std::left << std::setw(40) << g.name() << " " << g.value()
        << "\n";
 }
 
@@ -26,6 +34,117 @@ dump(std::ostream &os, const Distribution &d)
     os << std::left << std::setw(40) << d.name() << " n=" << d.count()
        << " mean=" << d.mean() << " min=" << d.minValue()
        << " max=" << d.maxValue() << "\n";
+}
+
+namespace {
+
+/**
+ * Emit a JSON number: integral values print without a fraction so
+ * cycle counts survive a parse/print round trip textually.
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::abs(v) < 9.007199254740992e15) {
+        os << static_cast<long long>(v);
+    } else {
+        std::ostream::fmtflags flags = os.flags();
+        os << std::setprecision(17) << v;
+        os.flags(flags);
+    }
+}
+
+/** Escape a stat name for use as a JSON string. */
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const Scalar *s : scalars_)
+        stats::dump(os, *s);
+    for (const Gauge *g : gauges_)
+        stats::dump(os, *g);
+    for (const Vector *v : vectors_)
+        stats::dump(os, *v);
+    for (const Distribution *d : dists_)
+        stats::dump(os, *d);
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    auto key = [&](const std::string &name) {
+        if (!first)
+            os << ",";
+        first = false;
+        jsonString(os, name);
+        os << ":";
+    };
+    for (const Scalar *s : scalars_) {
+        key(s->name());
+        jsonNumber(os, s->value());
+    }
+    for (const Gauge *g : gauges_) {
+        key(g->name());
+        jsonNumber(os, g->value());
+    }
+    for (const Vector *v : vectors_) {
+        key(v->name());
+        os << "{\"total\":";
+        jsonNumber(os, v->total());
+        os << ",\"mean\":";
+        jsonNumber(os, v->mean());
+        os << ",\"max\":";
+        jsonNumber(os, v->maxValue());
+        os << ",\"values\":[";
+        for (size_t i = 0; i < v->size(); ++i) {
+            if (i)
+                os << ",";
+            jsonNumber(os, (*v)[i]);
+        }
+        os << "]}";
+    }
+    for (const Distribution *d : dists_) {
+        key(d->name());
+        os << "{\"count\":";
+        jsonNumber(os, static_cast<double>(d->count()));
+        os << ",\"mean\":";
+        jsonNumber(os, d->mean());
+        os << ",\"min\":";
+        jsonNumber(os, d->minValue());
+        os << ",\"max\":";
+        jsonNumber(os, d->maxValue());
+        os << "}";
+    }
+    os << "}";
 }
 
 } // namespace stats

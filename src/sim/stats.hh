@@ -20,7 +20,13 @@ namespace psync {
 namespace sim {
 namespace stats {
 
-/** A named, monotonically accumulated scalar statistic. */
+/**
+ * A named, monotonically accumulated scalar statistic. The only
+ * mutators are accumulation (+=, ++) and reset(): between two
+ * resets the value never decreases, so deltas across dumps are
+ * meaningful. Components that need to overwrite a level (a depth, a
+ * high-water mark) use Gauge instead.
+ */
 class Scalar
 {
   public:
@@ -30,7 +36,29 @@ class Scalar
     Scalar &operator+=(double v) { value_ += v; return *this; }
     Scalar &operator++() { value_ += 1; return *this; }
 
+    void reset() { value_ = 0; }
+
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    double value_ = 0;
+};
+
+/**
+ * A named scalar that tracks a level rather than an accumulation:
+ * set() overwrites, updateMax() keeps a high-water mark. Split from
+ * Scalar so the accumulate-only contract above stays honest.
+ */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    explicit Gauge(std::string stat_name) : name_(std::move(stat_name)) {}
+
     void set(double v) { value_ = v; }
+    void updateMax(double v) { value_ = std::max(value_, v); }
     void reset() { value_ = 0; }
 
     double value() const { return value_; }
@@ -149,8 +177,47 @@ class Distribution
 
 /** Dump helpers used by Machine::dumpStats. */
 void dump(std::ostream &os, const Scalar &s);
+void dump(std::ostream &os, const Gauge &g);
 void dump(std::ostream &os, const Vector &v);
 void dump(std::ostream &os, const Distribution &d);
+
+/**
+ * A registry of statistics owned elsewhere. Components register
+ * their stats once (registerStats) and the group walks them for
+ * text or machine-readable output; dumpJson() emits one JSON
+ * object keyed by statistic name, the record format the benches'
+ * --json flag writes.
+ */
+class Group
+{
+  public:
+    void add(const Scalar &s) { scalars_.push_back(&s); }
+    void add(const Gauge &g) { gauges_.push_back(&g); }
+    void add(const Vector &v) { vectors_.push_back(&v); }
+    void add(const Distribution &d) { dists_.push_back(&d); }
+
+    size_t size() const
+    {
+        return scalars_.size() + gauges_.size() + vectors_.size() +
+               dists_.size();
+    }
+
+    /** Text dump, one stat per line (same format as dump()). */
+    void dump(std::ostream &os) const;
+
+    /**
+     * JSON dump: {"name": value, ...}; vectors become
+     * {"total":..,"mean":..,"max":..,"values":[..]}, distributions
+     * {"count":..,"mean":..,"min":..,"max":..}.
+     */
+    void dumpJson(std::ostream &os) const;
+
+  private:
+    std::vector<const Scalar *> scalars_;
+    std::vector<const Gauge *> gauges_;
+    std::vector<const Vector *> vectors_;
+    std::vector<const Distribution *> dists_;
+};
 
 } // namespace stats
 } // namespace sim

@@ -25,12 +25,14 @@ fabricKindName(FabricKind kind)
 //
 
 MemorySyncFabric::MemorySyncFabric(EventQueue &eq, Memory &mem, Addr base,
-                                   Tick poll_interval, bool cached_spin)
+                                   Tick poll_interval, bool cached_spin,
+                                   Tracer *trace)
     : eventq(eq),
       memory(mem),
       baseAddr(base),
       pollInterval(poll_interval),
       cachedSpin(cached_spin),
+      tracer(trace),
       pollsStat("syncfab.mem.polls"),
       writesStat("syncfab.mem.writes"),
       rmwsStat("syncfab.mem.rmws"),
@@ -62,6 +64,7 @@ MemorySyncFabric::pollLoop(ProcId who, SyncVarId var, SyncWord threshold,
                            Tick started, WaitHandler on_done)
 {
     ++pollsStat;
+    PSYNC_TRACE(tracer, syncVarOp(var, "poll", who, eventq.now()));
     memory.read(who, addrOf(var),
                 [this, who, var, threshold, started,
                  on_done = std::move(on_done)](SyncWord value) mutable {
@@ -108,6 +111,10 @@ void
 MemorySyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
                          WaitHandler on_done)
 {
+    PSYNC_DPRINTF(eventq, Sync,
+                  "proc %u wait v%u >= %llu (memory fabric)", who,
+                  var, static_cast<unsigned long long>(threshold));
+    PSYNC_TRACE(tracer, syncVarOp(var, "wait", who, eventq.now()));
     pollLoop(who, var, threshold, eventq.now(), std::move(on_done));
 }
 
@@ -122,6 +129,10 @@ MemorySyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
                         DoneHandler on_done)
 {
     ++writesStat;
+    PSYNC_DPRINTF(eventq, Sync,
+                  "proc %u write v%u = %llu (memory fabric)", who,
+                  var, static_cast<unsigned long long>(value));
+    PSYNC_TRACE(tracer, syncVarOp(var, "write", who, eventq.now()));
     memory.write(who, addrOf(var), value,
                  [this, var, on_done = std::move(on_done)]() {
         invalidate(var);
@@ -134,6 +145,7 @@ MemorySyncFabric::fetchInc(ProcId who, SyncVarId var,
                            ValueHandler on_done)
 {
     ++rmwsStat;
+    PSYNC_TRACE(tracer, syncVarOp(var, "rmw", who, eventq.now()));
     memory.rmw(who, addrOf(var),
                [](SyncWord old_value) { return old_value + 1; },
                [this, var,
@@ -190,6 +202,7 @@ MemorySyncFabric::keyedAccess(ProcId who, SyncVarId key,
                               WaitHandler on_done)
 {
     ++keyedOpsStat;
+    PSYNC_TRACE(tracer, syncVarOp(key, "keyed", who, eventq.now()));
     Tick started = eventq.now();
     // One interconnect transaction delivers the combined request
     // to the module; reuse the read path for its timing.
@@ -223,16 +236,28 @@ MemorySyncFabric::dumpStats(std::ostream &os) const
     stats::dump(os, keyedRetriesStat);
 }
 
+void
+MemorySyncFabric::registerStats(stats::Group &group) const
+{
+    group.add(pollsStat);
+    group.add(writesStat);
+    group.add(rmwsStat);
+    group.add(keyedOpsStat);
+    group.add(keyedRetriesStat);
+}
+
 //
 // RegisterSyncFabric
 //
 
 RegisterSyncFabric::RegisterSyncFabric(EventQueue &eq, Bus &sync_bus,
-                                       unsigned capacity, bool coalesce)
+                                       unsigned capacity, bool coalesce,
+                                       Tracer *trace)
     : eventq(eq),
       syncBus(sync_bus),
       capacity_(capacity),
       coalesceEnabled(coalesce),
+      tracer(trace),
       broadcastsStat("syncfab.reg.broadcasts"),
       coalescedStat("syncfab.reg.coalesced_writes"),
       localReadsStat("syncfab.reg.local_reads"),
@@ -278,6 +303,11 @@ RegisterSyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
                            WaitHandler on_done)
 {
     ++localReadsStat;
+    PSYNC_DPRINTF(eventq, Sync,
+                  "proc %u wait v%u >= %llu (local image %llu)", who,
+                  var, static_cast<unsigned long long>(threshold),
+                  static_cast<unsigned long long>(values[var]));
+    PSYNC_TRACE(tracer, syncVarOp(var, "wait", who, eventq.now()));
     if (values[var] >= threshold) {
         eventq.scheduleIn(0, [on_done = std::move(on_done)]() {
             on_done(0);
@@ -304,6 +334,10 @@ RegisterSyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
                           DoneHandler on_done)
 {
     std::uint64_t key = (static_cast<std::uint64_t>(who) << 32) | var;
+    PSYNC_DPRINTF(eventq, Sync,
+                  "proc %u write v%u = %llu (register fabric)", who,
+                  var, static_cast<unsigned long long>(value));
+    PSYNC_TRACE(tracer, syncVarOp(var, "write", who, eventq.now()));
     auto it = pendingWrites.find(key);
     if (coalesceEnabled && it != pendingWrites.end() &&
         it->second.valid) {
@@ -311,6 +345,8 @@ RegisterSyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
         // waiting for the bus; the newer value covers the older one.
         it->second.value = value;
         ++coalescedStat;
+        PSYNC_TRACE(tracer,
+                    syncVarOp(var, "coalesced", who, eventq.now()));
     } else {
         auto &pw = pendingWrites[key];
         pw.value = value;
@@ -326,8 +362,12 @@ RegisterSyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
                 *latched = entry.value;
                 entry.valid = false;
             },
-            [this, var, latched](Tick) {
+            [this, who, var, latched](Tick) {
                 ++broadcastsStat;
+                PSYNC_TRACE(tracer, instant("sync_broadcast", who,
+                                            eventq.now()));
+                PSYNC_TRACE(tracer, syncVarOp(var, "broadcast", who,
+                                              eventq.now()));
                 commit(var, *latched);
             });
     }
@@ -342,10 +382,13 @@ RegisterSyncFabric::fetchInc(ProcId who, SyncVarId var,
     // Atomicity comes from bus serialization: the increment is
     // applied at broadcast time, and no value is returned until
     // this processor's turn on the bus.
-    syncBus.transact(who, [this, var,
+    PSYNC_TRACE(tracer, syncVarOp(var, "rmw", who, eventq.now()));
+    syncBus.transact(who, [this, who, var,
                            on_done = std::move(on_done)](Tick) {
         SyncWord old_value = values[var];
         ++broadcastsStat;
+        PSYNC_TRACE(tracer,
+                    instant("sync_broadcast", who, eventq.now()));
         commit(var, old_value + 1);
         on_done(old_value);
     });
@@ -370,6 +413,15 @@ RegisterSyncFabric::dumpStats(std::ostream &os) const
     stats::dump(os, coalescedStat);
     stats::dump(os, localReadsStat);
     stats::dump(os, wakeupsStat);
+}
+
+void
+RegisterSyncFabric::registerStats(stats::Group &group) const
+{
+    group.add(broadcastsStat);
+    group.add(coalescedStat);
+    group.add(localReadsStat);
+    group.add(wakeupsStat);
 }
 
 } // namespace sim

@@ -31,6 +31,7 @@
 #include "sim/event_queue.hh"
 #include "sim/memory.hh"
 #include "sim/stats.hh"
+#include "sim/tracing.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -115,6 +116,9 @@ class SyncFabric
     virtual Tick issueCost() const = 0;
 
     virtual void dumpStats(std::ostream &os) const = 0;
+
+    /** Register the fabric's statistics with a walker group. */
+    virtual void registerStats(stats::Group &group) const = 0;
 };
 
 /**
@@ -141,7 +145,8 @@ class MemorySyncFabric : public SyncFabric
      *        a hot word is released still queues at its module.
      */
     MemorySyncFabric(EventQueue &eq, Memory &mem, Addr base,
-                     Tick poll_interval, bool cached_spin = true);
+                     Tick poll_interval, bool cached_spin = true,
+                     Tracer *tracer = nullptr);
 
     FabricKind kind() const override { return FabricKind::memory; }
 
@@ -192,6 +197,7 @@ class MemorySyncFabric : public SyncFabric
     }
 
     void dumpStats(std::ostream &os) const override;
+    void registerStats(stats::Group &group) const override;
 
   private:
     struct Waiter
@@ -218,6 +224,7 @@ class MemorySyncFabric : public SyncFabric
     Addr baseAddr;
     Tick pollInterval;
     bool cachedSpin;
+    Tracer *tracer;
     unsigned numVars = 0;
 
     std::unordered_map<SyncVarId, std::vector<Waiter>> parked;
@@ -251,7 +258,7 @@ class RegisterSyncFabric : public SyncFabric
      * @param coalesce  enable pending-write coalescing
      */
     RegisterSyncFabric(EventQueue &eq, Bus &sync_bus, unsigned capacity,
-                       bool coalesce = true);
+                       bool coalesce = true, Tracer *tracer = nullptr);
 
     FabricKind kind() const override { return FabricKind::registers; }
 
@@ -285,6 +292,7 @@ class RegisterSyncFabric : public SyncFabric
     }
 
     void dumpStats(std::ostream &os) const override;
+    void registerStats(stats::Group &group) const override;
 
   private:
     struct Waiter
@@ -307,6 +315,7 @@ class RegisterSyncFabric : public SyncFabric
     Bus &syncBus;
     unsigned capacity_;
     bool coalesceEnabled;
+    Tracer *tracer;
     unsigned numVars = 0;
 
     std::vector<SyncWord> values;

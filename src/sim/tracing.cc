@@ -1,0 +1,27 @@
+#include "sim/tracing.hh"
+
+namespace psync {
+namespace sim {
+
+Tracer::~Tracer() = default;
+
+const char *
+tracePhaseName(TracePhase phase)
+{
+    switch (phase) {
+      case TracePhase::compute:
+        return "compute";
+      case TracePhase::spin:
+        return "spin";
+      case TracePhase::syncOverhead:
+        return "sync";
+      case TracePhase::stall:
+        return "stall";
+      case TracePhase::dispatch:
+        return "dispatch";
+    }
+    return "unknown";
+}
+
+} // namespace sim
+} // namespace psync

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cycle-level event-tracing interface.
+ *
+ * Simulator components (processors, buses, memory modules, the
+ * synchronization fabrics) report what they are doing through an
+ * optional Tracer pointer: per-processor phase intervals (the
+ * compute / spin / sync-overhead / stall split the paper argues
+ * about), resource occupancy, counter samples and per-sync-variable
+ * access events, all stamped with simulator Ticks.
+ *
+ * The default tracer is null and every hook site guards on the
+ * pointer, so an untraced run pays one predicted-not-taken branch
+ * per event and records nothing. Defining PSYNC_TRACING_DISABLED
+ * removes the hook sites entirely at compile time. Concrete
+ * recorders and exporters (Chrome trace-event JSON, per-variable
+ * contention summaries) live in core/tracing.{hh,cc}.
+ */
+
+#ifndef PSYNC_SIM_TRACING_HH
+#define PSYNC_SIM_TRACING_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace psync {
+namespace sim {
+
+/** What a processor was doing over an interval. */
+enum class TracePhase
+{
+    /** Executing statement-body work. */
+    compute,
+    /** Busy-waiting on a synchronization variable. */
+    spin,
+    /** Issuing/finishing synchronization operations. */
+    syncOverhead,
+    /** Waiting for a data access (bus + module + cache). */
+    stall,
+    /** Fetching the next program from the scheduler. */
+    dispatch,
+};
+
+/** Short printable phase name ("compute", "spin", ...). */
+const char *tracePhaseName(TracePhase phase);
+
+/**
+ * Abstract event consumer. All hooks are passive: a tracer must not
+ * schedule events or otherwise perturb the simulation, so a traced
+ * run and an untraced run of the same configuration produce
+ * identical statistics.
+ */
+class Tracer
+{
+  public:
+    virtual ~Tracer();
+
+    /**
+     * Processor `who` spent [start, end) in `phase`. Intervals of
+     * one processor never overlap (the modeled cores are in-order,
+     * one operation outstanding at a time); components do not emit
+     * empty intervals.
+     */
+    virtual void phaseInterval(ProcId who, TracePhase phase,
+                               Tick start, Tick end) = 0;
+
+    /**
+     * Resource `resource[index]` (a bus, a memory module) was
+     * occupied over [start, end) on behalf of processor `who`.
+     */
+    virtual void resourceBusy(const std::string &resource,
+                              unsigned index, ProcId who,
+                              Tick start, Tick end) = 0;
+
+    /** Sampled counter value (e.g. bus queue depth) at `at`. */
+    virtual void counterSample(const std::string &counter, Tick at,
+                               double value) = 0;
+
+    /** Instantaneous event (e.g. a sync-bus broadcast) at `at`. */
+    virtual void instant(const std::string &name, ProcId who,
+                         Tick at) = 0;
+
+    /**
+     * Processor `who` performed `op` ("write", "poll", "rmw",
+     * "wait", "broadcast", "keyed") on synchronization variable
+     * `var` at `at`. Feeds the per-variable contention breakdown.
+     */
+    virtual void syncVarOp(SyncVarId var, const char *op, ProcId who,
+                           Tick at) = 0;
+
+    /**
+     * Attach a human-readable label to a synchronization variable
+     * (called by the schemes at plan time, e.g. "pc[3]", "key[17]").
+     */
+    virtual void nameSyncVar(SyncVarId var,
+                             const std::string &label) = 0;
+};
+
+} // namespace sim
+} // namespace psync
+
+/**
+ * Hook-site helper: evaluates its arguments and dispatches only
+ * when a tracer is attached; compiled out entirely when
+ * PSYNC_TRACING_DISABLED is defined.
+ */
+#ifdef PSYNC_TRACING_DISABLED
+#define PSYNC_TRACE(tracer, call)                                   \
+    do {                                                            \
+    } while (0)
+#else
+#define PSYNC_TRACE(tracer, call)                                   \
+    do {                                                            \
+        if (tracer)                                                 \
+            (tracer)->call;                                         \
+    } while (0)
+#endif
+
+#endif // PSYNC_SIM_TRACING_HH

@@ -33,6 +33,11 @@ ReferenceBasedScheme::plan(const dep::DepGraph &graph,
     std::uint64_t num_keys = layout.totalElements();
     keyBase_ = fabric.allocate(
         static_cast<unsigned>(num_keys), 0);
+    for (std::uint64_t v = 0; v < num_keys; ++v) {
+        PSYNC_TRACE(cfg.tracer,
+                    nameSyncVar(keyBase_ + v,
+                                "key[" + std::to_string(v) + "]"));
+    }
 
     // Assign order numbers by replaying the loop sequentially with
     // branches resolved exactly as execution will resolve them.

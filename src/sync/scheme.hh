@@ -101,6 +101,13 @@ struct SchemeConfig
      * against.
      */
     bool earlyBranchSignals = true;
+
+    /**
+     * Optional event tracer: schemes label the synchronization
+     * variables they allocate ("pc[i]", "sc[i]", "key[i]") so trace
+     * summaries read in source terms. Not owned.
+     */
+    sim::Tracer *tracer = nullptr;
 };
 
 /** Static characteristics of a planned scheme (benches report). */

@@ -42,6 +42,11 @@ StatementOrientedScheme::plan(const dep::DepGraph &graph,
     // SC[N] holds the last iteration whose instance of N finished;
     // initialized to k-1 = 0 for 1-based iterations.
     scBase_ = fabric.allocate(numScs_, 0);
+    for (unsigned v = 0; v < numScs_; ++v) {
+        PSYNC_TRACE(cfg.tracer,
+                    nameSyncVar(scBase_ + v,
+                                "sc[" + std::to_string(v) + "]"));
+    }
 
     SchemePlan result;
     result.numSyncVars = numScs_;

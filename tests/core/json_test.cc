@@ -1,0 +1,133 @@
+/** @file JSON value type, parser and serializer. */
+
+#include <gtest/gtest.h>
+
+#include "core/json.hh"
+
+using namespace psync::core::json;
+
+TEST(JsonTest, DumpScalars)
+{
+    EXPECT_EQ(Value(nullptr).dump(), "null");
+    EXPECT_EQ(Value(true).dump(), "true");
+    EXPECT_EQ(Value(false).dump(), "false");
+    EXPECT_EQ(Value(42).dump(), "42");
+    EXPECT_EQ(Value(-7).dump(), "-7");
+    EXPECT_EQ(Value(1.5).dump(), "1.5");
+    EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, LargeIntegersStayExact)
+{
+    std::uint64_t tick = 123456789012345ull;
+    Value v(tick);
+    EXPECT_EQ(v.dump(), "123456789012345");
+}
+
+TEST(JsonTest, StringEscaping)
+{
+    EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+    EXPECT_EQ(Value("a\\b").dump(), "\"a\\\\b\"");
+    EXPECT_EQ(Value("a\nb").dump(), "\"a\\nb\"");
+    EXPECT_EQ(Value("a\tb").dump(), "\"a\\tb\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder)
+{
+    Value obj = object();
+    obj.set("zebra", 1);
+    obj.set("apple", 2);
+    obj.set("mango", 3);
+    EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonTest, FindLooksUpMembers)
+{
+    Value obj = object();
+    obj.set("x", 10);
+    obj.set("y", "s");
+    ASSERT_NE(obj.find("x"), nullptr);
+    EXPECT_DOUBLE_EQ(obj.find("x")->asNumber(), 10.0);
+    EXPECT_EQ(obj.find("y")->asString(), "s");
+    EXPECT_EQ(obj.find("z"), nullptr);
+    EXPECT_TRUE(obj.has("x"));
+    EXPECT_FALSE(obj.has("z"));
+}
+
+TEST(JsonTest, ParseScalars)
+{
+    EXPECT_TRUE(parse("null").value.isNull());
+    EXPECT_TRUE(parse("true").value.asBool());
+    EXPECT_FALSE(parse("false").value.asBool());
+    EXPECT_DOUBLE_EQ(parse("3.25").value.asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(parse("-17").value.asNumber(), -17.0);
+    EXPECT_DOUBLE_EQ(parse("1e3").value.asNumber(), 1000.0);
+    EXPECT_EQ(parse("\"abc\"").value.asString(), "abc");
+}
+
+TEST(JsonTest, ParseNestedStructure)
+{
+    auto r = parse("{\"a\": [1, 2, {\"b\": true}], \"c\": null}");
+    ASSERT_TRUE(r.ok) << r.error;
+    const Value *a = r.value.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->asArray()[2].find("b")->asBool());
+    EXPECT_TRUE(r.value.find("c")->isNull());
+}
+
+TEST(JsonTest, ParseStringEscapes)
+{
+    auto r = parse("\"a\\n\\t\\\"\\\\b\\u0041\"");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.asString(), "a\n\t\"\\bA");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput)
+{
+    EXPECT_FALSE(parse("").ok);
+    EXPECT_FALSE(parse("{").ok);
+    EXPECT_FALSE(parse("[1,]").ok);
+    EXPECT_FALSE(parse("{\"a\":}").ok);
+    EXPECT_FALSE(parse("{a: 1}").ok);
+    EXPECT_FALSE(parse("1 2").ok);
+    EXPECT_FALSE(parse("\"unterminated").ok);
+}
+
+TEST(JsonTest, RoundTripThroughDumpAndParse)
+{
+    Value obj = object();
+    obj.set("name", "run");
+    obj.set("cycles", std::uint64_t{987654321});
+    obj.set("ratio", 0.375);
+    obj.set("ok", true);
+    Value arr = array();
+    arr.push(1);
+    arr.push("two");
+    arr.push(nullptr);
+    obj.set("items", std::move(arr));
+
+    auto r = parse(obj.dump());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.find("name")->asString(), "run");
+    EXPECT_DOUBLE_EQ(r.value.find("cycles")->asNumber(), 987654321.0);
+    EXPECT_DOUBLE_EQ(r.value.find("ratio")->asNumber(), 0.375);
+    EXPECT_TRUE(r.value.find("ok")->asBool());
+    EXPECT_EQ(r.value.find("items")->asArray().size(), 3u);
+}
+
+TEST(JsonTest, PrettyPrintParsesBack)
+{
+    Value obj = object();
+    obj.set("a", 1);
+    Value inner = object();
+    inner.set("b", array());
+    obj.set("nested", std::move(inner));
+    std::string pretty = obj.dump(2);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    auto r = parse(pretty);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.value.find("a")->asNumber(), 1.0);
+}

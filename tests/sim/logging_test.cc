@@ -40,3 +40,57 @@ TEST(LoggingTest, WarnAndInformDoNotTerminate)
     inform("just info %d", 2);
     SUCCEED();
 }
+
+TEST(DebugFilterTest, SingleComponent)
+{
+    EXPECT_EQ(parseDebugFilter("sync"), DebugSync);
+    EXPECT_EQ(parseDebugFilter("bus"), DebugBus);
+    EXPECT_EQ(parseDebugFilter("sched"), DebugSched);
+}
+
+TEST(DebugFilterTest, CommaSeparatedList)
+{
+    EXPECT_EQ(parseDebugFilter("sync,bus"), DebugSync | DebugBus);
+    EXPECT_EQ(parseDebugFilter("mem,proc,net"),
+              DebugMem | DebugProc | DebugNet);
+}
+
+TEST(DebugFilterTest, AllSelectsEverything)
+{
+    unsigned mask = parseDebugFilter("all");
+    EXPECT_EQ(mask, DebugAll);
+    EXPECT_TRUE(mask & DebugSync);
+    EXPECT_TRUE(mask & DebugCache);
+}
+
+TEST(DebugFilterTest, EmptyIsNoComponents)
+{
+    EXPECT_EQ(parseDebugFilter(""), 0u);
+}
+
+TEST(DebugFilterTest, WhitespaceAroundNamesIsIgnored)
+{
+    EXPECT_EQ(parseDebugFilter(" sync , bus "),
+              DebugSync | DebugBus);
+}
+
+TEST(DebugFilterTest, UnknownNamesAreSkippedAndReported)
+{
+    std::string unknown;
+    unsigned mask = parseDebugFilter("sync,tubrolift,bus", &unknown);
+    EXPECT_EQ(mask, DebugSync | DebugBus);
+    EXPECT_EQ(unknown, "tubrolift");
+}
+
+TEST(DebugFilterTest, SetDebugMaskControlsDebugEnabled)
+{
+    unsigned saved = debugMask();
+    setDebugMask(DebugBus | DebugSched);
+    EXPECT_TRUE(debugEnabled(DebugBus));
+    EXPECT_TRUE(debugEnabled(DebugSched));
+    EXPECT_FALSE(debugEnabled(DebugSync));
+    EXPECT_FALSE(debugEnabled(DebugMem));
+    setDebugMask(0);
+    EXPECT_FALSE(debugEnabled(DebugBus));
+    setDebugMask(saved);
+}

@@ -67,3 +67,93 @@ TEST(StatsTest, DumpContainsNameAndValue)
     EXPECT_NE(os.str().find("my.stat"), std::string::npos);
     EXPECT_NE(os.str().find("42"), std::string::npos);
 }
+
+TEST(StatsTest, ScalarResetAcrossRepeatedRuns)
+{
+    // Regression for the Scalar/Gauge split: a component reusing a
+    // Scalar across runs must see a clean accumulation each time,
+    // never a sticky level from the previous run.
+    Scalar s("s");
+    for (int run = 0; run < 3; ++run) {
+        s.reset();
+        EXPECT_DOUBLE_EQ(s.value(), 0.0);
+        s += 5;
+        s += 2;
+        EXPECT_DOUBLE_EQ(s.value(), 7.0);
+    }
+}
+
+TEST(StatsTest, GaugeSetOverwrites)
+{
+    Gauge g("g");
+    g.set(4);
+    g.set(2);
+    EXPECT_DOUBLE_EQ(g.value(), 2.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(StatsTest, GaugeUpdateMaxKeepsHighWaterMark)
+{
+    Gauge g("g");
+    g.updateMax(3);
+    g.updateMax(7);
+    g.updateMax(5);
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(StatsTest, GroupRegistersAndDumps)
+{
+    Scalar s("grp.scalar");
+    s += 11;
+    Gauge g("grp.gauge");
+    g.set(3);
+    Vector v("grp.vector", 2);
+    v[0] = 1;
+    v[1] = 2;
+    Distribution d("grp.dist");
+    d.sample(5);
+
+    Group group;
+    group.add(s);
+    group.add(g);
+    group.add(v);
+    group.add(d);
+    EXPECT_EQ(group.size(), 4u);
+
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("grp.scalar"), std::string::npos);
+    EXPECT_NE(os.str().find("grp.gauge"), std::string::npos);
+    EXPECT_NE(os.str().find("grp.vector"), std::string::npos);
+    EXPECT_NE(os.str().find("grp.dist"), std::string::npos);
+}
+
+TEST(StatsTest, GroupDumpJsonHasAllNames)
+{
+    Scalar s("a.count");
+    s += 9;
+    Gauge g("b.depth");
+    g.updateMax(4);
+    Vector v("c.per_module", 3);
+    v[1] = 6;
+    Distribution d("d.delay");
+    d.sample(2);
+    d.sample(8);
+
+    Group group;
+    group.add(s);
+    group.add(g);
+    group.add(v);
+    group.add(d);
+
+    std::ostringstream os;
+    group.dumpJson(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("\"a.count\""), std::string::npos);
+    EXPECT_NE(text.find("\"b.depth\""), std::string::npos);
+    EXPECT_NE(text.find("\"c.per_module\""), std::string::npos);
+    EXPECT_NE(text.find("\"d.delay\""), std::string::npos);
+    EXPECT_NE(text.find("\"total\""), std::string::npos);
+    EXPECT_NE(text.find("\"count\""), std::string::npos);
+}
