@@ -26,9 +26,11 @@ main()
         "process-oriented scheme only real dependence sinks wait");
 
     const long n = 256;
-    std::printf("%-12s %-10s %-18s %10s %10s %10s %10s\n",
-                "delay-prob", "delay", "scheme", "cycles",
-                "spin-frac", "util", "speedup");
+    bench::Table table{{"delay-prob", 12, 'l'}, {"delay", 10, 'l'},
+                       {"scheme", 18, 'l'},     {"cycles", 10},
+                       {"spin-frac", 10},       {"util", 10},
+                       {"speedup", 10}};
+    table.header();
 
     for (double prob : {0.0, 0.05, 0.15, 0.30}) {
         for (sim::Tick delay : {200ull, 800ull}) {
@@ -44,14 +46,15 @@ main()
                 auto cfg = bench::registerMachine(8, 16);
                 auto r = core::runDoacross(loop, kind, cfg);
                 bench::require(r, sync::schemeKindName(kind));
-                std::printf(
-                    "%-12.2f %-10llu %-18s %10llu %10.3f %10.3f "
-                    "%10.2f\n",
-                    prob, static_cast<unsigned long long>(delay),
-                    sync::schemeKindName(kind),
-                    static_cast<unsigned long long>(r.run.cycles),
-                    r.run.spinFraction(), r.run.utilization(),
-                    r.run.speedupOver(seq));
+                table.row(
+                    {bench::Table::fixed(prob, 2),
+                     bench::Table::num(delay),
+                     sync::schemeKindName(kind),
+                     bench::Table::num(r.run.cycles),
+                     bench::Table::fixed(r.run.spinFraction()),
+                     bench::Table::fixed(r.run.utilization()),
+                     bench::Table::fixed(r.run.speedupOver(seq),
+                                         2)});
             }
             std::printf("\n");
         }

@@ -36,8 +36,12 @@ main()
     const long n = 2048;
     dep::Loop loop = workloads::makeFig21Loop(n);
 
-    std::printf("%-4s %-34s %10s %10s %10s\n", "P",
-                "machine / scheme", "cycles", "util", "speedup");
+    bench::Table table{{"P", 4, 'l'},
+                       {"machine / scheme", 34, 'l'},
+                       {"cycles", 10},
+                       {"util", 10},
+                       {"speedup", 10}};
+    table.header();
 
     for (unsigned p : {4u, 8u, 16u, 32u, 64u}) {
         // Small-scale: bus + sync registers, process-oriented.
@@ -68,21 +72,19 @@ main()
         auto cross = core::runDoacross(
             loop, sync::SchemeKind::referenceBased, cross_cfg);
 
-        std::printf("%-4u %-34s %10llu %10.3f %10.2f\n", p,
-                    "bus+registers / process",
-                    static_cast<unsigned long long>(small.run.cycles),
-                    small.run.utilization(),
-                    small.run.speedupOver(seq_small));
-        std::printf("%-4u %-34s %10llu %10.3f %10.2f\n", p,
-                    "omega+memory keys / reference",
-                    static_cast<unsigned long long>(large.run.cycles),
-                    large.run.utilization(),
-                    large.run.speedupOver(seq_large));
-        std::printf("%-4u %-34s %10llu %10.3f %10.2f\n\n", p,
-                    "bus+memory keys / reference",
-                    static_cast<unsigned long long>(cross.run.cycles),
-                    cross.run.utilization(),
-                    cross.run.speedupOver(seq_small));
+        auto row = [&](const char *label,
+                       const core::DoacrossResult &r,
+                       sim::Tick seq) {
+            table.row({bench::Table::num(p), label,
+                       bench::Table::num(r.run.cycles),
+                       bench::Table::fixed(r.run.utilization()),
+                       bench::Table::fixed(r.run.speedupOver(seq),
+                                           2)});
+        };
+        row("bus+registers / process", small, seq_small);
+        row("omega+memory keys / reference", large, seq_large);
+        row("bus+memory keys / reference", cross, seq_small);
+        std::printf("\n");
     }
     return 0;
 }

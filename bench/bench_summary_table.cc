@@ -46,35 +46,33 @@ sweep(const char *name, const dep::Loop &loop,
                 static_cast<unsigned long long>(cp.cycles),
                 static_cast<unsigned long long>(bound.cycles),
                 cp.maxUsefulParallelism());
-    std::printf("%-18s %10s %10s %10s %10s %10s %10s %10s\n",
-                "scheme", "sync-vars", "storage-B", "init-cyc",
-                "cycles", "spin-frac", "speedup", "vs-bound");
+    bench::Table table{{"scheme", 18, 'l'},     {"sync-vars", 10},
+                       {"storage-B", 10},       {"init-cyc", 10},
+                       {"cycles", 10},          {"spin-frac", 10},
+                       {"speedup", 10},         {"vs-bound", 10}};
+    table.header();
 
     auto row = [&](const char *label,
                    const core::DoacrossResult &r) {
         report.addRun(name, label, r);
-        std::printf("%-18s %10llu %10llu %10llu %10llu %10.3f "
-                    "%10.2f %9.2fx\n",
-                    label,
-                    static_cast<unsigned long long>(
-                        r.plan.numSyncVars),
-                    static_cast<unsigned long long>(
-                        r.plan.syncStorageBytes +
-                        r.plan.renamedStorageBytes),
-                    static_cast<unsigned long long>(r.initCycles),
-                    static_cast<unsigned long long>(r.run.cycles),
-                    r.run.spinFraction(), r.run.speedupOver(seq),
-                    bound.cycles
-                        ? static_cast<double>(r.run.cycles) /
-                              bound.cycles
-                        : 0.0);
+        table.row({label, bench::Table::num(r.plan.numSyncVars),
+                   bench::Table::num(r.plan.syncStorageBytes +
+                                     r.plan.renamedStorageBytes),
+                   bench::Table::num(r.initCycles),
+                   bench::Table::num(r.run.cycles),
+                   bench::Table::fixed(r.run.spinFraction()),
+                   bench::Table::fixed(r.run.speedupOver(seq), 2),
+                   bench::Table::times(
+                       bound.cycles
+                           ? static_cast<double>(r.run.cycles) /
+                                 bound.cycles
+                           : 0.0)});
     };
 
     for (auto kind : sync::allSyncSchemes()) {
         if (kind == sync::SchemeKind::instanceBased &&
             !loop.branchProb.empty()) {
-            std::printf("%-18s %10s\n", "instance",
-                        "(no branch support)");
+            table.row({"instance", "(no branch support)"});
             continue;
         }
         auto cfg = bench::machineFor(kind);

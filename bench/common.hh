@@ -12,7 +12,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
 #include "core/json.hh"
 #include "core/runtime.hh"
@@ -66,6 +68,84 @@ banner(const char *exp_id, const char *artifact, const char *claim)
     std::printf("==========================================================="
                 "=====================\n");
 }
+
+/**
+ * Fixed-width table printing shared by the bench binaries. Columns
+ * are declared once (name, width, alignment); every row then lines
+ * up under the header without each bench repeating printf format
+ * strings. Cells are pre-formatted strings — use the num() /
+ * fixed() / times() helpers for the common numeric formats.
+ */
+class Table
+{
+  public:
+    struct Col
+    {
+        const char *name;
+        int width;
+        /** 'l' left-aligns (labels); anything else right-aligns. */
+        char align = 'r';
+    };
+
+    Table(std::initializer_list<Col> cols) : cols_(cols) {}
+
+    /** Print the header row from the column names. */
+    void
+    header() const
+    {
+        for (const auto &col : cols_)
+            cell(col, col.name);
+        std::printf("\n");
+    }
+
+    /** Print one row; extra cells are ignored, missing ones blank. */
+    void
+    row(std::initializer_list<std::string> cells) const
+    {
+        auto it = cells.begin();
+        for (const auto &col : cols_) {
+            cell(col, it != cells.end() ? it->c_str() : "");
+            if (it != cells.end())
+                ++it;
+        }
+        std::printf("\n");
+    }
+
+    /** Decimal integer cell. */
+    static std::string
+    num(std::uint64_t v)
+    {
+        return std::to_string(v);
+    }
+
+    /** Fixed-point cell ("0.123"). */
+    static std::string
+    fixed(double v, int prec = 3)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+        return buf;
+    }
+
+    /** Ratio cell ("1.66x"). */
+    static std::string
+    times(double v, int prec = 2)
+    {
+        return fixed(v, prec) + "x";
+    }
+
+  private:
+    void
+    cell(const Col &col, const char *text) const
+    {
+        if (col.align == 'l')
+            std::printf("%-*s ", col.width, text);
+        else
+            std::printf("%*s ", col.width, text);
+    }
+
+    std::vector<Col> cols_;
+};
 
 /**
  * Pull a `--json <path>` flag out of argv (compacting it in place so

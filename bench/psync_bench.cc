@@ -1,0 +1,338 @@
+/**
+ * @file
+ * The registry-driven benchmark driver.
+ *
+ *   psync_bench --list                       name every scenario
+ *   psync_bench --all --json BENCH_PSYNC.json
+ *                                            run all, write records
+ *   psync_bench --run fig21-n256             run a subset (substring
+ *                                            or exact id match)
+ *   psync_bench --all --baseline old.json    run + diff, exit 1 on
+ *                                            cycle regressions
+ *   psync_bench --compare old.json new.json  diff two trajectory
+ *                                            files without running
+ *   psync_bench --report [pattern]           contention blame report
+ *                                            (per-sync-var wait
+ *                                            attribution, module
+ *                                            heatmap, slack)
+ *
+ * Exit codes: 0 success, 1 regression detected or comparison
+ * failure, 2 usage/IO error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "bench/compare.hh"
+#include "bench/registry.hh"
+#include "core/blame.hh"
+#include "core/tracing.hh"
+
+using namespace psync;
+
+namespace {
+
+struct Options
+{
+    bool list = false;
+    bool all = false;
+    bool report = false;
+    std::vector<std::string> patterns;
+    std::string jsonPath;
+    std::string baselinePath;
+    std::string reportJsonPath;
+    std::string compareOld;
+    std::string compareNew;
+    bench::CompareOptions compare;
+};
+
+void
+usage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: psync_bench [--list] [--all] [--run PATTERN]... \n"
+        "                   [PATTERN]... [--json FILE]\n"
+        "                   [--baseline FILE] [--threshold PCT]\n"
+        "                   [--compare OLD NEW]\n"
+        "                   [--report [PATTERN]] "
+        "[--report-json FILE]\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs an argument\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            opts.list = true;
+        } else if (arg == "--all") {
+            opts.all = true;
+        } else if (arg == "--run") {
+            const char *p = next("--run");
+            if (!p)
+                return false;
+            opts.patterns.push_back(p);
+        } else if (arg == "--json") {
+            const char *p = next("--json");
+            if (!p)
+                return false;
+            opts.jsonPath = p;
+        } else if (arg == "--baseline") {
+            const char *p = next("--baseline");
+            if (!p)
+                return false;
+            opts.baselinePath = p;
+        } else if (arg == "--threshold") {
+            const char *p = next("--threshold");
+            if (!p)
+                return false;
+            opts.compare.regressThresholdPct = std::atof(p);
+        } else if (arg == "--compare") {
+            const char *old_path = next("--compare");
+            if (!old_path)
+                return false;
+            opts.compareOld = old_path;
+            const char *new_path = next("--compare");
+            if (!new_path)
+                return false;
+            opts.compareNew = new_path;
+        } else if (arg == "--report") {
+            opts.report = true;
+        } else if (arg == "--report-json") {
+            const char *p = next("--report-json");
+            if (!p)
+                return false;
+            opts.reportJsonPath = p;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            std::exit(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return false;
+        } else {
+            opts.patterns.push_back(arg);
+        }
+    }
+    return true;
+}
+
+bool
+readJsonFile(const std::string &path, core::json::Value &out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    auto parsed = core::json::parse(text.str());
+    if (!parsed.ok) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     parsed.error.c_str());
+        return false;
+    }
+    out = std::move(parsed.value);
+    return true;
+}
+
+bool
+writeJsonFile(const std::string &path, const core::json::Value &doc)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    doc.dump(os, 2);
+    os << "\n";
+    return true;
+}
+
+void
+listScenarios()
+{
+    std::printf("%-40s %s\n", "scenario", "description");
+    for (const auto &s : bench::allScenarios())
+        std::printf("%-40s %s\n", s.id.c_str(),
+                    s.description.c_str());
+    std::printf("(%zu scenarios)\n", bench::allScenarios().size());
+}
+
+std::vector<const bench::Scenario *>
+selectScenarios(const Options &opts)
+{
+    if (opts.all || opts.patterns.empty())
+        return bench::matchScenarios("");
+    std::vector<const bench::Scenario *> selected;
+    for (const auto &pattern : opts.patterns) {
+        auto matched = bench::matchScenarios(pattern);
+        if (matched.empty()) {
+            std::fprintf(stderr, "no scenario matches '%s'\n",
+                         pattern.c_str());
+            continue;
+        }
+        for (const auto *s : matched) {
+            bool seen = false;
+            for (const auto *have : selected)
+                seen = seen || have == s;
+            if (!seen)
+                selected.push_back(s);
+        }
+    }
+    return selected;
+}
+
+/** The Fig. 3.2 scenario --report defaults to. */
+const char *const kDefaultReportScenario = "fig32-jitter/statement";
+
+int
+runReports(const Options &opts)
+{
+    std::vector<const bench::Scenario *> selected;
+    if (opts.patterns.empty()) {
+        const bench::Scenario *s =
+            bench::findScenario(kDefaultReportScenario);
+        if (s)
+            selected.push_back(s);
+    } else {
+        selected = selectScenarios(opts);
+    }
+    if (selected.empty()) {
+        std::fprintf(stderr, "no scenario to report on\n");
+        return 2;
+    }
+
+    core::json::Value reports = core::json::array();
+    for (const auto *scenario : selected) {
+        core::TraceRecorder recorder;
+        bench::ScenarioRecord record =
+            bench::runScenario(*scenario, &recorder);
+        core::BlameReport blame = core::buildBlameReport(
+            recorder, record.result.run, record.boundCycles);
+
+        std::cout << "== " << scenario->id << " ("
+                  << scenario->workload << ", " << scenario->scheme
+                  << ") ==\n";
+        blame.writeText(std::cout);
+        std::cout << "\n";
+
+        if (!opts.reportJsonPath.empty()) {
+            core::json::Value entry = core::json::object();
+            entry.set("scenario", scenario->id);
+            entry.set("report", blame.toJson());
+            reports.push(std::move(entry));
+        }
+    }
+    if (!opts.reportJsonPath.empty()) {
+        core::json::Value doc = core::json::object();
+        doc.set("schema_version", bench::kTrajectorySchemaVersion);
+        doc.set("reports", std::move(reports));
+        if (!writeJsonFile(opts.reportJsonPath, doc))
+            return 2;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage(stderr);
+        return 2;
+    }
+
+    if (opts.list) {
+        listScenarios();
+        return 0;
+    }
+
+    if (!opts.compareOld.empty()) {
+        core::json::Value old_doc, new_doc;
+        if (!readJsonFile(opts.compareOld, old_doc) ||
+            !readJsonFile(opts.compareNew, new_doc))
+            return 2;
+        bench::CompareResult result = bench::compareTrajectories(
+            old_doc, new_doc, opts.compare);
+        bench::printCompare(std::cout, result, opts.compare);
+        return result.ok() ? 0 : 1;
+    }
+
+    if (opts.report)
+        return runReports(opts);
+
+    auto selected = selectScenarios(opts);
+    if (selected.empty()) {
+        std::fprintf(stderr,
+                     "nothing to run (try --list or --all)\n");
+        return 2;
+    }
+
+    // Start from the existing trajectory file when appending, so a
+    // partial rerun keeps the other scenarios' records.
+    core::json::Value doc = bench::makeTrajectoryDoc();
+    if (!opts.jsonPath.empty()) {
+        std::ifstream exists(opts.jsonPath);
+        if (exists) {
+            core::json::Value existing;
+            if (readJsonFile(opts.jsonPath, existing) &&
+                bench::loadTrajectory(existing).ok)
+                doc = std::move(existing);
+        }
+    }
+
+    core::json::Value fresh = bench::makeTrajectoryDoc();
+    bench::Table table{{"scenario", 40, 'l'},
+                       {"cycles", 12},
+                       {"bound", 12},
+                       {"slack", 7},
+                       {"spin-frac", 9}};
+    table.header();
+    for (const auto *scenario : selected) {
+        bench::ScenarioRecord record = bench::runScenario(*scenario);
+        table.row(
+            {scenario->id, bench::Table::num(record.result.run.cycles),
+             bench::Table::num(record.boundCycles),
+             bench::Table::times(
+                 record.boundCycles
+                     ? static_cast<double>(record.result.run.cycles) /
+                           static_cast<double>(record.boundCycles)
+                     : 0.0),
+             bench::Table::fixed(record.result.run.spinFraction())});
+        core::json::Value rec = record.toJson();
+        bench::mergeRecord(doc, rec);
+        bench::mergeRecord(fresh, std::move(rec));
+    }
+
+    if (!opts.jsonPath.empty() &&
+        !writeJsonFile(opts.jsonPath, doc))
+        return 2;
+
+    if (!opts.baselinePath.empty()) {
+        core::json::Value baseline;
+        if (!readJsonFile(opts.baselinePath, baseline))
+            return 2;
+        bench::CompareResult result = bench::compareTrajectories(
+            baseline, fresh, opts.compare);
+        bench::printCompare(std::cout, result, opts.compare);
+        return result.ok() ? 0 : 1;
+    }
+    return 0;
+}

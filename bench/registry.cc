@@ -1,0 +1,369 @@
+#include "bench/registry.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.hh"
+#include "core/critical_path.hh"
+#include "workloads/branches.hh"
+#include "workloads/fig21.hh"
+#include "workloads/nested.hh"
+#include "workloads/relaxation.hh"
+#include "workloads/synthetic.hh"
+
+namespace psync {
+namespace bench {
+
+namespace {
+
+/** The E3 jitter workload (Fig. 2.1 + occasional long branch). */
+dep::Loop
+makeJitterLoop()
+{
+    return workloads::makeFig21JitterLoop(256, 8, 800, 0.15, 1234);
+}
+
+/** The E15 dense synthetic loop (many coverable arcs). */
+dep::Loop
+makeDenseLoop()
+{
+    workloads::SyntheticSpec spec;
+    spec.seed = 42;
+    spec.n = 128;
+    spec.numStatements = 8;
+    spec.numArrays = 1;
+    return workloads::makeSyntheticLoop(spec);
+}
+
+class Registry
+{
+  public:
+    Registry() { build(); }
+
+    std::vector<Scenario> scenarios;
+
+  private:
+    void
+    add(std::string group, std::string variant, std::string workload,
+        std::string scheme, std::string description,
+        sync::SchemeKind kind, std::function<dep::Loop()> loop,
+        core::RunConfig config)
+    {
+        Scenario s;
+        s.id = std::move(group) + "/" + std::move(variant);
+        s.workload = std::move(workload);
+        s.scheme = std::move(scheme);
+        s.description = std::move(description);
+        s.kind = kind;
+        s.loop = std::move(loop);
+        s.config = std::move(config);
+        scenarios.push_back(std::move(s));
+    }
+
+    /** One group entry per scheme, on each scheme's natural fabric. */
+    void
+    addSchemeSweep(const std::string &group,
+                   const std::string &workload,
+                   const std::string &description,
+                   std::function<dep::Loop()> loop,
+                   bool skip_instance = false)
+    {
+        for (auto kind : sync::allSyncSchemes()) {
+            if (skip_instance &&
+                kind == sync::SchemeKind::instanceBased)
+                continue;
+            add(group, sync::schemeKindName(kind), workload,
+                sync::schemeKindName(kind), description, kind, loop,
+                machineFor(kind));
+        }
+        auto cedar = memoryMachine();
+        cedar.scheme.cedarCombining = true;
+        add(group, "reference+cedar", workload, "reference+cedar",
+            description + " (memory-side combining)",
+            sync::SchemeKind::referenceBased, loop, cedar);
+    }
+
+    void
+    build()
+    {
+        // -- smoke: the small, fast subset CI compares against a
+        // checked-in baseline (bench/baseline.json).
+        for (auto kind : {sync::SchemeKind::processImproved,
+                          sync::SchemeKind::statementOriented,
+                          sync::SchemeKind::referenceBased}) {
+            add("fig21-n64", sync::schemeKindName(kind),
+                "fig2.1 (N=64)", sync::schemeKindName(kind),
+                "CI smoke subset of the Fig. 2.1 loop",
+                kind, [] { return workloads::makeFig21Loop(64); },
+                machineFor(kind));
+        }
+
+        // -- E11: the scheme taxonomy on the paper's workloads.
+        addSchemeSweep("fig21-n256", "fig2.1 (N=256)",
+                       "sections 3-6 taxonomy on the running example",
+                       [] { return workloads::makeFig21Loop(256); });
+        addSchemeSweep("nested-32x32", "nested (32x32)",
+                       "Example 2: linearized nest",
+                       [] {
+                           return workloads::makeNestedLoop(32, 32);
+                       });
+        addSchemeSweep("branches-n256", "branches (N=256, p=0.5)",
+                       "Example 3: sources inside branches",
+                       [] {
+                           return workloads::makeBranchLoop(256, 0.5);
+                       },
+                       /*skip_instance=*/true);
+
+        // -- E7: early vs deferred signaling of untaken sources.
+        {
+            auto cfg = registerMachine();
+            cfg.scheme.earlyBranchSignals = false;
+            add("branches-n256", "process-improved-deferred",
+                "branches (N=256, p=0.5)", "process-improved",
+                "Fig. 5.3 counterfactual: defer untaken-source "
+                "signals to iteration end",
+                sync::SchemeKind::processImproved,
+                [] { return workloads::makeBranchLoop(256, 0.5); },
+                cfg);
+        }
+
+        // -- E3 / Fig. 3.2: statement-counter serialization under
+        // jittered iteration delays.
+        for (auto kind : {sync::SchemeKind::statementOriented,
+                          sync::SchemeKind::processBasic,
+                          sync::SchemeKind::processImproved}) {
+            add("fig32-jitter", sync::schemeKindName(kind),
+                "fig2.1+jitter (N=256, p=0.15, 800cyc)",
+                sync::schemeKindName(kind),
+                "Fig. 3.2 vs 4.1: a delayed Advance stalls all "
+                "later processes under statement counters",
+                kind, makeJitterLoop, registerMachine());
+        }
+
+        // -- E10: where the PCs live.
+        {
+            auto cached = memoryMachine();
+            add("fabric-fig21", "mem-cached", "fig2.1 (N=256)",
+                "process-improved",
+                "section 6: memory-resident PCs, coherent-cache "
+                "spinning",
+                sync::SchemeKind::processImproved,
+                [] { return workloads::makeFig21Loop(256); },
+                cached);
+            auto polling = memoryMachine();
+            polling.machine.cachedSpinning = false;
+            add("fabric-fig21", "mem-polling", "fig2.1 (N=256)",
+                "process-improved",
+                "section 6: memory-resident PCs, interval polling",
+                sync::SchemeKind::processImproved,
+                [] { return workloads::makeFig21Loop(256); },
+                polling);
+        }
+
+        // -- E4: write coalescing on a slow sync bus.
+        for (bool coalesce : {true, false}) {
+            auto cfg = registerMachine();
+            cfg.machine.syncBusCycles = 4;
+            cfg.machine.coalesceWrites = coalesce;
+            add("coalescing-fig21",
+                coalesce ? "on" : "off", "fig2.1 (N=256)",
+                "process-improved",
+                "section 6: pending-write coalescing on a 4-cycle "
+                "sync bus",
+                sync::SchemeKind::processImproved,
+                [] { return workloads::makeFig21Loop(256); }, cfg);
+        }
+
+        // -- E4: primitive sets under heavy PC folding (X=2).
+        for (auto kind : {sync::SchemeKind::processBasic,
+                          sync::SchemeKind::processImproved}) {
+            add("folding-x2", sync::schemeKindName(kind),
+                "fig2.1 (N=256, X=2)", sync::schemeKindName(kind),
+                "Figs. 4.2/4.3: non-blocking marks pay off when X "
+                "is small",
+                kind, [] { return workloads::makeFig21Loop(256); },
+                registerMachine(8, 2));
+        }
+
+        // -- E14: scheduling policies under jitter.
+        {
+            struct Policy
+            {
+                const char *name;
+                core::SchedulePolicy policy;
+            };
+            for (auto p : {Policy{"self",
+                                  core::SchedulePolicy::selfScheduling},
+                           Policy{"static-cyclic",
+                                  core::SchedulePolicy::staticCyclic},
+                           Policy{"chunked-4",
+                                  core::SchedulePolicy::
+                                      chunkedSelfScheduling},
+                           Policy{"guided",
+                                  core::SchedulePolicy::
+                                      guidedSelfScheduling}}) {
+                auto cfg = registerMachine();
+                cfg.schedule = p.policy;
+                add("sched-jitter", p.name,
+                    "fig2.1+jitter (N=256, p=0.15, 800cyc)",
+                    "process-improved",
+                    "sections 5-6: dispatch policy vs load balance",
+                    sync::SchemeKind::processImproved,
+                    makeJitterLoop, cfg);
+            }
+        }
+
+        // -- E15: covered-arc elimination on a dense loop.
+        for (bool eliminate : {true, false}) {
+            auto cfg = registerMachine();
+            cfg.eliminateCoveredDeps = eliminate;
+            add("coverage-dense", eliminate ? "on" : "off",
+                "synthetic dense (8 stmts, N=128)",
+                "process-improved",
+                "section 2: redundant-arc elimination payoff",
+                sync::SchemeKind::processImproved, makeDenseLoop,
+                cfg);
+        }
+
+        // -- E13: machine-class scoping at P=16.
+        {
+            auto small = registerMachine(16, 32);
+            small.machine.memory.numModules = 8;
+            add("scale-n1024", "bus-process", "fig2.1 (N=1024)",
+                "process-improved",
+                "sections 1-3: bus machine + broadcast registers",
+                sync::SchemeKind::processImproved,
+                [] { return workloads::makeFig21Loop(1024); },
+                small);
+            auto large = memoryMachine(16);
+            large.machine.interconnect = sim::InterconnectKind::omega;
+            large.machine.memory.numModules = 16;
+            add("scale-n1024", "omega-reference", "fig2.1 (N=1024)",
+                "reference",
+                "sections 1-3: network machine + per-datum keys",
+                sync::SchemeKind::referenceBased,
+                [] { return workloads::makeFig21Loop(1024); },
+                large);
+        }
+
+        // -- E5 (Doacross form): the relaxation loop.
+        for (auto kind : {sync::SchemeKind::processImproved,
+                          sync::SchemeKind::statementOriented}) {
+            add("relax-32x32", sync::schemeKindName(kind),
+                "relaxation (32x32)", sync::schemeKindName(kind),
+                "Example 1 kernel run as a planned Doacross",
+                kind,
+                [] { return workloads::makeRelaxationLoop(32); },
+                machineFor(kind));
+        }
+    }
+};
+
+const Registry &
+registry()
+{
+    static Registry instance;
+    return instance;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+allScenarios()
+{
+    return registry().scenarios;
+}
+
+const Scenario *
+findScenario(const std::string &id)
+{
+    for (const auto &s : allScenarios()) {
+        if (s.id == id)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::vector<const Scenario *>
+matchScenarios(const std::string &pattern)
+{
+    if (const Scenario *exact = findScenario(pattern))
+        return {exact};
+    std::vector<const Scenario *> matched;
+    for (const auto &s : allScenarios()) {
+        if (pattern.empty() ||
+            s.id.find(pattern) != std::string::npos)
+            matched.push_back(&s);
+    }
+    return matched;
+}
+
+core::json::Value
+ScenarioRecord::toJson() const
+{
+    const core::DoacrossResult &r = result;
+    core::json::Value rec = core::json::object();
+    rec.set("schema_version", kTrajectorySchemaVersion);
+    rec.set("scenario", scenario->id);
+    rec.set("workload", scenario->workload);
+    rec.set("scheme", scenario->scheme);
+    rec.set("procs", scenario->config.machine.numProcs);
+    rec.set("fabric",
+            sim::fabricKindName(scenario->config.machine.fabric));
+    rec.set("schedule",
+            core::schedulePolicyName(scenario->config.schedule));
+    rec.set("cycles", static_cast<std::uint64_t>(r.run.cycles));
+    rec.set("init_cycles", static_cast<std::uint64_t>(r.initCycles));
+    rec.set("dep_bound_cycles",
+            static_cast<std::uint64_t>(depBoundCycles));
+    rec.set("bound_cycles", static_cast<std::uint64_t>(boundCycles));
+    rec.set("slack_factor",
+            boundCycles ? static_cast<double>(r.run.cycles) /
+                              static_cast<double>(boundCycles)
+                        : 0.0);
+
+    core::json::Value split = core::json::object();
+    split.set("compute_cycles",
+              static_cast<std::uint64_t>(r.run.computeCycles));
+    split.set("spin_cycles",
+              static_cast<std::uint64_t>(r.run.spinCycles));
+    split.set("sync_overhead_cycles",
+              static_cast<std::uint64_t>(r.run.syncOverheadCycles));
+    split.set("stall_cycles",
+              static_cast<std::uint64_t>(r.run.stallCycles));
+    rec.set("cycle_split", std::move(split));
+
+    rec.set("sync_vars", r.plan.numSyncVars);
+    rec.set("data_bus_utilization", r.run.dataBusUtilization);
+    rec.set("sync_bus_utilization", r.run.syncBusUtilization);
+    rec.set("hot_spot_ratio", r.run.hotSpotRatio);
+    rec.set("module_queue_delay",
+            static_cast<std::uint64_t>(r.run.moduleQueueDelay));
+    rec.set("result", r.run.toJson());
+    return rec;
+}
+
+ScenarioRecord
+runScenario(const Scenario &scenario, sim::Tracer *tracer)
+{
+    ScenarioRecord record;
+    record.scenario = &scenario;
+
+    dep::Loop loop = scenario.loop();
+    dep::DepGraph graph(loop);
+    core::CriticalPath cp = core::criticalPath(
+        graph, core::CriticalPathCosts::fromMachine(
+                   scenario.config.machine));
+    record.depBoundCycles = cp.cycles;
+    record.boundCycles =
+        cp.achievableBound(scenario.config.machine.numProcs);
+
+    core::RunConfig cfg = scenario.config;
+    cfg.tracer = tracer;
+    record.result = core::runDoacross(loop, scenario.kind, cfg);
+    require(record.result, scenario.id.c_str());
+    return record;
+}
+
+} // namespace bench
+} // namespace psync

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Declarative experiment registry.
+ *
+ * Every Doacross experiment the `bench_*` binaries hard-code —
+ * scheme x workload x machine configuration — is named here as a
+ * Scenario with a stable id ("<group>/<variant>"). The `psync_bench`
+ * driver runs any subset and appends schema-versioned records to a
+ * trajectory file (BENCH_PSYNC.json), so cycle counts are
+ * comparable across commits and regressions are machine-detectable
+ * (bench/compare). Scenario ids are the regression-tracking
+ * contract: renaming one orphans its history.
+ */
+
+#ifndef PSYNC_BENCH_REGISTRY_HH
+#define PSYNC_BENCH_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "core/runtime.hh"
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace bench {
+
+/** Version of the record layout written to trajectory files. */
+constexpr int kTrajectorySchemaVersion = 1;
+
+/** One named experiment: a loop, a scheme, and a machine. */
+struct Scenario
+{
+    /** Stable id, "<group>/<variant>" (e.g. "fig21-n256/statement"). */
+    std::string id;
+
+    /** Workload label shared by the group's scenarios. */
+    std::string workload;
+
+    /** Scheme label, including variant suffixes ("reference+cedar"). */
+    std::string scheme;
+
+    /** One line on what the scenario demonstrates. */
+    std::string description;
+
+    sync::SchemeKind kind = sync::SchemeKind::processImproved;
+
+    /** Builds the loop (deterministic; called per run). */
+    std::function<dep::Loop()> loop;
+
+    /** Fully-configured machine + scheme + schedule knobs. */
+    core::RunConfig config;
+};
+
+/** All registered scenarios, in registration order. */
+const std::vector<Scenario> &allScenarios();
+
+/** Exact-id lookup; nullptr when unknown. */
+const Scenario *findScenario(const std::string &id);
+
+/**
+ * Scenarios whose id contains `pattern` (exact match wins alone);
+ * empty pattern matches everything.
+ */
+std::vector<const Scenario *>
+matchScenarios(const std::string &pattern);
+
+/** Outcome of one scenario run, with the bound attached. */
+struct ScenarioRecord
+{
+    const Scenario *scenario = nullptr;
+    core::DoacrossResult result;
+    /** Pure dependence-chain bound (one processor per iteration). */
+    sim::Tick depBoundCycles = 0;
+    /** Dependence-or-work/P bound on the scenario's machine. */
+    sim::Tick boundCycles = 0;
+
+    /**
+     * One schema-versioned trajectory record: scenario id, scheme,
+     * machine shape, cycles, bound, cycle split, bus and memory
+     * utilization, plus the full RunResult under "result".
+     */
+    core::json::Value toJson() const;
+};
+
+/**
+ * Run one scenario (plan + run + trace-verify). Aborts the process
+ * on a dependence violation or deadlock — a broken scenario must
+ * never silently enter a trajectory file.
+ * @param tracer optional event tracer for blame reports.
+ */
+ScenarioRecord runScenario(const Scenario &scenario,
+                           sim::Tracer *tracer = nullptr);
+
+} // namespace bench
+} // namespace psync
+
+#endif // PSYNC_BENCH_REGISTRY_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Contention blame attribution.
+ *
+ * Reduces a recorded trace (core/tracing) plus the run's metrics
+ * into an explanation of *where the cycles went*: which
+ * synchronization variables blocked which processors for how long
+ * (from the fabric wait-edge events), which memory modules were
+ * hot (from resource-occupancy events), and how far the achieved
+ * time sits above the dependence-limited critical-path bound. The
+ * report is emitted both as an aligned text table and as JSON, and
+ * is what `psync_bench --report` prints.
+ */
+
+#ifndef PSYNC_CORE_BLAME_HH
+#define PSYNC_CORE_BLAME_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/critical_path.hh"
+#include "core/json.hh"
+#include "core/metrics.hh"
+#include "core/tracing.hh"
+
+namespace psync {
+namespace core {
+
+/** Wait-chain attribution and slack breakdown of one traced run. */
+struct BlameReport
+{
+    /** Blocking attributed to one synchronization variable. */
+    struct VarBlame
+    {
+        sim::SyncVarId var = 0;
+        /** Scheme-assigned label ("pc[3]", "key[17]"), if any. */
+        std::string label;
+        /** Satisfied waits that actually blocked. */
+        std::uint64_t waits = 0;
+        /** Sum of blocked cycles over those waits. */
+        sim::Tick blockedCycles = 0;
+        /** Longest single wait. */
+        sim::Tick maxWait = 0;
+        /** Blocked cycles per blocked processor. */
+        std::map<sim::ProcId, sim::Tick> perProc;
+
+        /** Display name: the label, or "v<id>" when unlabeled. */
+        std::string name() const;
+    };
+
+    /** Occupancy of one memory module. */
+    struct ModuleHeat
+    {
+        unsigned module = 0;
+        /** Cycles the module spent servicing requests. */
+        sim::Tick busyCycles = 0;
+        /** Requests serviced. */
+        std::uint64_t accesses = 0;
+    };
+
+    /** Sorted by descending blockedCycles. */
+    std::vector<VarBlame> vars;
+
+    /** One entry per module that appears in the trace. */
+    std::vector<ModuleHeat> modules;
+
+    /** Spin cycles covered by wait edges (<= totalSpinCycles). */
+    sim::Tick attributedSpinCycles = 0;
+
+    /** The run's total spin cycles (summed over processors). */
+    sim::Tick totalSpinCycles = 0;
+
+    /** Achieved completion time. */
+    sim::Tick achievedCycles = 0;
+
+    /** Dependence-or-work bound on this processor count (0 = n/a). */
+    sim::Tick boundCycles = 0;
+
+    /** The run's cycle split, for the slack breakdown. */
+    RunResult run;
+
+    /** Fraction of spin cycles attributed to a named wait edge. */
+    double
+    spinCoverage() const
+    {
+        if (totalSpinCycles == 0)
+            return 1.0;
+        return static_cast<double>(attributedSpinCycles) /
+               static_cast<double>(totalSpinCycles);
+    }
+
+    /** achieved / bound (1.0 = running at the bound). */
+    double
+    slackFactor() const
+    {
+        if (boundCycles == 0)
+            return 0.0;
+        return static_cast<double>(achievedCycles) /
+               static_cast<double>(boundCycles);
+    }
+
+    /** Machine-readable dump (stable snake_case keys). */
+    json::Value toJson() const;
+
+    /** Aligned human-readable report. */
+    void writeText(std::ostream &os) const;
+};
+
+/**
+ * Reduce a recorded trace into a blame report.
+ * @param recorder trace of the run (wait edges, resource events,
+ *        sync-variable labels)
+ * @param run      the run's collected metrics
+ * @param bound    optional achievable bound in cycles (pass the
+ *        critical path's achievableBound; 0 disables the slack
+ *        section)
+ */
+BlameReport buildBlameReport(const TraceRecorder &recorder,
+                             const RunResult &run,
+                             sim::Tick bound = 0);
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_BLAME_HH

@@ -54,6 +54,19 @@ struct CriticalPath
         return cycles ? static_cast<double>(totalWork) / cycles
                       : 0.0;
     }
+
+    /**
+     * The achievable floor on `procs` processors: dependence
+     * chains or work/P, whichever binds.
+     */
+    sim::Tick
+    achievableBound(unsigned procs) const
+    {
+        if (procs == 0)
+            return cycles;
+        sim::Tick work_bound = (totalWork + procs - 1) / procs;
+        return cycles > work_bound ? cycles : work_bound;
+    }
 };
 
 /**

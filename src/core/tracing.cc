@@ -46,6 +46,14 @@ TraceRecorder::syncVarOp(sim::SyncVarId var, const char *op,
 }
 
 void
+TraceRecorder::waitEdge(sim::SyncVarId var, sim::ProcId who,
+                        sim::Tick start, sim::Tick end)
+{
+    waitEdges_.push_back({var, who, start, end});
+    syncVars_[var].waitCycles += end - start;
+}
+
+void
 TraceRecorder::nameSyncVar(sim::SyncVarId var,
                            const std::string &label)
 {
@@ -59,6 +67,7 @@ TraceRecorder::clear()
     resources_.clear();
     counters_.clear();
     instants_.clear();
+    waitEdges_.clear();
     syncVars_.clear();
 }
 
@@ -223,6 +232,8 @@ TraceRecorder::syncVarSummary() const
         if (!entry->second.label.empty())
             var.set("label", entry->second.label);
         var.set("total", entry->second.total);
+        var.set("wait_cycles", static_cast<std::uint64_t>(
+                                   entry->second.waitCycles));
         json::Value ops = json::object();
         for (const auto &op : entry->second.opCounts)
             ops.set(op.first, op.second);

@@ -60,12 +60,25 @@ class TraceRecorder : public sim::Tracer
         sim::Tick at;
     };
 
+    /** One satisfied wait: `who` blocked on `var` over [start, end). */
+    struct WaitEdge
+    {
+        sim::SyncVarId var;
+        sim::ProcId who;
+        sim::Tick start;
+        sim::Tick end;
+
+        sim::Tick cycles() const { return end - start; }
+    };
+
     struct SyncVarStats
     {
         std::string label;
         /** op name -> count ("write", "poll", "wait", ...). */
         std::map<std::string, std::uint64_t> opCounts;
         std::uint64_t total = 0;
+        /** Cycles processors spent blocked on this variable. */
+        sim::Tick waitCycles = 0;
     };
 
     void phaseInterval(sim::ProcId who, sim::TracePhase phase,
@@ -79,6 +92,8 @@ class TraceRecorder : public sim::Tracer
                  sim::Tick at) override;
     void syncVarOp(sim::SyncVarId var, const char *op,
                    sim::ProcId who, sim::Tick at) override;
+    void waitEdge(sim::SyncVarId var, sim::ProcId who,
+                  sim::Tick start, sim::Tick end) override;
     void nameSyncVar(sim::SyncVarId var,
                      const std::string &label) override;
 
@@ -99,12 +114,17 @@ class TraceRecorder : public sim::Tracer
     {
         return syncVars_;
     }
+    const std::vector<WaitEdge> &waitEdges() const
+    {
+        return waitEdges_;
+    }
 
     std::size_t
     eventCount() const
     {
         return phases_.size() + resources_.size() +
-               counters_.size() + instants_.size();
+               counters_.size() + instants_.size() +
+               waitEdges_.size();
     }
 
     /** Drop everything recorded so far (reuse across runs). */
@@ -126,7 +146,8 @@ class TraceRecorder : public sim::Tracer
 
     /**
      * Per-sync-variable contention summary:
-     * `[{"var": id, "label": ..., "total": n, "ops": {...}}, ...]`
+     * `[{"var": id, "label": ..., "total": n, "wait_cycles": w,
+     * "ops": {...}}, ...]`
      * sorted by descending total so the hottest variable is first.
      */
     json::Value syncVarSummary() const;
@@ -136,6 +157,7 @@ class TraceRecorder : public sim::Tracer
     std::vector<ResourceEvent> resources_;
     std::vector<CounterEvent> counters_;
     std::vector<InstantEvent> instants_;
+    std::vector<WaitEdge> waitEdges_;
     std::map<sim::SyncVarId, SyncVarStats> syncVars_;
 };
 

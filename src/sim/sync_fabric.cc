@@ -69,6 +69,10 @@ MemorySyncFabric::pollLoop(ProcId who, SyncVarId var, SyncWord threshold,
                 [this, who, var, threshold, started,
                  on_done = std::move(on_done)](SyncWord value) mutable {
         if (value >= threshold) {
+            if (eventq.now() > started) {
+                PSYNC_TRACE(tracer, waitEdge(var, who, started,
+                                             eventq.now()));
+            }
             on_done(eventq.now() - started);
             return;
         }
@@ -168,6 +172,9 @@ MemorySyncFabric::keyedService(ProcId who, SyncVarId key,
         // increment.
         memory.poke(key_addr, current + 1);
         Tick waited = eventq.now() - started;
+        if (waited > 0)
+            PSYNC_TRACE(tracer,
+                        waitEdge(key, who, started, eventq.now()));
         wakeKeyed(key);
         on_done(waited);
         return;
@@ -289,6 +296,10 @@ RegisterSyncFabric::commit(SyncVarId var, SyncWord value)
         if (values[var] >= w.threshold) {
             ++wakeupsStat;
             Tick waited = eventq.now() - w.started;
+            if (waited > 0) {
+                PSYNC_TRACE(tracer, waitEdge(var, w.who, w.started,
+                                             eventq.now()));
+            }
             eventq.scheduleIn(0, [on_done = std::move(w.onDone),
                                   waited]() { on_done(waited); });
         } else {

@@ -90,6 +90,18 @@ class Tracer
                            Tick at) = 0;
 
     /**
+     * Processor `who` was blocked on synchronization variable `var`
+     * over [start, end): the wait began at `start` and the variable
+     * reached the awaited threshold at `end`. Emitted once per
+     * satisfied wait (never for waits satisfied instantly), by both
+     * fabrics and by the Cedar keyed-access path. The blame reducer
+     * (core/blame) turns these edges into per-variable wait-chain
+     * attribution.
+     */
+    virtual void waitEdge(SyncVarId var, ProcId who, Tick start,
+                          Tick end) = 0;
+
+    /**
      * Attach a human-readable label to a synchronization variable
      * (called by the schemes at plan time, e.g. "pc[3]", "key[17]").
      */

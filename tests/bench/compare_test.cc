@@ -1,0 +1,162 @@
+/** @file Trajectory merge/load and the regression detector. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench/compare.hh"
+
+using namespace psync;
+
+namespace {
+
+core::json::Value
+record(const std::string &id, std::uint64_t cycles)
+{
+    core::json::Value r = core::json::object();
+    r.set("scenario", id);
+    r.set("cycles", cycles);
+    return r;
+}
+
+core::json::Value
+trajectory(
+    std::initializer_list<std::pair<const char *, std::uint64_t>>
+        entries)
+{
+    core::json::Value doc = bench::makeTrajectoryDoc();
+    for (const auto &entry : entries)
+        bench::mergeRecord(doc, record(entry.first, entry.second));
+    return doc;
+}
+
+const bench::ScenarioDelta &
+deltaFor(const bench::CompareResult &result, const std::string &id)
+{
+    for (const auto &delta : result.deltas) {
+        if (delta.id == id)
+            return delta;
+    }
+    static bench::ScenarioDelta missing;
+    ADD_FAILURE() << "no delta for " << id;
+    return missing;
+}
+
+} // namespace
+
+TEST(CompareTest, MergeReplacesSameScenarioId)
+{
+    core::json::Value doc = bench::makeTrajectoryDoc();
+    bench::mergeRecord(doc, record("a/x", 100));
+    bench::mergeRecord(doc, record("a/y", 200));
+    bench::mergeRecord(doc, record("a/x", 150));
+
+    bench::Trajectory t = bench::loadTrajectory(doc);
+    ASSERT_TRUE(t.ok) << t.error;
+    ASSERT_EQ(t.cycles.size(), 2u);
+    EXPECT_EQ(t.cycles[0].first, "a/x");
+    EXPECT_EQ(t.cycles[0].second, 150u);
+    EXPECT_EQ(t.cycles[1].first, "a/y");
+}
+
+TEST(CompareTest, LoadRejectsMalformedDocuments)
+{
+    core::json::Value empty = core::json::object();
+    EXPECT_FALSE(bench::loadTrajectory(empty).ok);
+
+    core::json::Value wrong_version = core::json::object();
+    wrong_version.set("schema_version", 999);
+    wrong_version.set("records", core::json::array());
+    EXPECT_FALSE(bench::loadTrajectory(wrong_version).ok);
+
+    core::json::Value bad_record = bench::makeTrajectoryDoc();
+    core::json::Value no_cycles = core::json::object();
+    no_cycles.set("scenario", "a/x");
+    bench::mergeRecord(bad_record, std::move(no_cycles));
+    EXPECT_FALSE(bench::loadTrajectory(bad_record).ok);
+
+    EXPECT_TRUE(
+        bench::loadTrajectory(bench::makeTrajectoryDoc()).ok);
+}
+
+TEST(CompareTest, ClassifiesRegressionImprovementUnchanged)
+{
+    auto baseline = trajectory(
+        {{"a/slower", 1000}, {"a/faster", 1000}, {"a/same", 1000}});
+    auto current = trajectory(
+        {{"a/slower", 1100}, {"a/faster", 800}, {"a/same", 1005}});
+
+    bench::CompareOptions opts;
+    opts.regressThresholdPct = 2.0;
+    auto result =
+        bench::compareTrajectories(baseline, current, opts);
+
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.regressions, 1u);
+    EXPECT_EQ(result.improvements, 1u);
+    EXPECT_EQ(result.unchanged, 1u);
+    EXPECT_EQ(deltaFor(result, "a/slower").kind,
+              bench::ScenarioDelta::Kind::regression);
+    EXPECT_NEAR(deltaFor(result, "a/slower").deltaPct, 10.0, 1e-9);
+    EXPECT_EQ(deltaFor(result, "a/faster").kind,
+              bench::ScenarioDelta::Kind::improvement);
+    EXPECT_EQ(deltaFor(result, "a/same").kind,
+              bench::ScenarioDelta::Kind::unchanged);
+}
+
+TEST(CompareTest, ThresholdGatesTheVerdict)
+{
+    auto baseline = trajectory({{"a/x", 1000}});
+    auto current = trajectory({{"a/x", 1100}});
+
+    bench::CompareOptions loose;
+    loose.regressThresholdPct = 15.0;
+    EXPECT_TRUE(
+        bench::compareTrajectories(baseline, current, loose).ok());
+
+    bench::CompareOptions tight;
+    tight.regressThresholdPct = 5.0;
+    EXPECT_FALSE(
+        bench::compareTrajectories(baseline, current, tight).ok());
+}
+
+TEST(CompareTest, NewAndRemovedScenariosAreNotRegressions)
+{
+    auto baseline = trajectory({{"a/kept", 1000}, {"a/gone", 500}});
+    auto current = trajectory({{"a/kept", 1000}, {"a/new", 700}});
+
+    auto result = bench::compareTrajectories(baseline, current, {});
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.added, 1u);
+    EXPECT_EQ(result.removed, 1u);
+    EXPECT_EQ(deltaFor(result, "a/new").kind,
+              bench::ScenarioDelta::Kind::added);
+    EXPECT_EQ(deltaFor(result, "a/gone").kind,
+              bench::ScenarioDelta::Kind::removed);
+}
+
+TEST(CompareTest, MalformedInputFailsSafe)
+{
+    core::json::Value bogus = core::json::object();
+    auto current = trajectory({{"a/x", 100}});
+    auto result = bench::compareTrajectories(bogus, current, {});
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.deltas.size(), 1u);
+    EXPECT_NE(result.deltas[0].id.find("malformed baseline"),
+              std::string::npos);
+}
+
+TEST(CompareTest, PrintedTableNamesEveryVerdict)
+{
+    auto baseline = trajectory({{"a/slower", 1000}, {"a/gone", 10}});
+    auto current = trajectory({{"a/slower", 2000}, {"a/new", 20}});
+    auto result = bench::compareTrajectories(baseline, current, {});
+
+    std::ostringstream os;
+    bench::printCompare(os, result, {});
+    EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+    EXPECT_NE(os.str().find("added"), std::string::npos);
+    EXPECT_NE(os.str().find("removed"), std::string::npos);
+    EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+    EXPECT_NE(os.str().find("+100.0%"), std::string::npos);
+}

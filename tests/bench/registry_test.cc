@@ -1,0 +1,94 @@
+/** @file Scenario registry: ids, matching, and record contents. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench/registry.hh"
+#include "core/tracing.hh"
+
+using namespace psync;
+
+TEST(RegistryTest, IdsAreUniqueAndGroupSlashVariant)
+{
+    const auto &scenarios = bench::allScenarios();
+    ASSERT_GE(scenarios.size(), 20u);
+    std::set<std::string> ids;
+    for (const auto &s : scenarios) {
+        EXPECT_TRUE(ids.insert(s.id).second)
+            << "duplicate id " << s.id;
+        EXPECT_NE(s.id.find('/'), std::string::npos) << s.id;
+        EXPECT_FALSE(s.workload.empty()) << s.id;
+        EXPECT_FALSE(s.scheme.empty()) << s.id;
+        EXPECT_TRUE(s.loop != nullptr) << s.id;
+    }
+}
+
+TEST(RegistryTest, FindAndMatch)
+{
+    const bench::Scenario *s =
+        bench::findScenario("fig21-n64/statement");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, sync::SchemeKind::statementOriented);
+    EXPECT_EQ(bench::findScenario("no/such"), nullptr);
+
+    // An exact id match selects just that scenario even though the
+    // id is also a substring of nothing else.
+    auto exact = bench::matchScenarios("fig21-n64/statement");
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_EQ(exact[0], s);
+
+    // A group prefix matches the whole group.
+    auto group = bench::matchScenarios("fig21-n64");
+    EXPECT_EQ(group.size(), 3u);
+
+    // Empty pattern matches everything.
+    EXPECT_EQ(bench::matchScenarios("").size(),
+              bench::allScenarios().size());
+    EXPECT_TRUE(bench::matchScenarios("zzz-nothing").empty());
+}
+
+TEST(RegistryTest, RunProducesBoundAndSchemaVersionedRecord)
+{
+    const bench::Scenario *s =
+        bench::findScenario("fig21-n64/process-improved");
+    ASSERT_NE(s, nullptr);
+
+    bench::ScenarioRecord record = bench::runScenario(*s);
+    EXPECT_TRUE(record.result.run.completed);
+    EXPECT_GT(record.result.run.cycles, 0u);
+    EXPECT_GT(record.depBoundCycles, 0u);
+    EXPECT_GE(record.boundCycles, record.depBoundCycles > 0 ? 1u
+                                                           : 0u);
+    // The run can never beat the dependence-or-work bound.
+    EXPECT_GE(record.result.run.cycles, record.boundCycles);
+
+    core::json::Value j = record.toJson();
+    const core::json::Value *version = j.find("schema_version");
+    ASSERT_NE(version, nullptr);
+    EXPECT_EQ(version->asNumber(), bench::kTrajectorySchemaVersion);
+    EXPECT_EQ(j.find("scenario")->asString(), s->id);
+    EXPECT_EQ(j.find("scheme")->asString(), s->scheme);
+    EXPECT_GT(j.find("cycles")->asNumber(), 0);
+    EXPECT_GT(j.find("bound_cycles")->asNumber(), 0);
+    const core::json::Value *split = j.find("cycle_split");
+    ASSERT_NE(split, nullptr);
+    ASSERT_TRUE(split->isObject());
+    EXPECT_NE(split->find("compute_cycles"), nullptr);
+    EXPECT_NE(split->find("spin_cycles"), nullptr);
+    EXPECT_NE(split->find("sync_overhead_cycles"), nullptr);
+    EXPECT_NE(split->find("stall_cycles"), nullptr);
+    ASSERT_NE(j.find("result"), nullptr);
+    EXPECT_TRUE(j.find("result")->isObject());
+}
+
+TEST(RegistryTest, TracedRunRecordsWaitEdges)
+{
+    const bench::Scenario *s =
+        bench::findScenario("fig21-n64/reference");
+    ASSERT_NE(s, nullptr);
+    core::TraceRecorder rec;
+    bench::ScenarioRecord record = bench::runScenario(*s, &rec);
+    EXPECT_TRUE(record.result.run.completed);
+    EXPECT_FALSE(rec.waitEdges().empty());
+}

@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "core/json.hh"
 #include "core/metrics.hh"
 #include "core/runtime.hh"
 #include "workloads/fig21.hh"
@@ -80,4 +81,78 @@ TEST(MetricsTest, IncompleteRunFlagged)
     std::ostringstream os;
     core::printResult(os, "dead", r);
     EXPECT_NE(os.str().find("DEADLOCK"), std::string::npos);
+}
+
+// toJson() -> dump -> parse reproduces every field. Each field gets
+// a distinct value so a key typo or a copy-paste of the wrong
+// member cannot cancel out.
+TEST(MetricsTest, JsonRoundTripsEveryField)
+{
+    core::RunResult r;
+    r.completed = true;
+    r.cycles = 101;
+    r.numProcs = 7;
+    r.computeCycles = 103;
+    r.spinCycles = 104;
+    r.syncOverheadCycles = 105;
+    r.stallCycles = 106;
+    r.syncOps = 107;
+    r.marksSkipped = 108;
+    r.programsRun = 109;
+    r.dataBusTransactions = 110;
+    r.dataBusQueueDelay = 111;
+    r.dataBusUtilization = 0.25;
+    r.syncBusBroadcasts = 113;
+    r.coalescedWrites = 114;
+    r.syncBusUtilization = 0.5;
+    r.memAccesses = 116;
+    r.hottestModuleAccesses = 117;
+    r.hotSpotRatio = 1.75;
+    r.moduleQueueDelay = 119;
+    r.syncMemPolls = 120;
+    r.cacheHits = 121;
+    r.cacheMisses = 122;
+    r.cacheInvalidations = 123;
+
+    std::ostringstream os;
+    r.toJson().dump(os, 2);
+    auto parsed = core::json::parse(os.str());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const core::json::Value &v = parsed.value;
+
+    auto num = [&v](const char *key) {
+        const core::json::Value *m = v.find(key);
+        EXPECT_NE(m, nullptr) << key;
+        EXPECT_TRUE(m && m->isNumber()) << key;
+        return m && m->isNumber() ? m->asNumber() : -1.0;
+    };
+    const core::json::Value *completed = v.find("completed");
+    ASSERT_NE(completed, nullptr);
+    ASSERT_TRUE(completed->isBool());
+    EXPECT_TRUE(completed->asBool());
+    EXPECT_EQ(num("cycles"), 101);
+    EXPECT_EQ(num("num_procs"), 7);
+    EXPECT_EQ(num("compute_cycles"), 103);
+    EXPECT_EQ(num("spin_cycles"), 104);
+    EXPECT_EQ(num("sync_overhead_cycles"), 105);
+    EXPECT_EQ(num("stall_cycles"), 106);
+    EXPECT_DOUBLE_EQ(num("utilization"), r.utilization());
+    EXPECT_DOUBLE_EQ(num("spin_fraction"), r.spinFraction());
+    EXPECT_EQ(num("sync_ops"), 107);
+    EXPECT_EQ(num("marks_skipped"), 108);
+    EXPECT_EQ(num("programs_run"), 109);
+    EXPECT_EQ(num("data_bus_transactions"), 110);
+    EXPECT_EQ(num("data_bus_queue_delay"), 111);
+    EXPECT_DOUBLE_EQ(num("data_bus_utilization"), 0.25);
+    EXPECT_EQ(num("sync_bus_broadcasts"), 113);
+    EXPECT_EQ(num("coalesced_writes"), 114);
+    EXPECT_DOUBLE_EQ(num("sync_bus_utilization"), 0.5);
+    EXPECT_EQ(num("mem_accesses"), 116);
+    EXPECT_EQ(num("hottest_module_accesses"), 117);
+    EXPECT_DOUBLE_EQ(num("hot_spot_ratio"), 1.75);
+    EXPECT_EQ(num("module_queue_delay"), 119);
+    EXPECT_EQ(num("sync_mem_polls"), 120);
+    EXPECT_EQ(num("cache_hits"), 121);
+    EXPECT_EQ(num("cache_misses"), 122);
+    EXPECT_EQ(num("cache_invalidations"), 123);
 }

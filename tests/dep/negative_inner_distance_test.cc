@@ -80,7 +80,9 @@ TEST(NegativeInnerDistanceTest, BoundaryPredicate)
 {
     dep::Loop loop = makeSkewedLoop(6, 8);
     dep::DepGraph graph(loop);
-    const dep::Dep &d = graph.enforced()[0];
+    // enforced() returns by value; keep the vector alive.
+    const std::vector<dep::Dep> enforced = graph.enforced();
+    const dep::Dep &d = enforced[0];
     // Sink (i, j) has a source iff (i-1, j+1) is in bounds:
     // i >= 2 and j <= 7.
     EXPECT_TRUE(dep::sinkHasSource(loop, d, loop.lpidOf(2, 3)));
