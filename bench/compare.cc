@@ -53,11 +53,10 @@ loadTrajectory(const core::json::Value &doc)
         t.error = "missing schema_version";
         return t;
     }
-    if (static_cast<int>(version->asNumber()) !=
-        kTrajectorySchemaVersion) {
-        t.error = "unsupported schema_version " +
-                  std::to_string(
-                      static_cast<int>(version->asNumber()));
+    int v = static_cast<int>(version->asNumber());
+    if (v < kMinTrajectorySchemaVersion ||
+        v > kTrajectorySchemaVersion) {
+        t.error = "unsupported schema_version " + std::to_string(v);
         return t;
     }
     const core::json::Value *records = doc.find("records");
@@ -114,6 +113,10 @@ compareTrajectories(const core::json::Value &baseline,
         if (it == base_cycles.end()) {
             delta.kind = ScenarioDelta::Kind::added;
             ++result.added;
+            // An exact comparison demands the same scenario set on
+            // both sides.
+            if (opts.requireIdentical)
+                ++result.regressions;
         } else {
             delta.baselineCycles = it->second;
             base_cycles.erase(it);
@@ -124,10 +127,21 @@ compareTrajectories(const core::json::Value &baseline,
                     100.0 /
                     static_cast<double>(delta.baselineCycles);
             }
-            if (delta.deltaPct > opts.regressThresholdPct) {
+            bool regressed, improved;
+            if (opts.requireIdentical) {
+                regressed =
+                    delta.currentCycles != delta.baselineCycles;
+                improved = false;
+            } else {
+                regressed =
+                    delta.deltaPct > opts.regressThresholdPct;
+                improved =
+                    delta.deltaPct < -opts.regressThresholdPct;
+            }
+            if (regressed) {
                 delta.kind = ScenarioDelta::Kind::regression;
                 ++result.regressions;
-            } else if (delta.deltaPct < -opts.regressThresholdPct) {
+            } else if (improved) {
                 delta.kind = ScenarioDelta::Kind::improvement;
                 ++result.improvements;
             } else {
@@ -150,6 +164,8 @@ compareTrajectories(const core::json::Value &baseline,
         delta.baselineCycles = entry.second;
         delta.kind = ScenarioDelta::Kind::removed;
         ++result.removed;
+        if (opts.requireIdentical)
+            ++result.regressions;
         result.deltas.push_back(std::move(delta));
     }
     return result;
@@ -197,13 +213,18 @@ printCompare(std::ostream &os, const CompareResult &result,
         }
         os << "  " << deltaKindName(delta.kind) << "\n";
     }
-    os << (result.ok() ? "OK" : "FAIL") << ": "
-       << result.regressions << " regression(s) beyond "
-       << std::fixed << std::setprecision(1)
-       << opts.regressThresholdPct << "%, " << result.improvements
-       << " improved, " << result.unchanged << " unchanged, "
-       << result.added << " added, " << result.removed
-       << " removed\n";
+    os << (result.ok() ? "OK" : "FAIL") << ": ";
+    if (opts.requireIdentical) {
+        os << result.regressions
+           << " difference(s), exact match required, ";
+    } else {
+        os << result.regressions << " regression(s) beyond "
+           << std::fixed << std::setprecision(1)
+           << opts.regressThresholdPct << "%, ";
+    }
+    os << result.improvements << " improved, " << result.unchanged
+       << " unchanged, " << result.added << " added, "
+       << result.removed << " removed\n";
 }
 
 } // namespace bench

@@ -60,6 +60,14 @@ struct CompareOptions
      * the default tolerance is tight.
      */
     double regressThresholdPct = 2.0;
+
+    /**
+     * Require bit-identical cycle counts: any difference — faster,
+     * slower, or a scenario present on only one side — fails the
+     * comparison. This is the `--exact` determinism gate: a sweep
+     * run with `--jobs N` must reproduce the serial sweep exactly.
+     */
+    bool requireIdentical = false;
 };
 
 /** How one scenario moved between two trajectories. */

@@ -9,8 +9,14 @@
  *                                            or exact id match)
  *   psync_bench --all --baseline old.json    run + diff, exit 1 on
  *                                            cycle regressions
+ *   psync_bench --all --jobs 8               run scenarios on a
+ *                                            worker pool (identical
+ *                                            cycles, less wall time)
  *   psync_bench --compare old.json new.json  diff two trajectory
  *                                            files without running
+ *   psync_bench --compare a.json b.json --exact
+ *                                            determinism gate: any
+ *                                            cycle difference fails
  *   psync_bench --report [pattern]           contention blame report
  *                                            (per-sync-var wait
  *                                            attribution, module
@@ -20,12 +26,15 @@
  * failure, 2 usage/IO error.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hh"
@@ -43,6 +52,7 @@ struct Options
     bool list = false;
     bool all = false;
     bool report = false;
+    unsigned jobs = 1;
     std::vector<std::string> patterns;
     std::string jsonPath;
     std::string baselinePath;
@@ -59,8 +69,9 @@ usage(std::FILE *to)
         to,
         "usage: psync_bench [--list] [--all] [--run PATTERN]... \n"
         "                   [PATTERN]... [--json FILE]\n"
+        "                   [--jobs N]\n"
         "                   [--baseline FILE] [--threshold PCT]\n"
-        "                   [--compare OLD NEW]\n"
+        "                   [--compare OLD NEW] [--exact]\n"
         "                   [--report [PATTERN]] "
         "[--report-json FILE]\n");
 }
@@ -96,6 +107,19 @@ parseArgs(int argc, char **argv, Options &opts)
             if (!p)
                 return false;
             opts.baselinePath = p;
+        } else if (arg == "--jobs") {
+            const char *p = next("--jobs");
+            if (!p)
+                return false;
+            int n = std::atoi(p);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--jobs needs a positive count\n");
+                return false;
+            }
+            opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--exact") {
+            opts.compare.requireIdentical = true;
         } else if (arg == "--threshold") {
             const char *p = next("--threshold");
             if (!p)
@@ -293,9 +317,46 @@ main(int argc, char **argv)
         if (exists) {
             core::json::Value existing;
             if (readJsonFile(opts.jsonPath, existing) &&
-                bench::loadTrajectory(existing).ok)
+                bench::loadTrajectory(existing).ok) {
                 doc = std::move(existing);
+                // Kept records may predate the current layout;
+                // restamp the header since we rewrite the file.
+                doc.set("schema_version",
+                        bench::kTrajectorySchemaVersion);
+            }
         }
+    }
+
+    // Run the selected scenarios: in order on this thread, or
+    // claimed index-at-a-time by a worker pool under --jobs. Every
+    // run builds its own Machine (and thus its own event queue and
+    // RNG streams), so workers share nothing mutable but the claim
+    // counter; cycle counts are identical either way and the
+    // determinism gate in CI checks exactly that. Records land in
+    // per-scenario slots so printing and merging stay in selection
+    // order after the join.
+    std::vector<bench::ScenarioRecord> records(selected.size());
+    unsigned workers = std::min<std::size_t>(opts.jobs,
+                                             selected.size());
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < selected.size(); ++i)
+            records[i] = bench::runScenario(*selected[i]);
+    } else {
+        std::atomic<std::size_t> next_index{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&records, &selected, &next_index]() {
+                for (;;) {
+                    std::size_t i = next_index.fetch_add(1);
+                    if (i >= selected.size())
+                        return;
+                    records[i] = bench::runScenario(*selected[i]);
+                }
+            });
+        }
+        for (auto &worker : pool)
+            worker.join();
     }
 
     core::json::Value fresh = bench::makeTrajectoryDoc();
@@ -303,10 +364,13 @@ main(int argc, char **argv)
                        {"cycles", 12},
                        {"bound", 12},
                        {"slack", 7},
-                       {"spin-frac", 9}};
+                       {"spin-frac", 9},
+                       {"host-ms", 8},
+                       {"Mev/s", 7}};
     table.header();
-    for (const auto *scenario : selected) {
-        bench::ScenarioRecord record = bench::runScenario(*scenario);
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const bench::Scenario *scenario = selected[i];
+        bench::ScenarioRecord &record = records[i];
         table.row(
             {scenario->id, bench::Table::num(record.result.run.cycles),
              bench::Table::num(record.boundCycles),
@@ -315,7 +379,10 @@ main(int argc, char **argv)
                      ? static_cast<double>(record.result.run.cycles) /
                            static_cast<double>(record.boundCycles)
                      : 0.0),
-             bench::Table::fixed(record.result.run.spinFraction())});
+             bench::Table::fixed(record.result.run.spinFraction()),
+             bench::Table::fixed(
+                 static_cast<double>(record.hostNanos) / 1e6, 1),
+             bench::Table::fixed(record.eventsPerSec() / 1e6, 1)});
         core::json::Value rec = record.toJson();
         bench::mergeRecord(doc, rec);
         bench::mergeRecord(fresh, std::move(rec));

@@ -1,5 +1,6 @@
 #include "bench/registry.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -333,6 +334,10 @@ ScenarioRecord::toJson() const
               static_cast<std::uint64_t>(r.run.stallCycles));
     rec.set("cycle_split", std::move(split));
 
+    rec.set("host_ns", hostNanos);
+    rec.set("events_executed", r.run.eventsExecuted);
+    rec.set("events_per_sec", eventsPerSec());
+
     rec.set("sync_vars", r.plan.numSyncVars);
     rec.set("data_bus_utilization", r.run.dataBusUtilization);
     rec.set("sync_bus_utilization", r.run.syncBusUtilization);
@@ -349,6 +354,7 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer)
     ScenarioRecord record;
     record.scenario = &scenario;
 
+    auto host_start = std::chrono::steady_clock::now();
     dep::Loop loop = scenario.loop();
     dep::DepGraph graph(loop);
     core::CriticalPath cp = core::criticalPath(
@@ -361,6 +367,10 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer)
     core::RunConfig cfg = scenario.config;
     cfg.tracer = tracer;
     record.result = core::runDoacross(loop, scenario.kind, cfg);
+    record.hostNanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - host_start)
+            .count());
     require(record.result, scenario.id.c_str());
     return record;
 }

@@ -26,8 +26,17 @@
 namespace psync {
 namespace bench {
 
-/** Version of the record layout written to trajectory files. */
-constexpr int kTrajectorySchemaVersion = 1;
+/**
+ * Version of the record layout written to trajectory files.
+ * History: v1 had no host-timing fields; v2 adds host_ns,
+ * events_executed and events_per_sec to each record. Loaders accept
+ * both (the host fields are advisory — only simulated cycles are
+ * compared).
+ */
+constexpr int kTrajectorySchemaVersion = 2;
+
+/** Oldest trajectory schema loadTrajectory still accepts. */
+constexpr int kMinTrajectorySchemaVersion = 1;
 
 /** One named experiment: a loop, a scheme, and a machine. */
 struct Scenario
@@ -77,9 +86,28 @@ struct ScenarioRecord
     sim::Tick boundCycles = 0;
 
     /**
+     * Host wall-clock nanoseconds runScenario spent on this record
+     * (loop build + planning + simulation + trace check). Not
+     * comparable across machines; trajectory comparisons only look
+     * at simulated cycles.
+     */
+    std::uint64_t hostNanos = 0;
+
+    /** Simulated events per host second (0 when unmeasured). */
+    double
+    eventsPerSec() const
+    {
+        if (hostNanos == 0)
+            return 0.0;
+        return static_cast<double>(result.run.eventsExecuted) *
+               1e9 / static_cast<double>(hostNanos);
+    }
+
+    /**
      * One schema-versioned trajectory record: scenario id, scheme,
      * machine shape, cycles, bound, cycle split, bus and memory
-     * utilization, plus the full RunResult under "result".
+     * utilization, host timing, plus the full RunResult under
+     * "result".
      */
     core::json::Value toJson() const;
 };

@@ -24,6 +24,8 @@ collectResult(sim::Machine &machine, bool completed)
         r.programsRun += proc.programsRun();
     }
 
+    r.eventsExecuted = machine.eventq().eventsExecuted();
+
     r.dataBusTransactions = machine.dataNet().transactions();
     r.dataBusQueueDelay = machine.dataNet().queueDelay();
     r.dataBusUtilization = machine.dataNet().utilization(r.cycles);
@@ -71,6 +73,7 @@ RunResult::toJson() const
     v.set("sync_ops", syncOps);
     v.set("marks_skipped", marksSkipped);
     v.set("programs_run", programsRun);
+    v.set("events_executed", eventsExecuted);
     v.set("data_bus_transactions", dataBusTransactions);
     v.set("data_bus_queue_delay",
           static_cast<std::uint64_t>(dataBusQueueDelay));

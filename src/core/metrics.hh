@@ -39,6 +39,9 @@ struct RunResult
     std::uint64_t marksSkipped = 0;
     std::uint64_t programsRun = 0;
 
+    /** Simulation events the machine's event core executed. */
+    std::uint64_t eventsExecuted = 0;
+
     std::uint64_t dataBusTransactions = 0;
     sim::Tick dataBusQueueDelay = 0;
     double dataBusUtilization = 0.0;

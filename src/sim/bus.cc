@@ -74,9 +74,12 @@ Bus::grantNext()
     if (req.onGrant)
         req.onGrant(grant);
 
-    GrantHandler handler = std::move(req.onDone);
-    eventq.schedule(done, [this, handler = std::move(handler), grant]() {
-        handler(grant);
+    inflightDone = std::move(req.onDone);
+    inflightGrant = grant;
+    eventq.schedule(done, [this]() {
+        GrantHandler handler = std::move(inflightDone);
+        Tick granted = inflightGrant;
+        handler(granted);
         grantNext();
     });
 }

@@ -111,6 +111,14 @@ class Bus : public Interconnect
     Tick freeAt = 0;
     bool granting = false;
     std::deque<Request> pending;
+    /**
+     * The granted transaction's completion callback. At most one
+     * transaction drives the bus at a time (`granting`), so its
+     * done event only needs to capture `this` — keeping the event
+     * inside the queue's inline handler storage.
+     */
+    GrantHandler inflightDone;
+    Tick inflightGrant = 0;
 
     stats::Scalar numTransactions;
     stats::Scalar busyCyclesStat;

@@ -54,25 +54,19 @@ void
 CacheSystem::read(ProcId who, Addr addr, AccessHandler on_done)
 {
     if (!config.enabled) {
-        memory.read(who, addr,
-                    [on_done = std::move(on_done)](SyncWord) {
-            on_done();
-        });
+        memory.readDiscard(who, addr, std::move(on_done));
         return;
     }
     Line &line = lineOf(who, addr);
     if (line.valid && line.tag == addr / 8) {
         ++hitsStat;
-        eventq.scheduleIn(config.hitCycles,
-                          [on_done = std::move(on_done)]() {
-            on_done();
-        });
+        eventq.scheduleIn(config.hitCycles, std::move(on_done));
         return;
     }
     ++missesStat;
-    memory.read(who, addr,
-                [this, who, addr,
-                 on_done = std::move(on_done)](SyncWord) {
+    memory.readDiscard(who, addr,
+                       [this, who, addr,
+                        on_done = std::move(on_done)]() {
         fill(who, addr);
         on_done();
     });

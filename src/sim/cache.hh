@@ -47,7 +47,7 @@ struct CacheConfig
 class CacheSystem
 {
   public:
-    using AccessHandler = std::function<void()>;
+    using AccessHandler = InlineFunction<void()>;
 
     CacheSystem(EventQueue &eq, Memory &mem, unsigned num_procs,
                 const CacheConfig &cfg);

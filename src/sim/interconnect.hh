@@ -14,10 +14,10 @@
 #define PSYNC_SIM_INTERCONNECT_HH
 
 #include <cstdint>
-#include <functional>
 #include <ostream>
 #include <string>
 
+#include "sim/inline_function.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -28,7 +28,7 @@ namespace sim {
 class Interconnect
 {
   public:
-    using GrantHandler = std::function<void(Tick grant_tick)>;
+    using GrantHandler = InlineFunction<void(Tick grant_tick)>;
 
     virtual ~Interconnect() = default;
 

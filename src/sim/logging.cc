@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -92,8 +93,13 @@ constexpr ComponentName debugComponents[] = {
     {"net", DebugNet},     {"all", DebugAll},
 };
 
-/** -1 = uninitialized; otherwise the active mask. */
-int activeMask = -1;
+/**
+ * -1 = uninitialized; otherwise the active mask. Atomic because
+ * parallel bench sweeps (psync_bench --jobs) run simulations on
+ * several threads; first-use initialization from the environment is
+ * idempotent, so a racing double-init stores the same value.
+ */
+std::atomic<int> activeMask{-1};
 
 std::string
 lowered(const std::string &s)
@@ -145,7 +151,8 @@ parseDebugFilter(const std::string &spec, std::string *unknown)
 unsigned
 debugMask()
 {
-    if (activeMask < 0) {
+    int current = activeMask.load(std::memory_order_relaxed);
+    if (current < 0) {
         const char *env = std::getenv("PSYNC_DEBUG");
         std::string unknown;
         unsigned mask =
@@ -153,15 +160,17 @@ debugMask()
         if (!unknown.empty())
             warn("PSYNC_DEBUG: unknown component '%s'",
                  unknown.c_str());
-        activeMask = static_cast<int>(mask);
+        current = static_cast<int>(mask);
+        activeMask.store(current, std::memory_order_relaxed);
     }
-    return static_cast<unsigned>(activeMask);
+    return static_cast<unsigned>(current);
 }
 
 void
 setDebugMask(unsigned mask)
 {
-    activeMask = static_cast<int>(mask);
+    activeMask.store(static_cast<int>(mask),
+                     std::memory_order_relaxed);
 }
 
 void

@@ -35,7 +35,7 @@ stagesFor(unsigned endpoints)
 
 Machine::Machine(const MachineConfig &cfg, TraceSink *trace,
                  Tracer *tracer)
-    : config_(cfg)
+    : config_(cfg), eventq_(cfg.eventCore)
 {
     if (config_.numProcs == 0)
         fatal("machine needs at least one processor");
@@ -81,6 +81,14 @@ Machine::Machine(const MachineConfig &cfg, TraceSink *trace,
         processors_.push_back(std::make_unique<Processor>(
             eventq_, id, *fabric_, *caches_, trace, tracer));
     }
+}
+
+Machine::~Machine()
+{
+    // A tick-limit stop (deadlock detection) leaves undrained
+    // events whose handler captures point into the components
+    // destroyed below; drop them all before any component dies.
+    eventq_.clear();
 }
 
 bool

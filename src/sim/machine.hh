@@ -48,6 +48,13 @@ struct MachineConfig
     /** Number of processors. */
     unsigned numProcs = 8;
 
+    /**
+     * Event-core implementation. Both cores execute the identical
+     * (when, seq) order; `heap` is the reference used by the
+     * equivalence tests.
+     */
+    EventCoreKind eventCore = EventCoreKind::calendar;
+
     /** How processors reach memory. */
     InterconnectKind interconnect = InterconnectKind::bus;
 
@@ -99,6 +106,8 @@ class Machine
     explicit Machine(const MachineConfig &cfg,
                      TraceSink *trace = nullptr,
                      Tracer *tracer = nullptr);
+
+    ~Machine();
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;

@@ -25,42 +25,123 @@ Memory::Memory(EventQueue &eq, Interconnect &data_net,
         fatal("memory must have at least one module");
 }
 
-void
-Memory::service(ProcId who, Addr addr, Tick service_cycles,
-                std::function<void(Tick done)> at_done)
+std::uint32_t
+Memory::allocRequest()
 {
-    unsigned module = moduleOf(addr);
+    if (freeHead != noRequest) {
+        std::uint32_t slot = freeHead;
+        freeHead = requests[slot].next;
+        return slot;
+    }
+    std::uint32_t slot = static_cast<std::uint32_t>(requests.size());
+    requests.emplace_back();
+    return slot;
+}
+
+void
+Memory::freeRequest(std::uint32_t slot)
+{
+    Request &req = requests[slot];
+    req.modify.reset();
+    req.onValue.reset();
+    req.onAccess.reset();
+    req.next = freeHead;
+    freeHead = slot;
+}
+
+void
+Memory::service(std::uint32_t slot)
+{
+    unsigned module = moduleOf(requests[slot].addr);
     accessesStat[module] += 1;
 
-    dataNet.transact(who, [this, who, module, service_cycles,
-                           at_done = std::move(at_done)](Tick) {
-        Tick arrive = eventq.now();
-        Tick start = std::max(arrive, moduleFreeAt[module]);
-        Tick done = start + service_cycles;
-        moduleFreeAt[module] = done;
-        queueDelayStat += static_cast<double>(start - arrive);
-        PSYNC_DPRINTF(eventq, Mem,
-                      "module %u service proc %u [%llu, %llu)",
-                      module, who,
-                      static_cast<unsigned long long>(start),
-                      static_cast<unsigned long long>(done));
-        PSYNC_TRACE(tracer,
-                    resourceBusy("memory.module", module, who, start,
-                                 done));
-        eventq.schedule(done, [at_done = std::move(at_done), done]() {
-            at_done(done);
-        });
-    });
+    dataNet.transact(requests[slot].who,
+                     [this, slot](Tick) { arrived(slot); });
+}
+
+void
+Memory::arrived(std::uint32_t slot)
+{
+    const Request &req = requests[slot];
+    unsigned module = moduleOf(req.addr);
+    Tick arrive = eventq.now();
+    Tick start = std::max(arrive, moduleFreeAt[module]);
+    Tick done = start + req.serviceCycles;
+    moduleFreeAt[module] = done;
+    queueDelayStat += static_cast<double>(start - arrive);
+    PSYNC_DPRINTF(eventq, Mem,
+                  "module %u service proc %u [%llu, %llu)",
+                  module, req.who,
+                  static_cast<unsigned long long>(start),
+                  static_cast<unsigned long long>(done));
+    PSYNC_TRACE(tracer,
+                resourceBusy("memory.module", module, req.who, start,
+                             done));
+    eventq.schedule(done, [this, slot]() { complete(slot); });
+}
+
+void
+Memory::complete(std::uint32_t slot)
+{
+    Request &req = requests[slot];
+    Addr addr = req.addr;
+    switch (req.kind) {
+      case Request::Kind::read: {
+        ValueHandler on_done = std::move(req.onValue);
+        freeRequest(slot);
+        on_done(peek(addr));
+        return;
+      }
+      case Request::Kind::readDiscard: {
+        AccessHandler on_done = std::move(req.onAccess);
+        freeRequest(slot);
+        on_done();
+        return;
+      }
+      case Request::Kind::write: {
+        words[addr] = req.value;
+        AccessHandler on_done = std::move(req.onAccess);
+        freeRequest(slot);
+        on_done();
+        return;
+      }
+      case Request::Kind::rmw: {
+        SyncWord old_value = peek(addr);
+        words[addr] = req.modify(old_value);
+        ValueHandler on_done = std::move(req.onValue);
+        freeRequest(slot);
+        on_done(old_value);
+        return;
+      }
+    }
 }
 
 void
 Memory::read(ProcId who, Addr addr, ValueHandler on_done)
 {
     ++readsStat;
-    service(who, addr, config.serviceCycles,
-            [this, addr, on_done = std::move(on_done)](Tick) {
-        on_done(peek(addr));
-    });
+    std::uint32_t slot = allocRequest();
+    Request &req = requests[slot];
+    req.kind = Request::Kind::read;
+    req.who = who;
+    req.addr = addr;
+    req.serviceCycles = config.serviceCycles;
+    req.onValue = std::move(on_done);
+    service(slot);
+}
+
+void
+Memory::readDiscard(ProcId who, Addr addr, AccessHandler on_done)
+{
+    ++readsStat;
+    std::uint32_t slot = allocRequest();
+    Request &req = requests[slot];
+    req.kind = Request::Kind::readDiscard;
+    req.who = who;
+    req.addr = addr;
+    req.serviceCycles = config.serviceCycles;
+    req.onAccess = std::move(on_done);
+    service(slot);
 }
 
 void
@@ -68,11 +149,15 @@ Memory::write(ProcId who, Addr addr, SyncWord value,
               AccessHandler on_done)
 {
     ++writesStat;
-    service(who, addr, config.serviceCycles,
-            [this, addr, value, on_done = std::move(on_done)](Tick) {
-        words[addr] = value;
-        on_done();
-    });
+    std::uint32_t slot = allocRequest();
+    Request &req = requests[slot];
+    req.kind = Request::Kind::write;
+    req.who = who;
+    req.addr = addr;
+    req.value = value;
+    req.serviceCycles = config.serviceCycles;
+    req.onAccess = std::move(on_done);
+    service(slot);
 }
 
 void
@@ -82,13 +167,15 @@ Memory::rmw(ProcId who, Addr addr, Modify modify, ValueHandler on_done)
     // a write; serialized arrivals at one hot word pay the full
     // double service each (the fetch&add funnel of Example 4).
     ++rmwsStat;
-    service(who, addr, 2 * config.serviceCycles,
-            [this, addr, modify = std::move(modify),
-             on_done = std::move(on_done)](Tick) {
-        SyncWord old_value = peek(addr);
-        words[addr] = modify(old_value);
-        on_done(old_value);
-    });
+    std::uint32_t slot = allocRequest();
+    Request &req = requests[slot];
+    req.kind = Request::Kind::rmw;
+    req.who = who;
+    req.addr = addr;
+    req.serviceCycles = 2 * config.serviceCycles;
+    req.modify = std::move(modify);
+    req.onValue = std::move(on_done);
+    service(slot);
 }
 
 void

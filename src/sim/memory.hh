@@ -19,7 +19,6 @@
 #define PSYNC_SIM_MEMORY_HH
 
 #include <cstdint>
-#include <functional>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -50,11 +49,11 @@ class Memory
 {
   public:
     /** Completion callback for plain accesses. */
-    using AccessHandler = std::function<void()>;
+    using AccessHandler = InlineFunction<void()>;
     /** Completion callback carrying a loaded or pre-RMW value. */
-    using ValueHandler = std::function<void(SyncWord value)>;
+    using ValueHandler = InlineFunction<void(SyncWord value)>;
     /** Value transformation applied atomically at the module. */
-    using Modify = std::function<SyncWord(SyncWord old_value)>;
+    using Modify = InlineFunction<SyncWord(SyncWord old_value)>;
 
     Memory(EventQueue &eq, Interconnect &data_net,
            const MemoryConfig &cfg, Tracer *tracer = nullptr);
@@ -69,6 +68,13 @@ class Memory
 
     /** Read a word; handler receives the value at completion. */
     void read(ProcId who, Addr addr, ValueHandler on_done);
+
+    /**
+     * Read a word when only completion timing matters (cache fills
+     * that model no data). Same cost as read(); avoids a value
+     * adapter closure on the caller's side.
+     */
+    void readDiscard(ProcId who, Addr addr, AccessHandler on_done);
 
     /** Write a word; handler runs at completion. */
     void write(ProcId who, Addr addr, SyncWord value,
@@ -127,9 +133,44 @@ class Memory
     void registerStats(stats::Group &group) const;
 
   private:
+    /**
+     * One in-flight request, parked in a free-listed slab so the
+     * interconnect grant and module completion events capture only
+     * {this, slot}: the user's handler rests here instead of being
+     * re-wrapped (and re-allocated) at every hop.
+     */
+    struct Request
+    {
+        enum class Kind : std::uint8_t
+        {
+            read,
+            readDiscard,
+            write,
+            rmw,
+        };
+
+        Kind kind = Kind::read;
+        ProcId who = 0;
+        Addr addr = 0;
+        SyncWord value = 0;
+        Tick serviceCycles = 0;
+        Modify modify;
+        ValueHandler onValue;
+        AccessHandler onAccess;
+        std::uint32_t next = noRequest;
+    };
+
+    static constexpr std::uint32_t noRequest = ~0u;
+
+    std::uint32_t allocRequest();
+    void freeRequest(std::uint32_t slot);
+
     /** Issue the module-side portion of a request. */
-    void service(ProcId who, Addr addr, Tick service_cycles,
-                 std::function<void(Tick done)> at_done);
+    void service(std::uint32_t slot);
+    /** Interconnect delivered the request to its module. */
+    void arrived(std::uint32_t slot);
+    /** Module service finished; run the user's handler. */
+    void complete(std::uint32_t slot);
 
     EventQueue &eventq;
     Interconnect &dataNet;
@@ -138,6 +179,8 @@ class Memory
 
     std::vector<Tick> moduleFreeAt;
     std::unordered_map<Addr, SyncWord> words;
+    std::vector<Request> requests;
+    std::uint32_t freeHead = noRequest;
 
     stats::Vector accessesStat;
     stats::Scalar queueDelayStat;

@@ -53,14 +53,40 @@ OmegaNetwork::transact(ProcId who, GrantHandler on_grant,
         if (inject == now) {
             on_grant(inject);
         } else {
-            eventq.schedule(inject, [on_grant = std::move(on_grant),
-                                     inject]() {
-                on_grant(inject);
-            });
+            std::uint32_t slot =
+                parkFlight(std::move(on_grant), inject);
+            eventq.schedule(inject,
+                            [this, slot]() { fireFlight(slot); });
         }
     }
-    eventq.schedule(delivered, [on_done = std::move(on_done),
-                                inject]() { on_done(inject); });
+    std::uint32_t slot = parkFlight(std::move(on_done), inject);
+    eventq.schedule(delivered, [this, slot]() { fireFlight(slot); });
+}
+
+std::uint32_t
+OmegaNetwork::parkFlight(GrantHandler handler, Tick inject)
+{
+    std::uint32_t slot;
+    if (freeFlight != noFlight) {
+        slot = freeFlight;
+        freeFlight = flights[slot].next;
+    } else {
+        slot = static_cast<std::uint32_t>(flights.size());
+        flights.emplace_back();
+    }
+    flights[slot].handler = std::move(handler);
+    flights[slot].inject = inject;
+    return slot;
+}
+
+void
+OmegaNetwork::fireFlight(std::uint32_t slot)
+{
+    GrantHandler handler = std::move(flights[slot].handler);
+    Tick inject = flights[slot].inject;
+    flights[slot].next = freeFlight;
+    freeFlight = slot;
+    handler(inject);
 }
 
 double

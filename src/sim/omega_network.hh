@@ -73,12 +73,31 @@ class OmegaNetwork : public Interconnect
     Tick traversalCycles() const { return numStages * stageCycles; }
 
   private:
+    /**
+     * An in-flight callback parked in the slab so its delivery
+     * event captures only {this, slot}. Unlike the bus, many
+     * transactions traverse the network at once.
+     */
+    struct Flight
+    {
+        GrantHandler handler;
+        Tick inject = 0;
+        std::uint32_t next = noFlight;
+    };
+
+    static constexpr std::uint32_t noFlight = ~0u;
+
+    std::uint32_t parkFlight(GrantHandler handler, Tick inject);
+    void fireFlight(std::uint32_t slot);
+
     EventQueue &eventq;
     std::string name_;
     unsigned numStages;
     Tick stageCycles;
     Tick portCycles;
     std::vector<Tick> portFreeAt;
+    std::vector<Flight> flights;
+    std::uint32_t freeFlight = noFlight;
 
     stats::Scalar numTransactions;
     stats::Scalar queueDelayStat;

@@ -171,8 +171,7 @@ Processor::execWrite(const Op &op)
                eventq.now() + issue);
     Tick start = eventq.now();
     eventq.scheduleIn(issue, [this, op, start]() {
-        fabric.write(id_, op.var, op.value, [this, start, issue = 0]() {
-            (void)issue;
+        fabric.write(id_, op.var, op.value, [this, start]() {
             // Anything beyond the fixed issue cost (memory-fabric
             // write latency) is synchronization overhead too.
             Tick total = eventq.now() - start;
@@ -279,16 +278,19 @@ Processor::execKeyed(const Op &op)
                eventq.now() + issue);
     Tick start = eventq.now();
     bool is_write = op.kind == OpKind::keyedWrite;
-    eventq.scheduleIn(issue, [this, op, start, is_write,
+    eventq.scheduleIn(issue, [this, op, start, issue, is_write,
                               mem_fab]() {
         mem_fab->keyedAccess(id_, op.var, op.value,
-                             [this, op, start,
+                             [this, op, start, issue,
                               is_write](Tick waited) {
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
-            stallCycles_ += eventq.now() - start > waited
-                ? eventq.now() - start - waited
+            // Stall is what remains after the issue cost (already
+            // booked as sync overhead) and the spin wait.
+            Tick past_issue = eventq.now() - (start + issue);
+            stallCycles_ += past_issue > waited
+                ? past_issue - waited
                 : 0;
             Tick end = eventq.now();
             if (trace) {
@@ -320,7 +322,14 @@ Processor::execCtrBarrier(const Op &op)
                         [this, op, start, num_procs,
                          issue](SyncWord old_val) {
             auto resume = [this, start, issue]() {
-                spinCycles_ += eventq.now() - start;
+                // Spin starts after the issue cost, which is
+                // already booked as sync overhead — the trace
+                // below always anchored there; the counter now
+                // agrees instead of double-counting the issue.
+                Tick wait_start = start + issue;
+                spinCycles_ += eventq.now() > wait_start
+                    ? eventq.now() - wait_start
+                    : 0;
                 tracePhase(TracePhase::spin, start + issue,
                            eventq.now());
                 step();

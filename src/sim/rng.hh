@@ -32,18 +32,39 @@ class Rng
         return z ^ (z >> 31);
     }
 
-    /** Uniform integer in [0, bound), bound > 0. */
+    /**
+     * Uniform integer in [0, bound), bound > 0.
+     *
+     * Lemire's multiply-and-reject method: exactly uniform (a plain
+     * `next() % bound` over-weights small residues) and almost
+     * always rejection-free — a retry happens with probability
+     * bound / 2^64.
+     */
     std::uint64_t
     below(std::uint64_t bound)
     {
-        return next() % bound;
+        unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(product);
+        if (low < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                product =
+                    static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(product);
+            }
+        }
+        return static_cast<std::uint64_t>(product >> 64);
     }
 
     /** Uniform integer in [lo, hi] inclusive. */
     std::uint64_t
     range(std::uint64_t lo, std::uint64_t hi)
     {
-        return lo + below(hi - lo + 1);
+        // hi - lo + 1 wraps to 0 only for the full 64-bit range,
+        // where every raw draw is already uniform.
+        std::uint64_t span = hi - lo + 1;
+        return span == 0 ? next() : lo + below(span);
     }
 
     /** Uniform double in [0, 1). */

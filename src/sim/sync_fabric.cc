@@ -59,36 +59,67 @@ MemorySyncFabric::allocate(unsigned count, SyncWord init_value)
     return first;
 }
 
+std::uint32_t
+MemorySyncFabric::allocOp()
+{
+    if (freeOps != noOp) {
+        std::uint32_t slot = freeOps;
+        freeOps = ops[slot].next;
+        return slot;
+    }
+    std::uint32_t slot = static_cast<std::uint32_t>(ops.size());
+    ops.emplace_back();
+    return slot;
+}
+
 void
-MemorySyncFabric::pollLoop(ProcId who, SyncVarId var, SyncWord threshold,
-                           Tick started, WaitHandler on_done)
+MemorySyncFabric::freeOp(std::uint32_t slot)
+{
+    OpState &op = ops[slot];
+    op.onWait.reset();
+    op.onDone.reset();
+    op.onValue.reset();
+    op.next = freeOps;
+    freeOps = slot;
+}
+
+void
+MemorySyncFabric::pollLoop(std::uint32_t slot)
 {
     ++pollsStat;
-    PSYNC_TRACE(tracer, syncVarOp(var, "poll", who, eventq.now()));
-    memory.read(who, addrOf(var),
-                [this, who, var, threshold, started,
-                 on_done = std::move(on_done)](SyncWord value) mutable {
-        if (value >= threshold) {
-            if (eventq.now() > started) {
-                PSYNC_TRACE(tracer, waitEdge(var, who, started,
-                                             eventq.now()));
-            }
-            on_done(eventq.now() - started);
-            return;
-        }
-        if (cachedSpin) {
-            // Spin on the (now cached) copy for free; the next
-            // memory fetch happens when a write invalidates it.
-            parked[var].push_back(Waiter{who, threshold, started,
-                                         std::move(on_done)});
-            return;
-        }
-        eventq.scheduleIn(pollInterval,
-                          [this, who, var, threshold, started,
-                           on_done = std::move(on_done)]() mutable {
-            pollLoop(who, var, threshold, started, std::move(on_done));
-        });
+    PSYNC_TRACE(tracer, syncVarOp(ops[slot].var, "poll",
+                                  ops[slot].who, eventq.now()));
+    memory.read(ops[slot].who, addrOf(ops[slot].var),
+                [this, slot](SyncWord value) {
+        pollValue(slot, value);
     });
+}
+
+void
+MemorySyncFabric::pollValue(std::uint32_t slot, SyncWord value)
+{
+    OpState &op = ops[slot];
+    if (value >= op.threshold) {
+        if (eventq.now() > op.started) {
+            PSYNC_TRACE(tracer, waitEdge(op.var, op.who, op.started,
+                                         eventq.now()));
+        }
+        WaitHandler on_done = std::move(op.onWait);
+        Tick waited = eventq.now() - op.started;
+        freeOp(slot);
+        on_done(waited);
+        return;
+    }
+    if (cachedSpin) {
+        // Spin on the (now cached) copy for free; the next memory
+        // fetch happens when a write invalidates it. No poll events
+        // tick while parked — the slot just waits on the list.
+        op.parkSeq = nextParkSeq++;
+        parked[op.var].push_back(slot);
+        return;
+    }
+    eventq.scheduleIn(pollInterval,
+                      [this, slot]() { pollLoop(slot); });
 }
 
 void
@@ -97,17 +128,19 @@ MemorySyncFabric::invalidate(SyncVarId var)
     auto it = parked.find(var);
     if (it == parked.end() || it->second.empty())
         return;
-    std::vector<Waiter> waiters;
-    waiters.swap(it->second);
+    std::vector<std::uint32_t> woken;
+    woken.swap(it->second);
     // Every parked spinner re-fetches the invalidated word after
     // the poll interval (cache-miss turnaround); a hot word gets a
-    // burst of refills queueing at its module.
-    for (auto &w : waiters) {
+    // burst of refills queueing at its module. Wake order is FIFO
+    // by park order (parkSeq ascends down the list).
+    std::sort(woken.begin(), woken.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+        return ops[a].parkSeq < ops[b].parkSeq;
+    });
+    for (std::uint32_t slot : woken) {
         eventq.scheduleIn(pollInterval,
-                          [this, var, w = std::move(w)]() mutable {
-            pollLoop(w.who, var, w.threshold, w.started,
-                     std::move(w.onDone));
-        });
+                          [this, slot]() { pollLoop(slot); });
     }
 }
 
@@ -119,7 +152,14 @@ MemorySyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
                   "proc %u wait v%u >= %llu (memory fabric)", who,
                   var, static_cast<unsigned long long>(threshold));
     PSYNC_TRACE(tracer, syncVarOp(var, "wait", who, eventq.now()));
-    pollLoop(who, var, threshold, eventq.now(), std::move(on_done));
+    std::uint32_t slot = allocOp();
+    OpState &op = ops[slot];
+    op.who = who;
+    op.var = var;
+    op.threshold = threshold;
+    op.started = eventq.now();
+    op.onWait = std::move(on_done);
+    pollLoop(slot);
 }
 
 void
@@ -137,11 +177,21 @@ MemorySyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
                   "proc %u write v%u = %llu (memory fabric)", who,
                   var, static_cast<unsigned long long>(value));
     PSYNC_TRACE(tracer, syncVarOp(var, "write", who, eventq.now()));
+    std::uint32_t slot = allocOp();
+    ops[slot].var = var;
+    ops[slot].onDone = std::move(on_done);
     memory.write(who, addrOf(var), value,
-                 [this, var, on_done = std::move(on_done)]() {
-        invalidate(var);
-        on_done();
-    });
+                 [this, slot]() { writeDone(slot); });
+}
+
+void
+MemorySyncFabric::writeDone(std::uint32_t slot)
+{
+    SyncVarId var = ops[slot].var;
+    DoneHandler on_done = std::move(ops[slot].onDone);
+    freeOp(slot);
+    invalidate(var);
+    on_done();
 }
 
 void
@@ -150,37 +200,51 @@ MemorySyncFabric::fetchInc(ProcId who, SyncVarId var,
 {
     ++rmwsStat;
     PSYNC_TRACE(tracer, syncVarOp(var, "rmw", who, eventq.now()));
+    std::uint32_t slot = allocOp();
+    ops[slot].var = var;
+    ops[slot].onValue = std::move(on_done);
     memory.rmw(who, addrOf(var),
                [](SyncWord old_value) { return old_value + 1; },
-               [this, var,
-                on_done = std::move(on_done)](SyncWord old_value) {
-        invalidate(var);
-        on_done(old_value);
+               [this, slot](SyncWord old_value) {
+        fetchIncDone(slot, old_value);
     });
 }
 
 void
-MemorySyncFabric::keyedService(ProcId who, SyncVarId key,
-                               SyncWord threshold, Tick started,
-                               WaitHandler on_done)
+MemorySyncFabric::fetchIncDone(std::uint32_t slot, SyncWord old_value)
 {
+    SyncVarId var = ops[slot].var;
+    ValueHandler on_done = std::move(ops[slot].onValue);
+    freeOp(slot);
+    invalidate(var);
+    on_done(old_value);
+}
+
+void
+MemorySyncFabric::keyedService(std::uint32_t slot)
+{
+    OpState &op = ops[slot];
+    SyncVarId key = op.var;
     Addr key_addr = addrOf(key);
     SyncWord current = memory.peek(key_addr);
-    if (current >= threshold) {
+    if (current >= op.threshold) {
         // Test passed: the same module service also performs the
         // data access (key and datum are co-located) and the key
         // increment.
         memory.poke(key_addr, current + 1);
-        Tick waited = eventq.now() - started;
+        Tick waited = eventq.now() - op.started;
         if (waited > 0)
             PSYNC_TRACE(tracer,
-                        waitEdge(key, who, started, eventq.now()));
+                        waitEdge(key, op.who, op.started,
+                                 eventq.now()));
+        WaitHandler on_done = std::move(op.onWait);
+        freeOp(slot);
         wakeKeyed(key);
         on_done(waited);
         return;
     }
-    parkedKeyed[key].push_back(
-        Waiter{who, threshold, started, std::move(on_done)});
+    op.parkSeq = nextParkSeq++;
+    parkedKeyed[key].push_back(slot);
 }
 
 void
@@ -189,17 +253,18 @@ MemorySyncFabric::wakeKeyed(SyncVarId key)
     auto it = parkedKeyed.find(key);
     if (it == parkedKeyed.end() || it->second.empty())
         return;
-    std::vector<Waiter> waiters;
-    waiters.swap(it->second);
-    for (auto &w : waiters) {
+    std::vector<std::uint32_t> woken;
+    woken.swap(it->second);
+    std::sort(woken.begin(), woken.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+        return ops[a].parkSeq < ops[b].parkSeq;
+    });
+    for (std::uint32_t slot : woken) {
         ++keyedRetriesStat;
         // The retry occupies the key's module but never the
         // interconnect: the synchronization processor is local.
         memory.serviceAtModule(
-            addrOf(key), [this, key, w = std::move(w)]() mutable {
-            keyedService(w.who, key, w.threshold, w.started,
-                         std::move(w.onDone));
-        });
+            addrOf(key), [this, slot]() { keyedService(slot); });
     }
 }
 
@@ -210,15 +275,17 @@ MemorySyncFabric::keyedAccess(ProcId who, SyncVarId key,
 {
     ++keyedOpsStat;
     PSYNC_TRACE(tracer, syncVarOp(key, "keyed", who, eventq.now()));
-    Tick started = eventq.now();
+    std::uint32_t slot = allocOp();
+    OpState &op = ops[slot];
+    op.who = who;
+    op.var = key;
+    op.threshold = threshold;
+    op.started = eventq.now();
+    op.onWait = std::move(on_done);
     // One interconnect transaction delivers the combined request
     // to the module; reuse the read path for its timing.
     memory.read(who, addrOf(key),
-                [this, who, key, threshold, started,
-                 on_done = std::move(on_done)](SyncWord) mutable {
-        keyedService(who, key, threshold, started,
-                     std::move(on_done));
-    });
+                [this, slot](SyncWord) { keyedService(slot); });
 }
 
 SyncWord
@@ -286,6 +353,24 @@ RegisterSyncFabric::allocate(unsigned count, SyncWord init_value)
 }
 
 void
+RegisterSyncFabric::runReady()
+{
+    ReadyOp op = std::move(readyOps.front());
+    readyOps.pop_front();
+    switch (op.kind) {
+      case ReadyOp::Kind::wake:
+        op.onWait(op.waited);
+        return;
+      case ReadyOp::Kind::readValue:
+        op.onValue(op.value);
+        return;
+      case ReadyOp::Kind::writeDone:
+        op.onDone();
+        return;
+    }
+}
+
+void
 RegisterSyncFabric::commit(SyncVarId var, SyncWord value)
 {
     values[var] = value;
@@ -300,8 +385,12 @@ RegisterSyncFabric::commit(SyncVarId var, SyncWord value)
                 PSYNC_TRACE(tracer, waitEdge(var, w.who, w.started,
                                              eventq.now()));
             }
-            eventq.scheduleIn(0, [on_done = std::move(w.onDone),
-                                  waited]() { on_done(waited); });
+            ReadyOp ready;
+            ready.kind = ReadyOp::Kind::wake;
+            ready.waited = waited;
+            ready.onWait = std::move(w.onDone);
+            readyOps.push_back(std::move(ready));
+            eventq.scheduleIn(0, [this]() { runReady(); });
         } else {
             still_waiting.push_back(std::move(w));
         }
@@ -320,13 +409,17 @@ RegisterSyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
                   static_cast<unsigned long long>(values[var]));
     PSYNC_TRACE(tracer, syncVarOp(var, "wait", who, eventq.now()));
     if (values[var] >= threshold) {
-        eventq.scheduleIn(0, [on_done = std::move(on_done)]() {
-            on_done(0);
-        });
+        ReadyOp ready;
+        ready.kind = ReadyOp::Kind::wake;
+        ready.waited = 0;
+        ready.onWait = std::move(on_done);
+        readyOps.push_back(std::move(ready));
+        eventq.scheduleIn(0, [this]() { runReady(); });
         return;
     }
-    waiters[var].push_back(
-        Waiter{who, threshold, eventq.now(), std::move(on_done)});
+    waiters[var].push_back(Waiter{who, threshold, eventq.now(),
+                                  nextWaiterSeq++,
+                                  std::move(on_done)});
 }
 
 void
@@ -334,10 +427,12 @@ RegisterSyncFabric::read(ProcId who, SyncVarId var, ValueHandler on_done)
 {
     (void)who;
     ++localReadsStat;
-    SyncWord value = values[var];
-    eventq.scheduleIn(0, [on_done = std::move(on_done), value]() {
-        on_done(value);
-    });
+    ReadyOp ready;
+    ready.kind = ReadyOp::Kind::readValue;
+    ready.value = values[var];
+    ready.onValue = std::move(on_done);
+    readyOps.push_back(std::move(ready));
+    eventq.scheduleIn(0, [this]() { runReady(); });
 }
 
 void
@@ -364,26 +459,30 @@ RegisterSyncFabric::write(ProcId who, SyncVarId var, SyncWord value,
         pw.valid = true;
         // The value is latched at grant time: once the write gains
         // the bus it can no longer be covered by a newer write
-        // (section 6), so the pending entry closes then.
-        auto latched = std::make_shared<SyncWord>(0);
+        // (section 6), so the pending entry closes then. The map
+        // entry outlives the transaction, so the latch lives there.
         syncBus.transact(
             who,
-            [this, key, latched](Tick) {
+            [this, key](Tick) {
                 auto &entry = pendingWrites[key];
-                *latched = entry.value;
+                entry.latched = entry.value;
                 entry.valid = false;
             },
-            [this, who, var, latched](Tick) {
+            [this, who, var, key](Tick) {
                 ++broadcastsStat;
                 PSYNC_TRACE(tracer, instant("sync_broadcast", who,
                                             eventq.now()));
                 PSYNC_TRACE(tracer, syncVarOp(var, "broadcast", who,
                                               eventq.now()));
-                commit(var, *latched);
+                commit(var, pendingWrites[key].latched);
             });
     }
     // Posted write: the issuing processor continues immediately.
-    eventq.scheduleIn(0, [on_done = std::move(on_done)]() { on_done(); });
+    ReadyOp ready;
+    ready.kind = ReadyOp::Kind::writeDone;
+    ready.onDone = std::move(on_done);
+    readyOps.push_back(std::move(ready));
+    eventq.scheduleIn(0, [this]() { runReady(); });
 }
 
 void
@@ -392,16 +491,19 @@ RegisterSyncFabric::fetchInc(ProcId who, SyncVarId var,
 {
     // Atomicity comes from bus serialization: the increment is
     // applied at broadcast time, and no value is returned until
-    // this processor's turn on the bus.
+    // this processor's turn on the bus. The bus grants FIFO, so
+    // completions pop the pending handlers in push order.
     PSYNC_TRACE(tracer, syncVarOp(var, "rmw", who, eventq.now()));
-    syncBus.transact(who, [this, who, var,
-                           on_done = std::move(on_done)](Tick) {
+    pendingIncs.push_back(std::move(on_done));
+    syncBus.transact(who, [this, who, var](Tick) {
+        ValueHandler handler = std::move(pendingIncs.front());
+        pendingIncs.pop_front();
         SyncWord old_value = values[var];
         ++broadcastsStat;
         PSYNC_TRACE(tracer,
                     instant("sync_broadcast", who, eventq.now()));
         commit(var, old_value + 1);
-        on_done(old_value);
+        handler(old_value);
     });
 }
 

@@ -20,8 +20,7 @@
 #define PSYNC_SIM_SYNC_FABRIC_HH
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <deque>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -60,9 +59,9 @@ const char *fabricKindName(FabricKind kind);
 class SyncFabric
 {
   public:
-    using WaitHandler = std::function<void(Tick waited_cycles)>;
-    using DoneHandler = std::function<void()>;
-    using ValueHandler = std::function<void(SyncWord value)>;
+    using WaitHandler = InlineFunction<void(Tick waited_cycles)>;
+    using DoneHandler = InlineFunction<void()>;
+    using ValueHandler = InlineFunction<void(SyncWord value)>;
 
     virtual ~SyncFabric() = default;
 
@@ -200,24 +199,45 @@ class MemorySyncFabric : public SyncFabric
     void registerStats(stats::Group &group) const override;
 
   private:
-    struct Waiter
+    /**
+     * One in-flight fabric operation (spin wait, keyed access,
+     * write or fetch&inc completion), parked in a free-listed slab
+     * so every event and memory callback captures only {this, slot}
+     * — the user's completion handler rests here, never nested
+     * inside another closure.
+     */
+    struct OpState
     {
-        ProcId who;
-        SyncWord threshold;
-        Tick started;
-        WaitHandler onDone;
+        ProcId who = 0;
+        SyncVarId var = 0;
+        SyncWord threshold = 0;
+        Tick started = 0;
+        /** FIFO ordering among waiters parked on the same var. */
+        std::uint64_t parkSeq = 0;
+        WaitHandler onWait;
+        DoneHandler onDone;
+        ValueHandler onValue;
+        std::uint32_t next = noOp;
     };
 
+    static constexpr std::uint32_t noOp = ~0u;
+
+    std::uint32_t allocOp();
+    void freeOp(std::uint32_t slot);
+
     Addr addrOf(SyncVarId var) const;
-    void pollLoop(ProcId who, SyncVarId var, SyncWord threshold,
-                  Tick started, WaitHandler on_done);
+    /** Issue the next memory poll of the wait parked in `slot`. */
+    void pollLoop(std::uint32_t slot);
+    /** A poll returned `value`; satisfy, park or re-poll. */
+    void pollValue(std::uint32_t slot, SyncWord value);
     /** Wake parked cached-spin waiters of `var` to re-fetch. */
     void invalidate(SyncVarId var);
     /** Module-side key test + access + increment. */
-    void keyedService(ProcId who, SyncVarId key, SyncWord threshold,
-                      Tick started, WaitHandler on_done);
+    void keyedService(std::uint32_t slot);
     /** Re-test keyed requests parked on `key`. */
     void wakeKeyed(SyncVarId key);
+    void writeDone(std::uint32_t slot);
+    void fetchIncDone(std::uint32_t slot, SyncWord old_value);
 
     EventQueue &eventq;
     Memory &memory;
@@ -227,8 +247,14 @@ class MemorySyncFabric : public SyncFabric
     Tracer *tracer;
     unsigned numVars = 0;
 
-    std::unordered_map<SyncVarId, std::vector<Waiter>> parked;
-    std::unordered_map<SyncVarId, std::vector<Waiter>> parkedKeyed;
+    std::vector<OpState> ops;
+    std::uint32_t freeOps = noOp;
+    std::uint64_t nextParkSeq = 0;
+
+    /** Parked waiter slots per variable, FIFO by parkSeq. */
+    std::unordered_map<SyncVarId, std::vector<std::uint32_t>> parked;
+    std::unordered_map<SyncVarId, std::vector<std::uint32_t>>
+        parkedKeyed;
 
     stats::Scalar pollsStat;
     stats::Scalar writesStat;
@@ -300,16 +326,46 @@ class RegisterSyncFabric : public SyncFabric
         ProcId who;
         SyncWord threshold;
         Tick started;
+        /** FIFO ordering among waiters of the same variable. */
+        std::uint64_t seq;
         WaitHandler onDone;
     };
 
     struct PendingWrite
     {
         SyncWord value;
+        /** Value captured when the broadcast won the bus. */
+        SyncWord latched = 0;
         bool valid = false;
     };
 
+    /**
+     * A completion ready to run after the posted-op delay. Wake,
+     * local-read and posted-write-done events all capture only
+     * {this}; the fat handler waits here. The deque is FIFO and
+     * every push pairs with one scheduled event, so pops line up
+     * with event order deterministically.
+     */
+    struct ReadyOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            wake,
+            readValue,
+            writeDone,
+        };
+
+        Kind kind = Kind::wake;
+        Tick waited = 0;
+        SyncWord value = 0;
+        WaitHandler onWait;
+        ValueHandler onValue;
+        DoneHandler onDone;
+    };
+
     void commit(SyncVarId var, SyncWord value);
+    /** Run the oldest queued completion (one per scheduled event). */
+    void runReady();
 
     EventQueue &eventq;
     Bus &syncBus;
@@ -317,11 +373,15 @@ class RegisterSyncFabric : public SyncFabric
     bool coalesceEnabled;
     Tracer *tracer;
     unsigned numVars = 0;
+    std::uint64_t nextWaiterSeq = 0;
 
     std::vector<SyncWord> values;
     std::vector<std::vector<Waiter>> waiters;
     /** Pending (not yet granted) write per (proc, var). */
     std::unordered_map<std::uint64_t, PendingWrite> pendingWrites;
+    std::deque<ReadyOp> readyOps;
+    /** Fetch&inc completions, FIFO — the bus grants in FIFO order. */
+    std::deque<ValueHandler> pendingIncs;
 
     stats::Scalar broadcastsStat;
     stats::Scalar coalescedStat;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "bench/compare.hh"
+#include "bench/registry.hh"
 
 using namespace psync;
 
@@ -77,6 +78,67 @@ TEST(CompareTest, LoadRejectsMalformedDocuments)
 
     EXPECT_TRUE(
         bench::loadTrajectory(bench::makeTrajectoryDoc()).ok);
+}
+
+TEST(CompareTest, LoadAcceptsOlderSchemaVersions)
+{
+    // v1 trajectory files (no host-timing fields) predate the
+    // current layout and must keep loading — the checked-in
+    // baseline history spans both.
+    core::json::Value doc = trajectory({{"a/x", 100}});
+    doc.set("schema_version", bench::kMinTrajectorySchemaVersion);
+    bench::Trajectory t = bench::loadTrajectory(doc);
+    ASSERT_TRUE(t.ok) << t.error;
+    ASSERT_EQ(t.cycles.size(), 1u);
+    EXPECT_EQ(t.cycles[0].second, 100u);
+}
+
+TEST(CompareTest, ExactModeFlagsAnyCycleDifference)
+{
+    bench::CompareOptions exact;
+    exact.requireIdentical = true;
+
+    // One cycle slower AND one cycle faster both fail; the default
+    // 2% threshold would call these unchanged.
+    auto base = trajectory({{"a/x", 1000}, {"a/y", 1000}});
+    auto cur = trajectory({{"a/x", 1001}, {"a/y", 999}});
+    bench::CompareResult result =
+        bench::compareTrajectories(base, cur, exact);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.regressions, 2u);
+    EXPECT_EQ(deltaFor(result, "a/x").kind,
+              bench::ScenarioDelta::Kind::regression);
+    EXPECT_EQ(deltaFor(result, "a/y").kind,
+              bench::ScenarioDelta::Kind::regression);
+
+    bench::CompareResult loose =
+        bench::compareTrajectories(base, cur, {});
+    EXPECT_TRUE(loose.ok());
+}
+
+TEST(CompareTest, ExactModeRequiresSameScenarioSet)
+{
+    bench::CompareOptions exact;
+    exact.requireIdentical = true;
+    auto base = trajectory({{"a/x", 100}, {"a/y", 200}});
+    auto cur = trajectory({{"a/x", 100}, {"a/z", 300}});
+    bench::CompareResult result =
+        bench::compareTrajectories(base, cur, exact);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.added, 1u);
+    EXPECT_EQ(result.removed, 1u);
+}
+
+TEST(CompareTest, ExactModePassesOnIdenticalTrajectories)
+{
+    bench::CompareOptions exact;
+    exact.requireIdentical = true;
+    auto base = trajectory({{"a/x", 100}, {"a/y", 200}});
+    auto cur = trajectory({{"a/x", 100}, {"a/y", 200}});
+    bench::CompareResult result =
+        bench::compareTrajectories(base, cur, exact);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.unchanged, 2u);
 }
 
 TEST(CompareTest, ClassifiesRegressionImprovementUnchanged)

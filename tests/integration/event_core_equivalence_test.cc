@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Heap vs calendar event cores must produce bit-identical
+ * simulations: the calendar ring is a performance change, not a
+ * semantic one. Whole RunResults (every cycle counter, bus stat and
+ * event count) are compared as JSON across representative machines:
+ * register and memory fabrics, bus and omega interconnects, and the
+ * butterfly-barrier FFT workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/runtime.hh"
+#include "sync/barrier.hh"
+#include "workloads/fft.hh"
+#include "workloads/fig21.hh"
+
+using namespace psync;
+
+namespace {
+
+std::string
+dumped(const core::RunResult &r)
+{
+    std::ostringstream os;
+    r.toJson().dump(os, 2);
+    return os.str();
+}
+
+core::RunResult
+runLoop(const dep::Loop &loop, sync::SchemeKind kind,
+        core::RunConfig cfg, sim::EventCoreKind core)
+{
+    cfg.machine.eventCore = core;
+    auto result = core::runDoacross(loop, kind, cfg);
+    EXPECT_TRUE(result.run.completed);
+    EXPECT_TRUE(result.correct());
+    return result.run;
+}
+
+void
+expectCoresAgree(const dep::Loop &loop, sync::SchemeKind kind,
+                 const core::RunConfig &cfg, const char *what)
+{
+    core::RunResult calendar =
+        runLoop(loop, kind, cfg, sim::EventCoreKind::calendar);
+    core::RunResult heap =
+        runLoop(loop, kind, cfg, sim::EventCoreKind::heap);
+    EXPECT_EQ(calendar.cycles, heap.cycles) << what;
+    EXPECT_EQ(calendar.eventsExecuted, heap.eventsExecuted) << what;
+    EXPECT_EQ(dumped(calendar), dumped(heap)) << what;
+}
+
+core::RunConfig
+registerConfig(unsigned procs)
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = procs;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 1u << 20;
+    cfg.scheme.numScs = 1u << 18;
+    return cfg;
+}
+
+core::RunConfig
+memoryConfig(unsigned procs)
+{
+    core::RunConfig cfg = registerConfig(procs);
+    cfg.machine.fabric = sim::FabricKind::memory;
+    return cfg;
+}
+
+} // namespace
+
+TEST(EventCoreEquivalenceTest, Fig21OnRegisterFabric)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    expectCoresAgree(loop, sync::SchemeKind::processImproved,
+                     registerConfig(8), "fig21/process-improved");
+    expectCoresAgree(loop, sync::SchemeKind::statementOriented,
+                     registerConfig(8), "fig21/statement");
+}
+
+TEST(EventCoreEquivalenceTest, Fig32JitterStatementCounters)
+{
+    dep::Loop loop =
+        workloads::makeFig21JitterLoop(128, 8, 800, 0.15, 1234);
+    expectCoresAgree(loop, sync::SchemeKind::statementOriented,
+                     registerConfig(8), "fig32-jitter/statement");
+}
+
+TEST(EventCoreEquivalenceTest, MemoryFabricCachedAndPollingSpin)
+{
+    dep::Loop loop = workloads::makeFig21Loop(64);
+    core::RunConfig cached = memoryConfig(8);
+    expectCoresAgree(loop, sync::SchemeKind::referenceBased, cached,
+                     "fig21/reference cached-spin");
+    core::RunConfig polling = memoryConfig(8);
+    polling.machine.cachedSpinning = false;
+    expectCoresAgree(loop, sync::SchemeKind::referenceBased, polling,
+                     "fig21/reference polling");
+}
+
+TEST(EventCoreEquivalenceTest, OmegaNetworkMachine)
+{
+    dep::Loop loop = workloads::makeFig21Loop(128);
+    core::RunConfig cfg = memoryConfig(16);
+    cfg.machine.interconnect = sim::InterconnectKind::omega;
+    cfg.machine.memory.numModules = 16;
+    expectCoresAgree(loop, sync::SchemeKind::referenceBased, cfg,
+                     "fig21-omega/reference");
+}
+
+TEST(EventCoreEquivalenceTest, ButterflyBarrierFft)
+{
+    workloads::FftSpec spec;
+    spec.numProcs = 8;
+    spec.rounds = 3;
+    spec.stageJitter = 40;
+
+    std::string dumps[2];
+    int i = 0;
+    for (auto core : {sim::EventCoreKind::calendar,
+                      sim::EventCoreKind::heap}) {
+        sim::MachineConfig mcfg;
+        mcfg.numProcs = spec.numProcs;
+        mcfg.fabric = sim::FabricKind::registers;
+        mcfg.syncRegisters = 512;
+        mcfg.eventCore = core;
+        sim::Machine machine(mcfg);
+        sync::ButterflyBarrier barrier(machine.fabric(),
+                                       spec.numProcs);
+        auto progs = workloads::buildFftButterfly(barrier, spec);
+        core::RunResult r =
+            core::runPerProcessorPrograms(machine, progs);
+        EXPECT_TRUE(r.completed);
+        dumps[i++] = dumped(r);
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(EventCoreEquivalenceTest, SteadyStateHasNoHeapFallbacks)
+{
+    // The point of the inline-handler migration: a full simulation
+    // schedules zero heap-spilled handler captures.
+    workloads::FftSpec spec;
+    spec.numProcs = 8;
+    spec.rounds = 3;
+    sim::MachineConfig mcfg;
+    mcfg.numProcs = spec.numProcs;
+    mcfg.fabric = sim::FabricKind::registers;
+    mcfg.syncRegisters = 512;
+    sim::Machine machine(mcfg);
+    sync::ButterflyBarrier barrier(machine.fabric(), spec.numProcs);
+    auto progs = workloads::buildFftButterfly(barrier, spec);
+    core::RunResult r = core::runPerProcessorPrograms(machine, progs);
+    EXPECT_TRUE(r.completed);
+    EXPECT_GT(machine.eventq().eventsExecuted(), 0u);
+    EXPECT_EQ(machine.eventq().heapFallbackEvents(), 0u);
+}

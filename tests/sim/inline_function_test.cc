@@ -1,0 +1,136 @@
+/** @file SBO callable wrapper: placement, moves, destruction. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/inline_function.hh"
+
+using namespace psync::sim;
+
+namespace {
+
+/** Counts live copies so tests can pin destructor behavior. */
+struct Tracked
+{
+    static int live;
+    Tracked() noexcept { ++live; }
+    Tracked(const Tracked &) noexcept { ++live; }
+    Tracked(Tracked &&) noexcept { ++live; }
+    ~Tracked() { --live; }
+};
+
+int Tracked::live = 0;
+
+} // namespace
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline)
+{
+    int x = 41;
+    InlineFunction<int()> fn([x]() { return x + 1; });
+    EXPECT_TRUE(static_cast<bool>(fn));
+    EXPECT_FALSE(fn.onHeap());
+    EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunctionTest, CapacityBoundaryCapturesStayInline)
+{
+    // Exactly at capacity: still inline.
+    std::array<char, InlineFunction<int()>::capacity()> big{};
+    big[0] = 7;
+    InlineFunction<int()> fn([big]() { return big[0]; });
+    EXPECT_FALSE(fn.onHeap());
+    EXPECT_EQ(fn(), 7);
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap)
+{
+    std::array<char, handlerInlineBytes + 1> big{};
+    big[1] = 9;
+    InlineFunction<int()> fn([big]() { return big[1]; });
+    EXPECT_TRUE(fn.onHeap());
+    EXPECT_EQ(fn(), 9);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership)
+{
+    InlineFunction<int()> a([]() { return 5; });
+    InlineFunction<int()> b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));
+    EXPECT_TRUE(static_cast<bool>(b));
+    EXPECT_EQ(b(), 5);
+
+    InlineFunction<int()> c;
+    c = std::move(b);
+    EXPECT_FALSE(static_cast<bool>(b));
+    EXPECT_EQ(c(), 5);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPreviousTarget)
+{
+    {
+        InlineFunction<void()> fn([t = Tracked{}]() { (void)t; });
+        EXPECT_EQ(Tracked::live, 1);
+        fn = InlineFunction<void()>([]() {});
+        EXPECT_EQ(Tracked::live, 0);
+    }
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineFunctionTest, DestructorReleasesInlineAndHeapCaptures)
+{
+    {
+        InlineFunction<void()> small([t = Tracked{}]() { (void)t; });
+        std::array<char, handlerInlineBytes> pad{};
+        InlineFunction<void()> large(
+            [t = Tracked{}, pad]() { (void)t; (void)pad; });
+        EXPECT_FALSE(small.onHeap());
+        EXPECT_TRUE(large.onHeap());
+        EXPECT_EQ(Tracked::live, 2);
+    }
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineFunctionTest, ResetLeavesEmpty)
+{
+    InlineFunction<void()> fn([t = Tracked{}]() { (void)t; });
+    EXPECT_EQ(Tracked::live, 1);
+    fn.reset();
+    EXPECT_EQ(Tracked::live, 0);
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesWork)
+{
+    auto p = std::make_unique<int>(77);
+    InlineFunction<int()> fn([p = std::move(p)]() { return *p; });
+    EXPECT_FALSE(fn.onHeap());
+    InlineFunction<int()> moved(std::move(fn));
+    EXPECT_EQ(moved(), 77);
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnValuesFlowThrough)
+{
+    InlineFunction<int(int, int)> add(
+        [](int a, int b) { return a + b; });
+    EXPECT_EQ(add(2, 3), 5);
+
+    std::vector<int> sink;
+    InlineFunction<void(int)> push(
+        [&sink](int v) { sink.push_back(v); });
+    push(1);
+    push(2);
+    EXPECT_EQ(sink, (std::vector<int>{1, 2}));
+}
+
+TEST(InlineFunctionTest, MutableCaptureStateSurvivesCalls)
+{
+    InlineFunction<int()> fn([n = 0]() mutable { return ++n; });
+    EXPECT_EQ(fn(), 1);
+    EXPECT_EQ(fn(), 2);
+    EXPECT_EQ(fn(), 3);
+}

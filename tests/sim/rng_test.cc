@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "sim/rng.hh"
 
 using namespace psync::sim;
@@ -37,6 +39,53 @@ TEST(RngTest, RangeInclusive)
     }
     EXPECT_TRUE(saw_lo);
     EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BelowStaysInBoundAndHitsEveryValue)
+{
+    Rng rng(5);
+    std::vector<int> counts(7, 0);
+    for (int k = 0; k < 7000; ++k) {
+        std::uint64_t v = rng.below(7);
+        ASSERT_LT(v, 7u);
+        ++counts[v];
+    }
+    // Lemire rejection is exactly uniform; with 1000 expected per
+    // residue a 25% band is a loose 8-sigma check.
+    for (int v = 0; v < 7; ++v)
+        EXPECT_NEAR(counts[v], 1000, 250) << "residue " << v;
+}
+
+TEST(RngTest, BelowHandlesExtremeBounds)
+{
+    Rng rng(17);
+    for (int k = 0; k < 100; ++k)
+        EXPECT_EQ(rng.below(1), 0u);
+    // A bound just past 2^63 forces the rejection path to matter:
+    // every accepted draw must still be in range.
+    std::uint64_t huge = (1ull << 63) + 12345;
+    for (int k = 0; k < 100; ++k)
+        EXPECT_LT(rng.below(huge), huge);
+}
+
+TEST(RngTest, RangeCoversFullSixtyFourBits)
+{
+    // hi - lo + 1 wraps to zero here; range() must not divide by it
+    // (the old modulo form did) and every value is fair game.
+    Rng rng(23);
+    bool high_bit = false;
+    for (int k = 0; k < 64; ++k) {
+        std::uint64_t v = rng.range(0, ~0ull);
+        high_bit = high_bit || (v >> 63);
+    }
+    EXPECT_TRUE(high_bit);
+}
+
+TEST(RngTest, SinglePointRange)
+{
+    Rng rng(29);
+    for (int k = 0; k < 10; ++k)
+        EXPECT_EQ(rng.range(42, 42), 42u);
 }
 
 TEST(RngTest, UniformInUnitInterval)

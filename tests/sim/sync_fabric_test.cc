@@ -237,6 +237,80 @@ TEST(MemoryFabricTest, ReleaseBurstQueuesAtHotModule)
     EXPECT_GT(rig.mem.moduleQueueDelay(), 0u);
 }
 
+TEST(MemoryFabricTest, ParkedWaitersWakeInParkOrder)
+{
+    MemRig rig(4, true);
+    SyncVarId v = rig.fab.allocate(1, 0);
+    std::vector<unsigned> woken;
+    rig.eq.schedule(0, [&]() {
+        for (unsigned p = 0; p < 8; ++p) {
+            rig.fab.waitGE(p, v, 1, [&woken, p](Tick) {
+                woken.push_back(p);
+            });
+        }
+    });
+    rig.eq.schedule(60, [&]() { rig.fab.write(8, v, 1, []() {}); });
+    rig.eq.run();
+    // The wait list is FIFO: spinners re-fetch (and so complete) in
+    // the order they parked, which is the order they first polled.
+    ASSERT_EQ(woken.size(), 8u);
+    for (unsigned p = 0; p < 8; ++p)
+        EXPECT_EQ(woken[p], p);
+}
+
+TEST(MemoryFabricTest, ReparkedWaitersKeepFifoOrder)
+{
+    MemRig rig(4, true);
+    SyncVarId v = rig.fab.allocate(1, 0);
+    std::vector<unsigned> woken;
+    rig.eq.schedule(0, [&]() {
+        for (unsigned p = 0; p < 4; ++p) {
+            rig.fab.waitGE(p, v, 5, [&woken, p](Tick) {
+                woken.push_back(p);
+            });
+        }
+    });
+    // An insufficient write wakes every spinner for a refill; all
+    // re-park, and a later sufficient write must still release them
+    // in the original order.
+    rig.eq.schedule(50, [&]() { rig.fab.write(4, v, 2, []() {}); });
+    rig.eq.schedule(200, [&]() { rig.fab.write(4, v, 9, []() {}); });
+    rig.eq.run();
+    ASSERT_EQ(woken.size(), 4u);
+    for (unsigned p = 0; p < 4; ++p)
+        EXPECT_EQ(woken[p], p);
+}
+
+TEST(MemoryFabricTest, KeyedRetriesWakeInParkOrder)
+{
+    MemRig rig(4, true);
+    SyncVarId key = rig.fab.allocate(1, 0);
+    std::vector<unsigned> done;
+    rig.eq.schedule(0, [&]() {
+        // All six waiters need key >= 1; the key starts at 0, so
+        // all park at the module.
+        for (unsigned p = 0; p < 6; ++p) {
+            rig.fab.keyedAccess(p, key, 1, [&done, p](Tick) {
+                done.push_back(p);
+            });
+        }
+    });
+    // A releasing access passes immediately (threshold 0) and bumps
+    // the key; each retried waiter then passes in FIFO park order,
+    // bumping the key again for the next.
+    rig.eq.schedule(80, [&]() {
+        rig.fab.keyedAccess(6, key, 0, [&done](Tick) {
+            done.push_back(99);
+        });
+    });
+    rig.eq.run();
+    ASSERT_EQ(done.size(), 7u);
+    EXPECT_EQ(done[0], 99u);
+    for (unsigned p = 0; p < 6; ++p)
+        EXPECT_EQ(done[p + 1], p);
+    EXPECT_EQ(rig.fab.peek(key), 7u);
+}
+
 TEST(MemoryFabricTest, WriteIsGloballyVisibleAtCompletion)
 {
     MemRig rig;
