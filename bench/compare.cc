@@ -65,6 +65,12 @@ loadTrajectory(const core::json::Value &doc)
         return t;
     }
     for (const auto &record : records->asArray()) {
+        // v3+: records carry a "kind". Only sim records have
+        // simulated cycles to compare; skip native (wall-time)
+        // records. Pre-v3 records have no kind and are all sim.
+        const core::json::Value *kind = record.find("kind");
+        if (kind && kind->isString() && kind->asString() != "sim")
+            continue;
         const core::json::Value *id = record.find("scenario");
         const core::json::Value *cycles = record.find("cycles");
         if (!id || !id->isString() || !cycles ||

@@ -52,7 +52,10 @@ struct Options
     bool list = false;
     bool all = false;
     bool report = false;
+    bool native = false;
+    bool forbidHeapFallback = false;
     unsigned jobs = 1;
+    std::vector<unsigned> threadCounts;
     std::vector<std::string> patterns;
     std::string jsonPath;
     std::string baselinePath;
@@ -72,8 +75,16 @@ usage(std::FILE *to)
         "                   [--jobs N]\n"
         "                   [--baseline FILE] [--threshold PCT]\n"
         "                   [--compare OLD NEW] [--exact]\n"
+        "                   [--native] [--threads N,N,...]\n"
+        "                   [--forbid-heap-fallback]\n"
         "                   [--report [PATTERN]] "
-        "[--report-json FILE]\n");
+        "[--report-json FILE]\n"
+        "\n"
+        "--native runs the selected scenarios on the real-thread\n"
+        "backend (default --threads 2,4) and records host wall-time\n"
+        "instead of simulated cycles; --forbid-heap-fallback fails\n"
+        "a sim sweep if any run demoted calendar events to the\n"
+        "heap.\n");
 }
 
 bool
@@ -118,6 +129,32 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
             }
             opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--native") {
+            opts.native = true;
+        } else if (arg == "--forbid-heap-fallback") {
+            opts.forbidHeapFallback = true;
+        } else if (arg == "--threads") {
+            const char *p = next("--threads");
+            if (!p)
+                return false;
+            std::string list = p;
+            std::size_t pos = 0;
+            while (pos < list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                int n = std::atoi(list.substr(pos, comma - pos)
+                                      .c_str());
+                if (n < 1) {
+                    std::fprintf(
+                        stderr,
+                        "--threads needs positive counts\n");
+                    return false;
+                }
+                opts.threadCounts.push_back(
+                    static_cast<unsigned>(n));
+                pos = comma + 1;
+            }
         } else if (arg == "--exact") {
             opts.compare.requireIdentical = true;
         } else if (arg == "--threshold") {
@@ -221,6 +258,65 @@ selectScenarios(const Options &opts)
     return selected;
 }
 
+/**
+ * --native: execute the selected scenarios on the real-thread
+ * backend at each requested thread count and append kind:"native"
+ * records (host wall-time, throughput) to the trajectory file.
+ * Every run is verified by the trace-checker replay inside
+ * runScenarioNative; a violation aborts before any record lands.
+ */
+int
+runNative(const Options &opts,
+          const std::vector<const bench::Scenario *> &selected)
+{
+    std::vector<unsigned> threads = opts.threadCounts;
+    if (threads.empty())
+        threads = {2, 4};
+
+    core::json::Value doc = bench::makeTrajectoryDoc();
+    if (!opts.jsonPath.empty()) {
+        std::ifstream exists(opts.jsonPath);
+        if (exists) {
+            core::json::Value existing;
+            if (readJsonFile(opts.jsonPath, existing) &&
+                bench::loadTrajectory(existing).ok) {
+                doc = std::move(existing);
+                doc.set("schema_version",
+                        bench::kTrajectorySchemaVersion);
+            }
+        }
+    }
+
+    bench::Table table{{"record", 48, 'l'},
+                       {"wall-ms", 8},
+                       {"progs/s", 10},
+                       {"sync-ops", 10},
+                       {"parks", 8}};
+    table.header();
+    for (const auto *scenario : selected) {
+        for (unsigned t : threads) {
+            bench::NativeScenarioRecord record =
+                bench::runScenarioNative(*scenario, t);
+            table.row(
+                {record.recordId(),
+                 bench::Table::fixed(
+                     static_cast<double>(record.result.run.wallNanos) /
+                         1e6,
+                     1),
+                 bench::Table::fixed(
+                     record.result.run.programsPerSec(), 0),
+                 bench::Table::num(record.result.run.syncOps),
+                 bench::Table::num(record.result.run.parks)});
+            bench::mergeRecord(doc, record.toJson());
+        }
+    }
+
+    if (!opts.jsonPath.empty() &&
+        !writeJsonFile(opts.jsonPath, doc))
+        return 2;
+    return 0;
+}
+
 /** The Fig. 3.2 scenario --report defaults to. */
 const char *const kDefaultReportScenario = "fig32-jitter/statement";
 
@@ -309,6 +405,9 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (opts.native)
+        return runNative(opts, selected);
+
     // Start from the existing trajectory file when appending, so a
     // partial rerun keeps the other scenarios' records.
     core::json::Value doc = bench::makeTrajectoryDoc();
@@ -391,6 +490,24 @@ main(int argc, char **argv)
     if (!opts.jsonPath.empty() &&
         !writeJsonFile(opts.jsonPath, doc))
         return 2;
+
+    if (opts.forbidHeapFallback) {
+        bool fell_back = false;
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            if (records[i].result.run.heapFallbackEvents == 0)
+                continue;
+            fell_back = true;
+            std::fprintf(
+                stderr,
+                "heap fallback: %s demoted %llu events from the "
+                "calendar core\n",
+                selected[i]->id.c_str(),
+                static_cast<unsigned long long>(
+                    records[i].result.run.heapFallbackEvents));
+        }
+        if (fell_back)
+            return 1;
+    }
 
     if (!opts.baselinePath.empty()) {
         core::json::Value baseline;

@@ -305,6 +305,7 @@ ScenarioRecord::toJson() const
     const core::DoacrossResult &r = result;
     core::json::Value rec = core::json::object();
     rec.set("schema_version", kTrajectorySchemaVersion);
+    rec.set("kind", "sim");
     rec.set("scenario", scenario->id);
     rec.set("workload", scenario->workload);
     rec.set("scheme", scenario->scheme);
@@ -337,6 +338,8 @@ ScenarioRecord::toJson() const
     rec.set("host_ns", hostNanos);
     rec.set("events_executed", r.run.eventsExecuted);
     rec.set("events_per_sec", eventsPerSec());
+    rec.set("event_core", r.run.eventCore);
+    rec.set("heap_fallback_events", r.run.heapFallbackEvents);
 
     rec.set("sync_vars", r.plan.numSyncVars);
     rec.set("data_bus_utilization", r.run.dataBusUtilization);
@@ -372,6 +375,70 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer)
             std::chrono::steady_clock::now() - host_start)
             .count());
     require(record.result, scenario.id.c_str());
+    return record;
+}
+
+std::string
+NativeScenarioRecord::recordId() const
+{
+    return scenario->id + "#native-t" + std::to_string(numThreads);
+}
+
+core::json::Value
+NativeScenarioRecord::toJson() const
+{
+    const native::NativeRunResult &r = result.run;
+    core::json::Value rec = core::json::object();
+    rec.set("schema_version", kTrajectorySchemaVersion);
+    rec.set("kind", "native");
+    rec.set("scenario", recordId());
+    rec.set("sim_scenario", scenario->id);
+    rec.set("workload", scenario->workload);
+    rec.set("scheme", scenario->scheme);
+    rec.set("schedule",
+            core::schedulePolicyName(scenario->config.schedule));
+    rec.set("threads", numThreads);
+    rec.set("wall_ns", r.wallNanos);
+    rec.set("programs_run", r.programsRun);
+    rec.set("programs_per_sec", r.programsPerSec());
+    rec.set("sync_ops", r.syncOps);
+    rec.set("waits", r.waits);
+    rec.set("spins", r.spins);
+    rec.set("parks", r.parks);
+    rec.set("accesses_logged", r.accessesLogged);
+    rec.set("instances_checked", result.instancesChecked);
+    rec.set("sync_vars", result.plan.numSyncVars);
+    return rec;
+}
+
+NativeScenarioRecord
+runScenarioNative(const Scenario &scenario, unsigned threads)
+{
+    NativeScenarioRecord record;
+    record.scenario = &scenario;
+    record.numThreads = threads;
+
+    dep::Loop loop = scenario.loop();
+    native::NativeConfig ncfg;
+    ncfg.numThreads = threads;
+    ncfg.schedule = scenario.config.schedule;
+    ncfg.chunkSize = scenario.config.chunkSize;
+    record.result = native::runDoacrossNative(
+        loop, scenario.kind, scenario.config, ncfg);
+
+    if (!record.result.correct()) {
+        std::fprintf(stderr, "FATAL: native %s failed:\n",
+                     record.recordId().c_str());
+        for (const auto &e : record.result.run.errors)
+            std::fprintf(stderr, "  error: %s\n", e.c_str());
+        for (const auto &v : record.result.violations)
+            std::fprintf(stderr, "  violation: %s\n", v.c_str());
+        for (const auto &m : record.result.valueMismatches)
+            std::fprintf(stderr, "  value: %s\n", m.c_str());
+        if (!record.result.run.completed)
+            std::fprintf(stderr, "  run did not complete\n");
+        std::abort();
+    }
     return record;
 }
 

@@ -22,6 +22,7 @@
 #include "core/json.hh"
 #include "core/runtime.hh"
 #include "dep/loop_ir.hh"
+#include "native/runner.hh"
 
 namespace psync {
 namespace bench {
@@ -29,11 +30,14 @@ namespace bench {
 /**
  * Version of the record layout written to trajectory files.
  * History: v1 had no host-timing fields; v2 adds host_ns,
- * events_executed and events_per_sec to each record. Loaders accept
- * both (the host fields are advisory — only simulated cycles are
- * compared).
+ * events_executed and events_per_sec to each record; v3 tags each
+ * record with "kind" ("sim" or "native"), adds event_core and
+ * heap_fallback_events to sim records, and introduces native
+ * records (host wall-time of real-thread execution — no simulated
+ * cycles). Loaders accept all versions and ignore non-"sim" records
+ * when comparing cycles.
  */
-constexpr int kTrajectorySchemaVersion = 2;
+constexpr int kTrajectorySchemaVersion = 3;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;
@@ -120,6 +124,36 @@ struct ScenarioRecord
  */
 ScenarioRecord runScenario(const Scenario &scenario,
                            sim::Tracer *tracer = nullptr);
+
+/**
+ * Outcome of one native (real-thread) scenario run. Records host
+ * wall-time and throughput only; there are no simulated cycles to
+ * regress against, so compare tooling skips these records.
+ */
+struct NativeScenarioRecord
+{
+    const Scenario *scenario = nullptr;
+    unsigned numThreads = 0;
+    native::NativeDoacrossResult result;
+
+    /**
+     * Trajectory record with kind "native". The id is the scenario
+     * id suffixed "#native-t<threads>" so native series never
+     * collide with the sim series for the same scenario.
+     */
+    std::string recordId() const;
+    core::json::Value toJson() const;
+};
+
+/**
+ * Execute one scenario on the native backend with `threads` host
+ * threads. Planning is identical to runScenario; execution happens
+ * on real threads and is verified by replaying the access log
+ * through the same trace checker. Aborts the process on a
+ * dependence violation, value divergence, or deadlock.
+ */
+NativeScenarioRecord runScenarioNative(const Scenario &scenario,
+                                       unsigned threads);
 
 } // namespace bench
 } // namespace psync

@@ -7,14 +7,24 @@
  * quick check that an arbitrary constant-distance loop is handled
  * correctly end to end (every run is trace-verified).
  *
- * Usage: scheme_explorer [seed] [N] [statements] [P]
+ * With --native, each scheme additionally runs on the native
+ * multithreaded backend (real host threads, C++11 atomics) and the
+ * two backends' value-rule memory images are compared side by side:
+ * "match" means the native execution enforced exactly the orderings
+ * the simulator did.
+ *
+ * Usage: scheme_explorer [--native] [seed] [N] [statements] [P]
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "core/runtime.hh"
+#include "core/value_trace.hh"
 #include "dep/dep_graph.hh"
+#include "native/runner.hh"
 #include "workloads/synthetic.hh"
 
 using namespace psync;
@@ -22,11 +32,24 @@ using namespace psync;
 int
 main(int argc, char **argv)
 {
+    bool with_native = false;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--native") == 0)
+            with_native = true;
+        else
+            positional.push_back(argv[i]);
+    }
+
     workloads::SyntheticSpec spec;
-    spec.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
-    spec.n = argc > 2 ? std::atol(argv[2]) : 128;
-    spec.numStatements = argc > 3 ? std::atoi(argv[3]) : 5;
-    unsigned procs = argc > 4 ? std::atoi(argv[4]) : 8;
+    spec.seed = positional.size() > 0
+                    ? std::strtoull(positional[0], nullptr, 10)
+                    : 1;
+    spec.n = positional.size() > 1 ? std::atol(positional[1]) : 128;
+    spec.numStatements =
+        positional.size() > 2 ? std::atoi(positional[2]) : 5;
+    unsigned procs =
+        positional.size() > 3 ? std::atoi(positional[3]) : 8;
     spec.numArrays = 2;
     spec.maxOffset = 3;
 
@@ -42,7 +65,10 @@ main(int argc, char **argv)
     std::cout << "sequential: " << seq << " cycles\n\n";
 
     std::cout << "scheme             cycles    speedup  spin-frac  "
-                 "sync-vars  verified\n";
+                 "sync-vars  verified";
+    if (with_native)
+        std::cout << "  | native-ms  progs/s  image";
+    std::cout << "\n";
     for (auto kind : sync::allSyncSchemes()) {
         core::RunConfig cfg;
         cfg.machine.numProcs = procs;
@@ -52,6 +78,9 @@ main(int argc, char **argv)
              kind == sync::SchemeKind::instanceBased)
                 ? sim::FabricKind::memory
                 : sim::FabricKind::registers;
+        core::ValueTrace sim_values;
+        if (with_native)
+            cfg.extraSink = &sim_values;
         auto r = core::runDoacross(loop, kind, cfg);
         if (!r.run.completed) {
             std::cout << sync::schemeKindName(kind)
@@ -64,9 +93,35 @@ main(int argc, char **argv)
                   << r.run.spinFraction() << "  "
                   << r.plan.numSyncVars << "  "
                   << (r.correct() ? "ok" : "VIOLATION") << " ("
-                  << r.instancesChecked << " instances)\n";
-        if (!r.correct())
+                  << r.instancesChecked << " instances)";
+        if (!r.correct()) {
+            std::cout << "\n";
             return 1;
+        }
+
+        if (with_native) {
+            native::NativeConfig ncfg;
+            ncfg.numThreads = procs;
+            auto nat =
+                native::runDoacrossNative(loop, kind, cfg, ncfg);
+            bool match = nat.correct() &&
+                         nat.memory == sim_values.memory() &&
+                         nat.reads == sim_values.reads();
+            std::cout << "  | "
+                      << static_cast<double>(nat.run.wallNanos) /
+                             1e6
+                      << "  " << nat.run.programsPerSec() << "  "
+                      << (match ? "match" : "MISMATCH");
+            if (!match) {
+                std::cout << "\n";
+                for (const auto &m : nat.violations)
+                    std::cout << "  violation: " << m << "\n";
+                for (const auto &m : nat.valueMismatches)
+                    std::cout << "  value: " << m << "\n";
+                return 1;
+            }
+        }
+        std::cout << "\n";
     }
     return 0;
 }

@@ -25,6 +25,8 @@ collectResult(sim::Machine &machine, bool completed)
     }
 
     r.eventsExecuted = machine.eventq().eventsExecuted();
+    r.heapFallbackEvents = machine.eventq().heapFallbackEvents();
+    r.eventCore = sim::eventCoreKindName(machine.eventq().core());
 
     r.dataBusTransactions = machine.dataNet().transactions();
     r.dataBusQueueDelay = machine.dataNet().queueDelay();
@@ -74,6 +76,8 @@ RunResult::toJson() const
     v.set("marks_skipped", marksSkipped);
     v.set("programs_run", programsRun);
     v.set("events_executed", eventsExecuted);
+    v.set("heap_fallback_events", heapFallbackEvents);
+    v.set("event_core", eventCore);
     v.set("data_bus_transactions", dataBusTransactions);
     v.set("data_bus_queue_delay",
           static_cast<std::uint64_t>(dataBusQueueDelay));

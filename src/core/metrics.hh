@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string>
 
 #include "core/json.hh"
 #include "sim/machine.hh"
@@ -41,6 +42,16 @@ struct RunResult
 
     /** Simulation events the machine's event core executed. */
     std::uint64_t eventsExecuted = 0;
+
+    /**
+     * Events whose handler capture spilled to the heap. Nonzero
+     * means an InlineFunction capture outgrew the small buffer — a
+     * silent allocation regression the bench sweep gates on.
+     */
+    std::uint64_t heapFallbackEvents = 0;
+
+    /** Event-core kind that ran the simulation ("calendar"/"heap"). */
+    std::string eventCore;
 
     std::uint64_t dataBusTransactions = 0;
     sim::Tick dataBusQueueDelay = 0;

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/value_trace.hh"
 #include "sim/logging.hh"
 
 namespace psync {
@@ -27,16 +28,11 @@ initCost(const sync::SchemePlan &plan, const sim::MachineConfig &mc)
 
 } // namespace
 
-DoacrossResult
-runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
-            const RunConfig &cfg)
+PlannedDoacross
+planDoacross(const dep::Loop &loop, sync::SchemeKind kind,
+             const RunConfig &cfg, sim::SyncFabric &fabric)
 {
-    DoacrossResult result;
-
-    TraceChecker checker;
-    sim::Machine machine(cfg.machine,
-                         cfg.checkTrace ? &checker : nullptr,
-                         cfg.tracer);
+    PlannedDoacross planned;
 
     // Coverage elimination justifies dropped arcs by chains that
     // may pass through linearization-only boundary arcs; exact-
@@ -51,18 +47,39 @@ runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
     sync::SchemeConfig scheme_cfg = cfg.scheme;
     if (scheme_cfg.tracer == nullptr)
         scheme_cfg.tracer = cfg.tracer;
-    result.plan = scheme->plan(graph, layout, machine.fabric(),
-                               scheme_cfg);
-    result.initCycles = initCost(result.plan, cfg.machine);
+    planned.plan = scheme->plan(graph, layout, fabric, scheme_cfg);
 
     const std::uint64_t total = loop.iterations();
-    std::vector<sim::Program> programs;
-    programs.reserve(total);
+    planned.programs.reserve(total);
     for (std::uint64_t lpid = 1; lpid <= total; ++lpid)
-        programs.push_back(scheme->emit(lpid));
+        planned.programs.push_back(scheme->emit(lpid));
+    return planned;
+}
 
-    result.run = runProgramPool(machine, programs, cfg.schedule,
-                                cfg.tickLimit, cfg.chunkSize);
+DoacrossResult
+runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
+            const RunConfig &cfg)
+{
+    DoacrossResult result;
+
+    TraceChecker checker;
+    TeeSink tee(&checker, cfg.extraSink);
+    sim::TraceSink *sink = nullptr;
+    if (cfg.checkTrace)
+        sink = cfg.extraSink ? static_cast<sim::TraceSink *>(&tee)
+                             : &checker;
+    else
+        sink = cfg.extraSink;
+    sim::Machine machine(cfg.machine, sink, cfg.tracer);
+
+    PlannedDoacross planned =
+        planDoacross(loop, kind, cfg, machine.fabric());
+    result.plan = std::move(planned.plan);
+    result.initCycles = initCost(result.plan, cfg.machine);
+
+    result.run = runProgramPool(machine, planned.programs,
+                                cfg.schedule, cfg.tickLimit,
+                                cfg.chunkSize);
     if (cfg.checkTrace) {
         result.violations =
             checker.verify(loop, result.plan.depsVerified);

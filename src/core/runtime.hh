@@ -76,6 +76,13 @@ struct RunConfig
      * records nothing and costs one branch per hook site. Not owned.
      */
     sim::Tracer *tracer = nullptr;
+    /**
+     * Optional extra trace sink fed the same access stream as the
+     * trace checker (e.g. a ValueTrace computing the functional
+     * memory image for sim-vs-native comparison). Pure observer:
+     * attaching one never changes simulated cycles. Not owned.
+     */
+    sim::TraceSink *extraSink = nullptr;
 };
 
 /** Outcome of one Doacross run. */
@@ -103,6 +110,29 @@ struct DoacrossResult
 DoacrossResult runDoacross(const dep::Loop &loop,
                            sync::SchemeKind kind,
                            const RunConfig &cfg);
+
+/**
+ * A planned loop before execution: the scheme's plan (with its
+ * synchronization variables allocated and initialized on the given
+ * fabric) and the emitted per-iteration programs. Shared by the
+ * simulator runtime and the native execution backend, so both run
+ * exactly the same transformed programs.
+ */
+struct PlannedDoacross
+{
+    sync::SchemePlan plan;
+    std::vector<sim::Program> programs;
+};
+
+/**
+ * Plan `kind` for `loop` and emit all iteration programs against
+ * `fabric` (applies the same covered-arc elimination rule
+ * runDoacross uses).
+ */
+PlannedDoacross planDoacross(const dep::Loop &loop,
+                             sync::SchemeKind kind,
+                             const RunConfig &cfg,
+                             sim::SyncFabric &fabric);
 
 /**
  * Cycles of the loop executed sequentially on one processor of the

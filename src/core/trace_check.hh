@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/value_rule.hh"
 #include "dep/dependence.hh"
 #include "dep/loop_ir.hh"
 #include "sim/program.hh"
@@ -68,9 +69,7 @@ class TraceChecker : public sim::TraceSink
     static std::uint64_t
     keyOf(std::uint32_t stmt, std::uint16_t ref, std::uint64_t iter)
     {
-        // iterations < 2^40, statements < 2^12, refs < 2^12.
-        return (iter << 24) |
-               (static_cast<std::uint64_t>(stmt) << 12) | ref;
+        return accessKey(stmt, ref, iter);
     }
 
     std::unordered_map<std::uint64_t, Record> records_;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Stateless data-value rule shared by the simulator and the native
+ * execution backend.
+ *
+ * The simulator models data accesses as timed bus/memory traffic
+ * without materializing values. To cross-validate a native run
+ * against a simulated one we still need *comparable array
+ * contents*, so both backends agree on one rule: the value written
+ * by reference `ref` of statement `stmt` at iteration `iter` is a
+ * pure hash of that (stmt, ref, iter) triple. Final memory contents
+ * are then a function of which write to each address was ordered
+ * last — exactly the property the synchronization schemes must
+ * enforce — and any two executions that respect the dependence
+ * graph produce bit-identical memory images, regardless of timing,
+ * backend, or thread count.
+ */
+
+#ifndef PSYNC_CORE_VALUE_RULE_HH
+#define PSYNC_CORE_VALUE_RULE_HH
+
+#include <cstdint>
+
+namespace psync {
+namespace core {
+
+/**
+ * Pack an access identity into one word: iterations < 2^40,
+ * statements < 2^12, refs < 2^12. The same packing TraceChecker
+ * keys its records with.
+ */
+constexpr std::uint64_t
+accessKey(std::uint32_t stmt, std::uint16_t ref, std::uint64_t iter)
+{
+    return (iter << 24) | (static_cast<std::uint64_t>(stmt) << 12) |
+           ref;
+}
+
+/** SplitMix64 finalizer (same constants as sim::Rng). */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * The value reference `ref` of statement `stmt` writes at iteration
+ * `iter`. Never zero in practice (a mix64 output of 0 has
+ * probability 2^-64), so zero doubles as "never written".
+ */
+constexpr std::uint64_t
+valueOfWrite(std::uint32_t stmt, std::uint16_t ref,
+             std::uint64_t iter)
+{
+    return mix64(accessKey(stmt, ref, iter));
+}
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_VALUE_RULE_HH

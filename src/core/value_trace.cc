@@ -1,0 +1,27 @@
+#include "core/value_trace.hh"
+
+#include "core/value_rule.hh"
+
+namespace psync {
+namespace core {
+
+void
+ValueTrace::access(std::uint32_t stmt, std::uint16_t ref,
+                   std::uint64_t iter, sim::Addr addr, bool is_write,
+                   sim::Tick start, sim::Tick end)
+{
+    (void)start;
+    (void)end;
+    if (is_write) {
+        memory_[addr] = valueOfWrite(stmt, ref, iter);
+        ++writesApplied_;
+    } else {
+        auto it = memory_.find(addr);
+        reads_[accessKey(stmt, ref, iter)] =
+            it == memory_.end() ? 0 : it->second;
+        ++readsRecorded_;
+    }
+}
+
+} // namespace core
+} // namespace psync

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Functional value replay over an access trace.
+ *
+ * A ValueTrace consumes the same access stream a TraceChecker does
+ * (it can forward to one, so a single machine sink feeds both) and
+ * applies the value_rule to it in arrival order: every write stores
+ * valueOfWrite(stmt, ref, iter) at its address, every read records
+ * the value currently there. The result is the memory image and
+ * per-access read values that a real execution honoring the
+ * observed order would have produced — the comparison artifact of
+ * the sim-vs-native cross-validation suite.
+ *
+ * Both backends deliver accesses in completion order (the simulator
+ * through event order, the native executor through a post-run
+ * replay sorted by logical-clock tickets), so two traces that order
+ * every dependence identically yield identical images even when
+ * their interleavings differ elsewhere.
+ */
+
+#ifndef PSYNC_CORE_VALUE_TRACE_HH
+#define PSYNC_CORE_VALUE_TRACE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "sim/program.hh"
+
+namespace psync {
+namespace core {
+
+/** Forward one access stream to two sinks (checker + values). */
+class TeeSink : public sim::TraceSink
+{
+  public:
+    TeeSink(sim::TraceSink *first, sim::TraceSink *second)
+        : first_(first), second_(second)
+    {
+    }
+
+    void
+    stmtStart(std::uint32_t stmt, std::uint64_t iter,
+              sim::Tick when) override
+    {
+        if (first_)
+            first_->stmtStart(stmt, iter, when);
+        if (second_)
+            second_->stmtStart(stmt, iter, when);
+    }
+
+    void
+    stmtEnd(std::uint32_t stmt, std::uint64_t iter,
+            sim::Tick when) override
+    {
+        if (first_)
+            first_->stmtEnd(stmt, iter, when);
+        if (second_)
+            second_->stmtEnd(stmt, iter, when);
+    }
+
+    void
+    access(std::uint32_t stmt, std::uint16_t ref, std::uint64_t iter,
+           sim::Addr addr, bool is_write, sim::Tick start,
+           sim::Tick end) override
+    {
+        if (first_)
+            first_->access(stmt, ref, iter, addr, is_write, start,
+                           end);
+        if (second_)
+            second_->access(stmt, ref, iter, addr, is_write, start,
+                            end);
+    }
+
+  private:
+    sim::TraceSink *first_;
+    sim::TraceSink *second_;
+};
+
+/** Applies the value rule to an access stream in arrival order. */
+class ValueTrace : public sim::TraceSink
+{
+  public:
+    void access(std::uint32_t stmt, std::uint16_t ref,
+                std::uint64_t iter, sim::Addr addr, bool is_write,
+                sim::Tick start, sim::Tick end) override;
+
+    /**
+     * Final memory image: address -> last value written. Addresses
+     * never written are absent (reads alone leave no trace here).
+     */
+    const std::map<sim::Addr, std::uint64_t> &
+    memory() const
+    {
+        return memory_;
+    }
+
+    /**
+     * Value each tagged read observed, keyed by accessKey. A read
+     * of a never-written address records 0.
+     */
+    const std::map<std::uint64_t, std::uint64_t> &
+    reads() const
+    {
+        return reads_;
+    }
+
+    std::uint64_t writesApplied() const { return writesApplied_; }
+    std::uint64_t readsRecorded() const { return readsRecorded_; }
+
+    void
+    clear()
+    {
+        memory_.clear();
+        reads_.clear();
+        writesApplied_ = 0;
+        readsRecorded_ = 0;
+    }
+
+  private:
+    std::map<sim::Addr, std::uint64_t> memory_;
+    std::map<std::uint64_t, std::uint64_t> reads_;
+    std::uint64_t writesApplied_ = 0;
+    std::uint64_t readsRecorded_ = 0;
+};
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_VALUE_TRACE_HH

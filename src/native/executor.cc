@@ -1,0 +1,477 @@
+#include "native/executor.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/value_rule.hh"
+#include "sim/logging.hh"
+
+namespace psync {
+namespace native {
+
+namespace {
+
+/** Burn a few cycles without touching shared state. */
+inline void
+pauseSpin(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        // Compiler-only fence: keeps the loop from being elided
+        // without generating any synchronization.
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+}
+
+} // namespace
+
+NativeDataMemory::NativeDataMemory(
+    const std::vector<sim::Program> &programs)
+{
+    for (const auto &program : programs)
+        scan(program);
+}
+
+NativeDataMemory::NativeDataMemory(
+    const std::vector<std::vector<sim::Program>> &per_proc)
+{
+    for (const auto &list : per_proc)
+        for (const auto &program : list)
+            scan(program);
+}
+
+void
+NativeDataMemory::scan(const sim::Program &program)
+{
+    for (const auto &op : program.ops) {
+        switch (op.kind) {
+          case sim::OpKind::dataRead:
+          case sim::OpKind::dataWrite:
+          case sim::OpKind::keyedRead:
+          case sim::OpKind::keyedWrite:
+            if (index_.emplace(op.addr, words_.size()).second)
+                words_.emplace_back(0);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+std::map<sim::Addr, std::uint64_t>
+NativeDataMemory::snapshot() const
+{
+    std::map<sim::Addr, std::uint64_t> image;
+    for (const auto &entry : index_) {
+        std::uint64_t value =
+            words_[entry.second].load(std::memory_order_acquire);
+        if (value != 0)
+            image[entry.first] = value;
+    }
+    return image;
+}
+
+NativeExecutor::NativeExecutor(NativeSyncFabric &fabric,
+                               NativeDataMemory &data,
+                               const NativeConfig &cfg)
+    : fabric_(fabric), data_(data), cfg_(cfg)
+{
+}
+
+void
+NativeExecutor::fail(ThreadState &ts, std::string message)
+{
+    ts.failed = true;
+    {
+        std::lock_guard<std::mutex> lk(errorsMutex_);
+        errors_.push_back(std::move(message));
+    }
+    fabric_.abortAll();
+}
+
+void
+NativeExecutor::maybeJitter(ThreadState &ts)
+{
+    if (cfg_.timingSeed == 0)
+        return;
+    std::uint64_t r = core::mix64(ts.jitterState++);
+    if ((r & 7u) == 0)
+        std::this_thread::yield();
+    else
+        pauseSpin(static_cast<unsigned>(r & 31u));
+}
+
+bool
+NativeExecutor::runProgram(const sim::Program &program,
+                           ThreadState &ts, Deadline deadline)
+{
+    bool owned_pc = false;
+    ++ts.programsRun;
+
+    auto wait_ge = [&](sim::SyncVarId var, sim::SyncWord threshold) {
+        ++ts.waits;
+        WaitOutcome out = fabric_.waitGE(var, threshold, deadline);
+        ts.spins += out.spins;
+        ts.parks += out.parks;
+        return out.satisfied;
+    };
+
+    for (const auto &op : program.ops) {
+        if (fabric_.aborted())
+            return false;
+        maybeJitter(ts);
+        std::uint64_t iter =
+            op.iterTag ? op.iterTag : program.iter;
+        switch (op.kind) {
+          case sim::OpKind::stmtStart:
+          case sim::OpKind::stmtEnd:
+            break;
+          case sim::OpKind::compute:
+            // No time model natively; a compute phase is a
+            // scheduling point, which on few-core hosts is what
+            // actually diversifies interleavings.
+            std::this_thread::yield();
+            break;
+          case sim::OpKind::dataRead:
+          case sim::OpKind::dataWrite: {
+            bool is_write = op.kind == sim::OpKind::dataWrite;
+            auto &word = data_.word(op.addr);
+            std::uint64_t start = ticket();
+            std::uint64_t value;
+            if (is_write) {
+                value = core::valueOfWrite(op.stmt, op.ref, iter);
+                word.store(value, std::memory_order_relaxed);
+            } else {
+                value = word.load(std::memory_order_relaxed);
+            }
+            std::uint64_t end = ticket();
+            if (cfg_.recordAccesses) {
+                ts.accessLog.push_back({start, end, op.addr, iter,
+                                        value, op.stmt, op.ref,
+                                        is_write});
+            }
+            break;
+          }
+          case sim::OpKind::syncWaitGE:
+            ++ts.syncOps;
+            if (!wait_ge(op.var, op.value))
+                return false;
+            break;
+          case sim::OpKind::syncWrite:
+            ++ts.syncOps;
+            fabric_.store(op.var, op.value);
+            break;
+          case sim::OpKind::syncFetchInc:
+            ++ts.syncOps;
+            fabric_.fetchAdd(op.var, 1);
+            break;
+          case sim::OpKind::pcMark: {
+            ++ts.syncOps;
+            if (owned_pc) {
+                fabric_.store(op.var, op.value);
+                break;
+            }
+            sim::SyncWord cur = fabric_.load(op.var);
+            std::uint32_t cur_owner = sim::PcWord::owner(cur);
+            std::uint32_t my_owner = sim::PcWord::owner(op.value);
+            if (cur_owner < my_owner) {
+                // Ownership not transferred yet; skip without
+                // waiting (Fig. 4.3). Only the owner writes a PC,
+                // so the load-check-store below cannot race.
+                ++ts.marksSkipped;
+                break;
+            }
+            if (cur_owner > my_owner) {
+                fail(ts, sim::csprintf(
+                            "PC %u owned by %u past process %u: "
+                            "ownership protocol violated",
+                            op.var, cur_owner, my_owner));
+                return false;
+            }
+            owned_pc = true;
+            fabric_.store(op.var, op.value);
+            break;
+          }
+          case sim::OpKind::pcTransfer:
+            ++ts.syncOps;
+            if (!owned_pc) {
+                if (!wait_ge(op.var, op.aux))
+                    return false;
+                owned_pc = true;
+            }
+            fabric_.store(op.var, op.value);
+            break;
+          case sim::OpKind::ctrBarrier: {
+            ++ts.syncOps;
+            std::uint64_t num_procs = op.cycles;
+            sim::SyncWord old = fabric_.fetchAdd(op.var, 1);
+            if (old + 1 == op.value * num_procs)
+                fabric_.store(op.aux, op.value);
+            if (!wait_ge(op.aux, op.value))
+                return false;
+            break;
+          }
+          case sim::OpKind::keyedRead:
+          case sim::OpKind::keyedWrite: {
+            // The Cedar module's atomic test-access-increment,
+            // unrolled: the exact-threshold key protocol admits at
+            // most the accessors of one order number at a time, and
+            // the acq_rel increment's release sequence orders their
+            // accesses before any later-threshold accessor.
+            ++ts.syncOps;
+            bool is_write = op.kind == sim::OpKind::keyedWrite;
+            if (!wait_ge(op.var, op.value))
+                return false;
+            auto &word = data_.word(op.addr);
+            std::uint64_t start = ticket();
+            std::uint64_t value;
+            if (is_write) {
+                value = core::valueOfWrite(op.stmt, op.ref, iter);
+                word.store(value, std::memory_order_relaxed);
+            } else {
+                value = word.load(std::memory_order_relaxed);
+            }
+            std::uint64_t end = ticket();
+            if (cfg_.recordAccesses) {
+                ts.accessLog.push_back({start, end, op.addr, iter,
+                                        value, op.stmt, op.ref,
+                                        is_write});
+            }
+            fabric_.fetchAdd(op.var, 1);
+            break;
+          }
+        }
+    }
+    return true;
+}
+
+NativeRunResult
+NativeExecutor::runPool(const std::vector<sim::Program> &programs)
+{
+    const std::uint64_t total = programs.size();
+    const unsigned num_threads = std::max(1u, cfg_.numThreads);
+    const Deadline deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(cfg_.timeoutMs);
+
+    std::vector<ThreadState> states(num_threads);
+    std::atomic<bool> any_failed{false};
+
+    auto claim = [this, total,
+                  num_threads](std::uint64_t &begin,
+                               std::uint64_t &end) {
+        switch (cfg_.schedule) {
+          case core::SchedulePolicy::chunkedSelfScheduling: {
+            std::uint64_t chunk = std::max<std::uint64_t>(
+                1, cfg_.chunkSize);
+            std::uint64_t old = nextClaim_.fetch_add(
+                chunk, std::memory_order_relaxed);
+            begin = old;
+            end = std::min(total, old + chunk);
+            return old < total;
+          }
+          case core::SchedulePolicy::guidedSelfScheduling: {
+            std::uint64_t old =
+                nextClaim_.load(std::memory_order_relaxed);
+            for (;;) {
+                if (old >= total)
+                    return false;
+                std::uint64_t size = std::max<std::uint64_t>(
+                    1, (total - old) / (2 * num_threads));
+                if (nextClaim_.compare_exchange_weak(
+                        old, old + size,
+                        std::memory_order_relaxed)) {
+                    begin = old;
+                    end = std::min(total, old + size);
+                    return true;
+                }
+            }
+          }
+          default: {
+            std::uint64_t old = nextClaim_.fetch_add(
+                1, std::memory_order_relaxed);
+            begin = old;
+            end = old + 1;
+            return old < total;
+          }
+        }
+    };
+
+    auto worker = [&](unsigned tid) {
+        ThreadState &ts = states[tid];
+        ts.id = tid;
+        ts.jitterState =
+            cfg_.timingSeed
+                ? core::mix64(cfg_.timingSeed + tid)
+                : 0;
+        bool ok = true;
+        if (cfg_.schedule == core::SchedulePolicy::staticCyclic) {
+            for (std::uint64_t i = tid; ok && i < total;
+                 i += num_threads)
+                ok = runProgram(programs[i], ts, deadline);
+        } else {
+            std::uint64_t begin = 0, end = 0;
+            while (ok && claim(begin, end)) {
+                for (std::uint64_t i = begin; ok && i < end; ++i)
+                    ok = runProgram(programs[i], ts, deadline);
+            }
+        }
+        if (!ok)
+            any_failed.store(true, std::memory_order_release);
+    };
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &thread : pool)
+        thread.join();
+    auto wall_nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+
+    return collect(states, wall_nanos,
+                   !any_failed.load(std::memory_order_acquire));
+}
+
+NativeRunResult
+NativeExecutor::runPerProcessor(
+    const std::vector<std::vector<sim::Program>> &per_proc)
+{
+    const unsigned num_threads =
+        static_cast<unsigned>(per_proc.size());
+    const Deadline deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(cfg_.timeoutMs);
+
+    std::vector<ThreadState> states(num_threads);
+    std::atomic<bool> any_failed{false};
+
+    auto worker = [&](unsigned tid) {
+        ThreadState &ts = states[tid];
+        ts.id = tid;
+        ts.jitterState =
+            cfg_.timingSeed
+                ? core::mix64(cfg_.timingSeed + tid)
+                : 0;
+        bool ok = true;
+        for (const auto &program : per_proc[tid]) {
+            ok = runProgram(program, ts, deadline);
+            if (!ok)
+                break;
+        }
+        if (!ok)
+            any_failed.store(true, std::memory_order_release);
+    };
+
+    auto wall_start = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t)
+        pool.emplace_back(worker, t);
+    for (auto &thread : pool)
+        thread.join();
+    auto wall_nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+
+    return collect(states, wall_nanos,
+                   !any_failed.load(std::memory_order_acquire));
+}
+
+NativeRunResult
+NativeExecutor::collect(std::vector<ThreadState> &states,
+                        std::uint64_t wall_nanos, bool all_ran)
+{
+    NativeRunResult r;
+    r.wallNanos = wall_nanos;
+    r.numThreads = static_cast<unsigned>(states.size());
+
+    std::size_t log_size = 0;
+    for (const auto &ts : states) {
+        r.programsRun += ts.programsRun;
+        r.syncOps += ts.syncOps;
+        r.waits += ts.waits;
+        r.spins += ts.spins;
+        r.parks += ts.parks;
+        r.marksSkipped += ts.marksSkipped;
+        log_size += ts.accessLog.size();
+    }
+
+    log_.clear();
+    log_.reserve(log_size);
+    for (auto &ts : states) {
+        log_.insert(log_.end(), ts.accessLog.begin(),
+                    ts.accessLog.end());
+        ts.accessLog.clear();
+    }
+    // End tickets are globally unique, so this order is total and
+    // consistent with happens-before.
+    std::sort(log_.begin(), log_.end(),
+              [](const AccessRecord &a, const AccessRecord &b) {
+                  return a.end < b.end;
+              });
+    r.accessesLogged = log_.size();
+
+    r.errors = errors_;
+    r.completed =
+        all_ran && !fabric_.aborted() && errors_.empty();
+    return r;
+}
+
+void
+NativeExecutor::replayAccesses(sim::TraceSink &sink) const
+{
+    for (const auto &rec : log_) {
+        sink.access(rec.stmt, rec.ref, rec.iter, rec.addr,
+                    rec.isWrite, rec.start, rec.end);
+    }
+}
+
+std::vector<std::string>
+NativeExecutor::verifyValues(size_t max_messages)
+{
+    std::vector<std::string> mismatches;
+    if (!cfg_.recordAccesses)
+        return mismatches; // nothing logged to check against
+    auto report = [&](std::string msg) {
+        if (mismatches.size() < max_messages)
+            mismatches.push_back(std::move(msg));
+    };
+
+    std::map<sim::Addr, std::uint64_t> image;
+    for (const auto &rec : log_) {
+        if (rec.isWrite) {
+            image[rec.addr] = rec.value;
+            continue;
+        }
+        auto it = image.find(rec.addr);
+        std::uint64_t expected = it == image.end() ? 0 : it->second;
+        if (rec.value != expected) {
+            report(sim::csprintf(
+                "read s%u/r%u@%llu addr %llu loaded %llx, "
+                "ticket-ordered replay expected %llx",
+                rec.stmt, rec.ref,
+                static_cast<unsigned long long>(rec.iter),
+                static_cast<unsigned long long>(rec.addr),
+                static_cast<unsigned long long>(rec.value),
+                static_cast<unsigned long long>(expected)));
+        }
+    }
+
+    std::map<sim::Addr, std::uint64_t> final_words =
+        data_.snapshot();
+    if (final_words != image) {
+        report(sim::csprintf(
+            "final memory image (%zu written words) differs from "
+            "ticket-ordered replay (%zu)",
+            final_words.size(), image.size()));
+    }
+    return mismatches;
+}
+
+} // namespace native
+} // namespace psync

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Native multithreaded executor for planned iteration programs.
+ *
+ * Runs the same straight-line Programs the simulator's processors
+ * interpret, on real host threads against a NativeSyncFabric and a
+ * word-granular atomic data memory. Work distribution mirrors
+ * core::SchedulePolicy: a shared fetch&add counter claims
+ * iterations (plain, chunked, or guided block sizes) exactly like
+ * the paper's self-scheduling dispatcher, or static cyclic
+ * assignment with no shared state.
+ *
+ * Every tagged data access is logged with start/end *tickets* drawn
+ * from one global relaxed fetch&add clock. A ticket order is
+ * consistent with happens-before: if access A happens-before access
+ * B through the fabric's release/acquire chains, A's end ticket was
+ * drawn before B's start ticket (RMW coherence on the clock word),
+ * so A.end < B.start. Replaying the log into core::TraceChecker
+ * therefore verifies real-concurrency runs against the same
+ * dependence arcs the simulator enforces: a scheme that fails to
+ * order an arc can produce src.end > dst.start, which the checker
+ * reports.
+ *
+ * Data words are relaxed atomics holding core::valueOfWrite values.
+ * Relaxed keeps even deliberately broken schemes free of C++ data
+ * races (undefined behavior would make their executions
+ * meaningless and would drown TSan in expected reports); ordering
+ * violations surface as checker/value mismatches instead, while
+ * TSan stays pointed at the fabric and executor themselves.
+ */
+
+#ifndef PSYNC_NATIVE_EXECUTOR_HH
+#define PSYNC_NATIVE_EXECUTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/runtime.hh"
+#include "native/fabric.hh"
+#include "sim/program.hh"
+
+namespace psync {
+namespace native {
+
+/** Knobs of one native execution. */
+struct NativeConfig
+{
+    unsigned numThreads = 4;
+    core::SchedulePolicy schedule =
+        core::SchedulePolicy::selfScheduling;
+    /** Iterations per claim under chunkedSelfScheduling. */
+    std::uint64_t chunkSize = 4;
+    /** Spin polls before a waiter parks. */
+    unsigned spinLimit = 64;
+    /**
+     * Nonzero: perturb thread interleavings with seeded per-thread
+     * jitter (short pause bursts and forced yields between ops).
+     * The randomized-timing axis of the cross-validation suite;
+     * 0 runs ops back to back.
+     */
+    std::uint64_t timingSeed = 0;
+    /** Host-time budget before the run aborts as deadlocked. */
+    std::uint64_t timeoutMs = 20000;
+    /** Record tagged data accesses for replay/verification. */
+    bool recordAccesses = true;
+};
+
+/** One logged data access (tickets, not simulated ticks). */
+struct AccessRecord
+{
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    sim::Addr addr = 0;
+    std::uint64_t iter = 0;
+    /** Value written (functional) or actually loaded. */
+    std::uint64_t value = 0;
+    std::uint32_t stmt = 0;
+    std::uint16_t ref = 0;
+    bool isWrite = false;
+};
+
+/** Aggregate outcome of one native execution. */
+struct NativeRunResult
+{
+    /** False: deadline hit, fabric aborted, or protocol error. */
+    bool completed = false;
+    std::uint64_t wallNanos = 0;
+    unsigned numThreads = 0;
+    std::uint64_t programsRun = 0;
+    std::uint64_t syncOps = 0;
+    std::uint64_t waits = 0;
+    std::uint64_t spins = 0;
+    std::uint64_t parks = 0;
+    std::uint64_t marksSkipped = 0;
+    std::uint64_t accessesLogged = 0;
+    /** Fatal protocol errors (PC owned past a process, ...). */
+    std::vector<std::string> errors;
+
+    double
+    programsPerSec() const
+    {
+        if (wallNanos == 0)
+            return 0.0;
+        return static_cast<double>(programsRun) * 1e9 /
+               static_cast<double>(wallNanos);
+    }
+};
+
+/**
+ * Word-granular shared data memory: one relaxed atomic per address
+ * that appears in any program's data or keyed access. Built once
+ * before the threads start; lookups during the run are read-only.
+ */
+class NativeDataMemory
+{
+  public:
+    /** Scan programs and materialize every referenced address. */
+    explicit NativeDataMemory(
+        const std::vector<sim::Program> &programs);
+    explicit NativeDataMemory(
+        const std::vector<std::vector<sim::Program>> &per_proc);
+
+    std::atomic<std::uint64_t> &
+    word(sim::Addr addr)
+    {
+        return words_[index_.at(addr)];
+    }
+
+    std::size_t size() const { return words_.size(); }
+
+    /**
+     * Final contents of every written word (zero means "never
+     * written" under the value rule and is skipped). Call after the
+     * threads have joined.
+     */
+    std::map<sim::Addr, std::uint64_t> snapshot() const;
+
+  private:
+    void scan(const sim::Program &program);
+
+    std::unordered_map<sim::Addr, std::size_t> index_;
+    std::deque<std::atomic<std::uint64_t>> words_;
+};
+
+/** Executes program pools / per-thread program lists natively. */
+class NativeExecutor
+{
+  public:
+    NativeExecutor(NativeSyncFabric &fabric, NativeDataMemory &data,
+                   const NativeConfig &cfg);
+
+    /**
+     * Pool mode: `cfg.numThreads` threads claim programs in pool
+     * order per the schedule policy (the native runDoacross path).
+     */
+    NativeRunResult runPool(const std::vector<sim::Program> &programs);
+
+    /**
+     * Per-processor mode: thread t executes per_proc[t] in order
+     * (barrier / FFT workloads); thread count = per_proc.size().
+     */
+    NativeRunResult
+    runPerProcessor(const std::vector<std::vector<sim::Program>> &per_proc);
+
+    /**
+     * The merged access log, sorted by end ticket (unique). Valid
+     * after a run*() call returns.
+     */
+    const std::vector<AccessRecord> &log() const { return log_; }
+
+    /** Replay the log into a trace sink (e.g. core::TraceChecker). */
+    void replayAccesses(sim::TraceSink &sink) const;
+
+    /**
+     * Check every logged read against a functional replay of the
+     * log: the value a read actually loaded must equal the value
+     * the last ticket-ordered write to its address produced, and
+     * the final atomic words must equal the replayed image. A
+     * mismatch means real hardware visibility diverged from the
+     * logged order. @return human-readable mismatches; empty = ok.
+     */
+    std::vector<std::string> verifyValues(size_t max_messages = 16);
+
+  private:
+    struct ThreadState
+    {
+        unsigned id = 0;
+        std::uint64_t programsRun = 0;
+        std::uint64_t syncOps = 0;
+        std::uint64_t waits = 0;
+        std::uint64_t spins = 0;
+        std::uint64_t parks = 0;
+        std::uint64_t marksSkipped = 0;
+        std::vector<AccessRecord> accessLog;
+        std::uint64_t jitterState = 0;
+        bool failed = false;
+    };
+
+    std::uint64_t
+    ticket()
+    {
+        return clock_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void maybeJitter(ThreadState &ts);
+    bool runProgram(const sim::Program &program, ThreadState &ts,
+                    Deadline deadline);
+    NativeRunResult
+    collect(std::vector<ThreadState> &states,
+            std::uint64_t wall_nanos, bool all_ran);
+    void fail(ThreadState &ts, std::string message);
+
+    NativeSyncFabric &fabric_;
+    NativeDataMemory &data_;
+    NativeConfig cfg_;
+    std::atomic<std::uint64_t> clock_{1};
+    std::atomic<std::uint64_t> nextClaim_{0};
+    std::mutex errorsMutex_;
+    std::vector<std::string> errors_;
+    std::vector<AccessRecord> log_;
+};
+
+} // namespace native
+} // namespace psync
+
+#endif // PSYNC_NATIVE_EXECUTOR_HH

@@ -1,0 +1,148 @@
+#include "native/fabric.hh"
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace psync {
+namespace native {
+
+namespace {
+
+/** Polite spin-loop hint; falls back to nothing off x86. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#endif
+}
+
+/**
+ * Cap on one parked sleep. Bounds the cost of the (already
+ * unlikely) lost-wakeup window and keeps deadline checks live even
+ * if a writer dies without notifying.
+ */
+constexpr auto kParkSlice = std::chrono::microseconds(500);
+
+} // namespace
+
+NativeSyncFabric::NativeSyncFabric(unsigned spin_limit)
+    : spinLimit_(spin_limit)
+{
+}
+
+NativeSyncFabric::NativeSyncFabric(const sim::SyncFabric &planned,
+                                   unsigned spin_limit)
+    : spinLimit_(spin_limit)
+{
+    unsigned count = planned.allocated();
+    for (unsigned v = 0; v < count; ++v)
+        words_.emplace_back(planned.peek(v));
+}
+
+sim::SyncVarId
+NativeSyncFabric::allocate(unsigned count, sim::SyncWord init)
+{
+    auto first = static_cast<sim::SyncVarId>(words_.size());
+    for (unsigned i = 0; i < count; ++i)
+        words_.emplace_back(init);
+    return first;
+}
+
+void
+NativeSyncFabric::store(sim::SyncVarId var, sim::SyncWord value)
+{
+    words_[var].store(value, std::memory_order_release);
+    wake(var);
+}
+
+sim::SyncWord
+NativeSyncFabric::fetchAdd(sim::SyncVarId var, sim::SyncWord delta)
+{
+    sim::SyncWord old =
+        words_[var].fetch_add(delta, std::memory_order_acq_rel);
+    wake(var);
+    return old;
+}
+
+void
+NativeSyncFabric::wake(sim::SyncVarId var)
+{
+    Shard &shard = shardOf(var);
+    // seq_cst pairs with the parker's seq_cst increment: either we
+    // see the waiter count and notify, or the parker's subsequent
+    // value re-check sees our store and never sleeps.
+    if (shard.waiters.load(std::memory_order_seq_cst) == 0)
+        return;
+    {
+        // Empty critical section: a parker between its last check
+        // and cv.wait() holds the mutex, so this bracket orders the
+        // notify after it reaches the wait.
+        std::lock_guard<std::mutex> lk(shard.m);
+    }
+    shard.cv.notify_all();
+    totalWakeups_.fetch_add(1, std::memory_order_relaxed);
+}
+
+WaitOutcome
+NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
+                         Deadline deadline)
+{
+    WaitOutcome out;
+    const std::atomic<sim::SyncWord> &word = words_[var];
+
+    for (unsigned i = 0; i < spinLimit_; ++i) {
+        if (word.load(std::memory_order_acquire) >= threshold) {
+            out.satisfied = true;
+            return out;
+        }
+        if (aborted())
+            return out;
+        ++out.spins;
+        cpuRelax();
+        // On an oversubscribed host the writer may need our core.
+        if ((i & 15u) == 15u)
+            std::this_thread::yield();
+    }
+
+    Shard &shard = shardOf(var);
+    std::unique_lock<std::mutex> lk(shard.m);
+    shard.waiters.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+        if (word.load(std::memory_order_seq_cst) >= threshold) {
+            out.satisfied = true;
+            break;
+        }
+        if (aborted())
+            break;
+        if (std::chrono::steady_clock::now() >= deadline) {
+            lk.unlock();
+            abortAll();
+            lk.lock();
+            break;
+        }
+        ++out.parks;
+        totalParks_.fetch_add(1, std::memory_order_relaxed);
+        shard.cv.wait_for(lk, kParkSlice);
+    }
+    shard.waiters.fetch_sub(1, std::memory_order_seq_cst);
+    return out;
+}
+
+void
+NativeSyncFabric::abortAll()
+{
+    aborted_.store(true, std::memory_order_release);
+    for (unsigned s = 0; s < kNumShards; ++s) {
+        {
+            std::lock_guard<std::mutex> lk(shards_[s].m);
+        }
+        shards_[s].cv.notify_all();
+    }
+}
+
+} // namespace native
+} // namespace psync

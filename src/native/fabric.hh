@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Native synchronization-variable fabric: the paper's primitives on
+ * real C++11 atomics.
+ *
+ * Where the simulator's SyncFabric models the *cost* of get_PC /
+ * set_PC / Advance / Await / full-empty keys / barrier counters,
+ * this fabric implements their *semantics* on host shared memory so
+ * the same planned programs run on real threads:
+ *
+ *   paper primitive        here                     memory order
+ *   ---------------------  -----------------------  ---------------
+ *   set_PC / release_PC /  store()                  release
+ *     Advance / set key
+ *   get_PC / read key      load()                   acquire
+ *   wait_PC / Await /      waitGE()                 acquire (spin-
+ *     key test                                      then-park)
+ *   fetch&add (barrier     fetchAdd()               acq_rel
+ *     arrival, dispatch)
+ *
+ * Every release-store/RMW that satisfies an acquire waitGE creates
+ * the happens-before edge the scheme's dependence arc requires;
+ * chained barrier arrivals stay ordered through the RMW release
+ * sequence.
+ *
+ * Waiting is spin-then-park: a bounded spin of acquire loads (with
+ * a CPU relax hint), then parking on one of a small set of sharded
+ * mutex+condvar pairs keyed by variable id. Writers wake a shard
+ * only when its waiter count says someone may be parked; the
+ * waiter count handshake uses seq_cst so a parker that checked the
+ * old value cannot miss the notify (Dekker-style store/load pairs),
+ * and parked waits additionally time-bound each sleep so even a
+ * lost race costs microseconds, not a hang. waitGE takes a deadline
+ * past which the whole fabric aborts — a deadlocked scheme turns
+ * into completed=false instead of a stuck process.
+ */
+
+#ifndef PSYNC_NATIVE_FABRIC_HH
+#define PSYNC_NATIVE_FABRIC_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "sim/sync_fabric.hh"
+#include "sim/types.hh"
+
+namespace psync {
+namespace native {
+
+/** Host-time point used for wait deadlines. */
+using Deadline = std::chrono::steady_clock::time_point;
+
+/** Spin/park counters of one waitGE call. */
+struct WaitOutcome
+{
+    /** Spin-loop polls before satisfaction (or park). */
+    std::uint64_t spins = 0;
+    /** Times the waiter parked on a condition variable. */
+    std::uint64_t parks = 0;
+    /** False: the fabric aborted (deadline or external abort). */
+    bool satisfied = false;
+};
+
+/** Synchronization variables on host atomics. */
+class NativeSyncFabric
+{
+  public:
+    explicit NativeSyncFabric(unsigned spin_limit = 64);
+
+    /**
+     * Mirror a planned simulator fabric: allocate the same number
+     * of variables and copy each one's current (initialized) value,
+     * so programs emitted against the sim fabric's variable ids run
+     * unchanged.
+     */
+    NativeSyncFabric(const sim::SyncFabric &planned,
+                     unsigned spin_limit = 64);
+
+    NativeSyncFabric(const NativeSyncFabric &) = delete;
+    NativeSyncFabric &operator=(const NativeSyncFabric &) = delete;
+
+    /** Allocate `count` variables initialized to `init`. Not
+     * thread-safe; setup only. */
+    sim::SyncVarId allocate(unsigned count, sim::SyncWord init);
+
+    unsigned allocated() const
+    {
+        return static_cast<unsigned>(words_.size());
+    }
+
+    /** Acquire-load the current value. */
+    sim::SyncWord
+    load(sim::SyncVarId var) const
+    {
+        return words_[var].load(std::memory_order_acquire);
+    }
+
+    /** Release-store a value and wake parked waiters. */
+    void store(sim::SyncVarId var, sim::SyncWord value);
+
+    /** Atomic acq_rel add; returns the pre-add value; wakes. */
+    sim::SyncWord fetchAdd(sim::SyncVarId var, sim::SyncWord delta);
+
+    /**
+     * Block until value(var) >= threshold (same unsigned order the
+     * packed PC words use). Returns outcome.satisfied == false when
+     * the fabric aborted or `deadline` passed (which itself aborts
+     * the fabric, releasing every other waiter too).
+     */
+    WaitOutcome waitGE(sim::SyncVarId var, sim::SyncWord threshold,
+                       Deadline deadline);
+
+    /** Wake everything and make all pending/future waits fail. */
+    void abortAll();
+
+    bool aborted() const
+    {
+        return aborted_.load(std::memory_order_acquire);
+    }
+
+    /** Non-atomic setup-time override (mirrors sim poke()). */
+    void
+    poke(sim::SyncVarId var, sim::SyncWord value)
+    {
+        words_[var].store(value, std::memory_order_release);
+    }
+
+    std::uint64_t
+    totalParks() const
+    {
+        return totalParks_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    totalWakeups() const
+    {
+        return totalWakeups_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Shard
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        /**
+         * Waiters that published intent to park. seq_cst on both
+         * sides of the handshake: parker increments then re-checks
+         * the variable; writer stores then reads the count.
+         */
+        std::atomic<unsigned> waiters{0};
+    };
+
+    static constexpr unsigned kNumShards = 64;
+
+    Shard &
+    shardOf(sim::SyncVarId var) const
+    {
+        return shards_[var % kNumShards];
+    }
+
+    void wake(sim::SyncVarId var);
+
+    /**
+     * deque keeps element addresses stable across setup-time
+     * allocate() growth (atomics are neither movable nor copyable).
+     */
+    std::deque<std::atomic<sim::SyncWord>> words_;
+    mutable Shard shards_[kNumShards];
+    unsigned spinLimit_;
+    std::atomic<bool> aborted_{false};
+    std::atomic<std::uint64_t> totalParks_{0};
+    std::atomic<std::uint64_t> totalWakeups_{0};
+};
+
+} // namespace native
+} // namespace psync
+
+#endif // PSYNC_NATIVE_FABRIC_HH

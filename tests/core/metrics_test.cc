@@ -99,6 +99,9 @@ TEST(MetricsTest, JsonRoundTripsEveryField)
     r.syncOps = 107;
     r.marksSkipped = 108;
     r.programsRun = 109;
+    r.eventsExecuted = 124;
+    r.heapFallbackEvents = 125;
+    r.eventCore = "calendar";
     r.dataBusTransactions = 110;
     r.dataBusQueueDelay = 111;
     r.dataBusUtilization = 0.25;
@@ -141,6 +144,12 @@ TEST(MetricsTest, JsonRoundTripsEveryField)
     EXPECT_EQ(num("sync_ops"), 107);
     EXPECT_EQ(num("marks_skipped"), 108);
     EXPECT_EQ(num("programs_run"), 109);
+    EXPECT_EQ(num("events_executed"), 124);
+    EXPECT_EQ(num("heap_fallback_events"), 125);
+    const core::json::Value *event_core = v.find("event_core");
+    ASSERT_NE(event_core, nullptr);
+    ASSERT_TRUE(event_core->isString());
+    EXPECT_EQ(event_core->asString(), "calendar");
     EXPECT_EQ(num("data_bus_transactions"), 110);
     EXPECT_EQ(num("data_bus_queue_delay"), 111);
     EXPECT_DOUBLE_EQ(num("data_bus_utilization"), 0.25);

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Negative verification: a deliberately under-synchronized "scheme"
+ * must produce a reported dependence violation on BOTH backends.
+ *
+ * The stub mimics a broken signal-before-write compiler bug: the
+ * producer posts its synchronization variable *before* performing
+ * the guarded write (with work in between), so the consumer's
+ * awaited read can start while the write is still pending. The
+ * simulator makes the race deterministic (the producer's delay is
+ * simulated time, so the read always lands inside the window); the
+ * native run makes it probable and is retried across seeds until
+ * observed. If the TraceChecker ever stops catching this, these
+ * tests fail — the checker, not luck, is the correctness gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+#include "core/trace_check.hh"
+#include "native/executor.hh"
+#include "sim/machine.hh"
+
+using namespace psync;
+
+namespace {
+
+constexpr sim::Addr kAddr = 8192;
+
+/**
+ * The under-synchronized pair. Producer (iter 1): signal, THEN a
+ * long delay, THEN the write the signal was supposed to order.
+ * Consumer (iter 2): await the signal, read. A correct scheme
+ * emits the signal after the write; this stub has them swapped.
+ */
+std::vector<sim::Program>
+brokenPrograms(sim::SyncVarId v, sim::Tick producer_delay)
+{
+    sim::Program producer;
+    producer.iter = 1;
+    producer.ops = {sim::Op::mkWrite(v, 1), // bug: signal first
+                    sim::Op::mkCompute(producer_delay),
+                    sim::Op::mkStmtStart(0),
+                    sim::Op::mkData(true, kAddr, 0, 0),
+                    sim::Op::mkStmtEnd(0)};
+    sim::Program consumer;
+    consumer.iter = 2;
+    consumer.ops = {sim::Op::mkWaitGE(v, 1),
+                    sim::Op::mkStmtStart(1),
+                    sim::Op::mkData(false, kAddr, 1, 0),
+                    sim::Op::mkStmtEnd(1)};
+    return {producer, consumer};
+}
+
+/** Loop shape matching the stub: S0 writes A[i], S1 reads A[i-1]. */
+dep::Loop
+brokenLoop()
+{
+    dep::Loop loop;
+    loop.depth = 1;
+    loop.outer = {1, 2};
+    dep::Statement s0, s1;
+    s0.label = "S0";
+    s1.label = "S1";
+    dep::ArrayRef w, r;
+    w.array = "A";
+    w.subs = {dep::Subscript{1, 0, 0}};
+    w.isWrite = true;
+    r.array = "A";
+    r.subs = {dep::Subscript{1, 0, -1}};
+    r.isWrite = false;
+    s0.refs = {w};
+    s1.refs = {r};
+    loop.body = {s0, s1};
+    return loop;
+}
+
+dep::Dep
+flowDep()
+{
+    dep::Dep dep;
+    dep.src = 0;
+    dep.dst = 1;
+    dep.type = dep::DepType::flow;
+    dep.d1 = 1;
+    return dep;
+}
+
+} // namespace
+
+TEST(TraceCheckNegativeTest, SimBackendReportsViolation)
+{
+    sim::MachineConfig mc;
+    mc.numProcs = 2;
+    mc.fabric = sim::FabricKind::registers;
+    mc.syncRegisters = 64;
+    core::TraceChecker checker;
+    sim::Machine machine(mc, &checker);
+    sim::SyncVarId v = machine.fabric().allocate(1, 0);
+
+    // 500 simulated cycles between signal and write: the awaited
+    // read deterministically lands inside the window.
+    auto programs = brokenPrograms(v, 500);
+    auto result = core::runProgramPool(
+        machine, programs, core::SchedulePolicy::staticCyclic);
+    ASSERT_TRUE(result.completed);
+
+    auto violations = checker.verify(brokenLoop(), {flowDep()});
+    ASSERT_FALSE(violations.empty())
+        << "under-synchronized stub passed the sim checker";
+    EXPECT_NE(violations[0].find("violated"), std::string::npos);
+}
+
+TEST(TraceCheckNegativeTest, NativeBackendReportsViolation)
+{
+    // The native window is real time, so one rep may get lucky;
+    // retry across seeds. The compute op is a forced yield point
+    // between signal and write, which makes the interleaving in
+    // which the consumer's read overtakes the producer's write
+    // overwhelmingly likely per rep.
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 50 && !caught; ++seed) {
+        native::NativeSyncFabric fabric;
+        sim::SyncVarId v = fabric.allocate(1, 0);
+        auto programs = brokenPrograms(v, 500);
+        native::NativeDataMemory data(programs);
+        native::NativeConfig cfg;
+        cfg.numThreads = 2;
+        cfg.schedule = core::SchedulePolicy::staticCyclic;
+        cfg.timingSeed = seed;
+        native::NativeExecutor exec(fabric, data, cfg);
+        auto result = exec.runPool(programs);
+        ASSERT_TRUE(result.completed) << "seed " << seed;
+
+        core::TraceChecker checker;
+        exec.replayAccesses(checker);
+        auto violations = checker.verify(brokenLoop(), {flowDep()});
+        if (!violations.empty()) {
+            EXPECT_NE(violations[0].find("violated"),
+                      std::string::npos);
+            caught = true;
+        }
+    }
+    EXPECT_TRUE(caught)
+        << "under-synchronized stub never tripped the native "
+           "checker in 50 seeded repetitions";
+}

@@ -1,0 +1,224 @@
+/** @file NativeExecutor: scheduling, values, timeouts, replay. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/value_rule.hh"
+#include "native/executor.hh"
+
+using namespace psync;
+
+namespace {
+
+/**
+ * A producer/consumer pair: iteration 1 writes A then signals;
+ * iteration 2 awaits the signal and reads A. The pool claims in
+ * increasing order, so this is deadlock-free on any thread count.
+ */
+std::vector<sim::Program>
+producerConsumer(sim::SyncVarId v, sim::Addr a)
+{
+    sim::Program p1;
+    p1.iter = 1;
+    p1.ops = {sim::Op::mkStmtStart(0),
+              sim::Op::mkData(true, a, 0, 0),
+              sim::Op::mkStmtEnd(0),
+              sim::Op::mkWrite(v, 1)};
+    sim::Program p2;
+    p2.iter = 2;
+    p2.ops = {sim::Op::mkWaitGE(v, 1),
+              sim::Op::mkStmtStart(1),
+              sim::Op::mkData(false, a, 1, 0),
+              sim::Op::mkStmtEnd(1)};
+    return {p1, p2};
+}
+
+/** N independent programs, each writing its own word. */
+std::vector<sim::Program>
+independent(std::uint64_t n)
+{
+    std::vector<sim::Program> programs;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+        sim::Program p;
+        p.iter = i;
+        p.ops = {sim::Op::mkCompute(1),
+                 sim::Op::mkData(true, 1000 + i * 8, 0, 0)};
+        programs.push_back(p);
+    }
+    return programs;
+}
+
+} // namespace
+
+TEST(NativeDataMemoryTest, ScansEveryReferencedAddress)
+{
+    native::NativeSyncFabric fabric;
+    sim::SyncVarId v = fabric.allocate(1, 0);
+    auto programs = producerConsumer(v, 640);
+    native::NativeDataMemory data(programs);
+    EXPECT_EQ(data.size(), 1u); // one distinct address
+    EXPECT_EQ(data.word(640).load(), 0u);
+}
+
+TEST(NativeExecutorTest, ProducerConsumerObservesWrittenValue)
+{
+    native::NativeSyncFabric fabric;
+    sim::SyncVarId v = fabric.allocate(1, 0);
+    auto programs = producerConsumer(v, 640);
+    native::NativeDataMemory data(programs);
+    native::NativeConfig cfg;
+    cfg.numThreads = 2;
+    native::NativeExecutor exec(fabric, data, cfg);
+    auto result = exec.runPool(programs);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.programsRun, 2u);
+
+    // The read (stmt 1, ref 0, iter 2) must have loaded the value
+    // the write (stmt 0, ref 0, iter 1) produced.
+    bool saw_read = false;
+    for (const auto &rec : exec.log()) {
+        if (!rec.isWrite) {
+            saw_read = true;
+            EXPECT_EQ(rec.value, core::valueOfWrite(0, 0, 1));
+        }
+    }
+    EXPECT_TRUE(saw_read);
+    EXPECT_TRUE(exec.verifyValues().empty());
+    EXPECT_EQ(data.word(640).load(), core::valueOfWrite(0, 0, 1));
+}
+
+TEST(NativeExecutorTest, EveryPolicyRunsEachProgramOnce)
+{
+    for (auto policy :
+         {core::SchedulePolicy::selfScheduling,
+          core::SchedulePolicy::chunkedSelfScheduling,
+          core::SchedulePolicy::guidedSelfScheduling,
+          core::SchedulePolicy::staticCyclic}) {
+        native::NativeSyncFabric fabric;
+        auto programs = independent(23);
+        native::NativeDataMemory data(programs);
+        native::NativeConfig cfg;
+        cfg.numThreads = 4;
+        cfg.schedule = policy;
+        native::NativeExecutor exec(fabric, data, cfg);
+        auto result = exec.runPool(programs);
+        ASSERT_TRUE(result.completed);
+        EXPECT_EQ(result.programsRun, 23u);
+        // Exactly-once: every word written exactly its own value.
+        auto image = data.snapshot();
+        EXPECT_EQ(image.size(), 23u);
+    }
+}
+
+TEST(NativeExecutorTest, LogIsSortedByUniqueEndTickets)
+{
+    native::NativeSyncFabric fabric;
+    auto programs = independent(16);
+    native::NativeDataMemory data(programs);
+    native::NativeConfig cfg;
+    cfg.numThreads = 4;
+    native::NativeExecutor exec(fabric, data, cfg);
+    ASSERT_TRUE(exec.runPool(programs).completed);
+    const auto &log = exec.log();
+    ASSERT_EQ(log.size(), 16u);
+    std::set<std::uint64_t> ends;
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_LT(log[i].start, log[i].end);
+        if (i) {
+            EXPECT_LT(log[i - 1].end, log[i].end);
+        }
+        ends.insert(log[i].end);
+    }
+    EXPECT_EQ(ends.size(), log.size());
+}
+
+TEST(NativeExecutorTest, PerProcessorBarrierCompletes)
+{
+    native::NativeSyncFabric fabric;
+    sim::SyncVarId counter = fabric.allocate(1, 0);
+    sim::SyncVarId release = fabric.allocate(1, 0);
+    const unsigned procs = 4;
+    std::vector<std::vector<sim::Program>> per_proc(procs);
+    for (unsigned p = 0; p < procs; ++p) {
+        sim::Program prog;
+        prog.iter = p + 1;
+        for (sim::SyncWord gen = 1; gen <= 3; ++gen) {
+            prog.ops.push_back(
+                sim::Op::mkData(true, 4096 + (p * 3 + gen) * 8,
+                                p, static_cast<std::uint16_t>(gen)));
+            prog.ops.push_back(sim::Op::mkCtrBarrier(
+                counter, release, gen, procs));
+        }
+        per_proc[p] = {prog};
+    }
+    native::NativeDataMemory data(per_proc);
+    native::NativeConfig cfg;
+    native::NativeExecutor exec(fabric, data, cfg);
+    auto result = exec.runPerProcessor(per_proc);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.numThreads, procs);
+    EXPECT_EQ(result.programsRun, procs);
+    EXPECT_EQ(fabric.load(counter), 3u * procs);
+    EXPECT_EQ(fabric.load(release), 3u);
+}
+
+TEST(NativeExecutorTest, JitteredRunsStayCorrect)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        native::NativeSyncFabric fabric;
+        sim::SyncVarId v = fabric.allocate(1, 0);
+        auto programs = producerConsumer(v, 640);
+        native::NativeDataMemory data(programs);
+        native::NativeConfig cfg;
+        cfg.numThreads = 2;
+        cfg.timingSeed = seed;
+        native::NativeExecutor exec(fabric, data, cfg);
+        auto result = exec.runPool(programs);
+        ASSERT_TRUE(result.completed) << "seed " << seed;
+        EXPECT_TRUE(exec.verifyValues().empty()) << "seed " << seed;
+        EXPECT_EQ(data.word(640).load(),
+                  core::valueOfWrite(0, 0, 1));
+    }
+}
+
+TEST(NativeExecutorTest, DeadlockTurnsIntoFailureNotHang)
+{
+    native::NativeSyncFabric fabric;
+    sim::SyncVarId v = fabric.allocate(1, 0);
+    sim::Program stuck;
+    stuck.iter = 1;
+    stuck.ops = {sim::Op::mkWaitGE(v, 1)}; // never satisfied
+    std::vector<sim::Program> programs = {stuck};
+    native::NativeDataMemory data(programs);
+    native::NativeConfig cfg;
+    cfg.numThreads = 1;
+    cfg.timeoutMs = 100;
+    native::NativeExecutor exec(fabric, data, cfg);
+    auto result = exec.runPool(programs);
+    EXPECT_FALSE(result.completed);
+    EXPECT_TRUE(fabric.aborted());
+}
+
+TEST(NativeExecutorTest, ReplayFeedsEveryRecordToSink)
+{
+    struct Counter : sim::TraceSink
+    {
+        unsigned accesses = 0;
+        void
+        access(std::uint32_t, std::uint16_t, std::uint64_t,
+               sim::Addr, bool, sim::Tick, sim::Tick) override
+        {
+            ++accesses;
+        }
+    };
+    native::NativeSyncFabric fabric;
+    auto programs = independent(9);
+    native::NativeDataMemory data(programs);
+    native::NativeConfig cfg;
+    native::NativeExecutor exec(fabric, data, cfg);
+    ASSERT_TRUE(exec.runPool(programs).completed);
+    Counter sink;
+    exec.replayAccesses(sink);
+    EXPECT_EQ(sink.accesses, 9u);
+}
