@@ -54,6 +54,7 @@ struct Options
     bool report = false;
     bool native = false;
     bool forbidHeapFallback = false;
+    bool noPasses = false;
     unsigned jobs = 1;
     std::vector<unsigned> threadCounts;
     std::vector<std::string> patterns;
@@ -76,7 +77,7 @@ usage(std::FILE *to)
         "                   [--baseline FILE] [--threshold PCT]\n"
         "                   [--compare OLD NEW] [--exact]\n"
         "                   [--native] [--threads N,N,...]\n"
-        "                   [--forbid-heap-fallback]\n"
+        "                   [--forbid-heap-fallback] [--no-passes]\n"
         "                   [--report [PATTERN]] "
         "[--report-json FILE]\n"
         "\n"
@@ -84,7 +85,11 @@ usage(std::FILE *to)
         "backend (default --threads 2,4) and records host wall-time\n"
         "instead of simulated cycles; --forbid-heap-fallback fails\n"
         "a sim sweep if any run demoted calendar events to the\n"
-        "heap.\n");
+        "heap. Sim runs apply the IR transform passes\n"
+        "(redundant-wait elimination + peephole) by default;\n"
+        "--no-passes runs each scenario's config as registered\n"
+        "(verifier only), reproducing pre-pipeline cycle counts\n"
+        "exactly.\n");
 }
 
 bool
@@ -133,6 +138,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.native = true;
         } else if (arg == "--forbid-heap-fallback") {
             opts.forbidHeapFallback = true;
+        } else if (arg == "--no-passes") {
+            opts.noPasses = true;
         } else if (arg == "--threads") {
             const char *p = next("--threads");
             if (!p)
@@ -259,6 +266,22 @@ selectScenarios(const Options &opts)
 }
 
 /**
+ * Pass configuration for sim runs: transform passes on by default,
+ * scenario config as registered (nullptr) under --no-passes.
+ */
+const ir::PassConfig *
+benchPasses(const Options &opts)
+{
+    static const ir::PassConfig transforms = [] {
+        ir::PassConfig cfg;
+        cfg.eliminateRedundantWaits = true;
+        cfg.peephole = true;
+        return cfg;
+    }();
+    return opts.noPasses ? nullptr : &transforms;
+}
+
+/**
  * --native: execute the selected scenarios on the real-thread
  * backend at each requested thread count and append kind:"native"
  * records (host wall-time, throughput) to the trajectory file.
@@ -340,8 +363,8 @@ runReports(const Options &opts)
     core::json::Value reports = core::json::array();
     for (const auto *scenario : selected) {
         core::TraceRecorder recorder;
-        bench::ScenarioRecord record =
-            bench::runScenario(*scenario, &recorder);
+        bench::ScenarioRecord record = bench::runScenario(
+            *scenario, &recorder, benchPasses(opts));
         core::BlameReport blame = core::buildBlameReport(
             recorder, record.result.run, record.boundCycles);
 
@@ -434,23 +457,28 @@ main(int argc, char **argv)
     // determinism gate in CI checks exactly that. Records land in
     // per-scenario slots so printing and merging stay in selection
     // order after the join.
+    const ir::PassConfig *passes = benchPasses(opts);
     std::vector<bench::ScenarioRecord> records(selected.size());
     unsigned workers = std::min<std::size_t>(opts.jobs,
                                              selected.size());
     if (workers <= 1) {
-        for (std::size_t i = 0; i < selected.size(); ++i)
-            records[i] = bench::runScenario(*selected[i]);
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            records[i] =
+                bench::runScenario(*selected[i], nullptr, passes);
+        }
     } else {
         std::atomic<std::size_t> next_index{0};
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (unsigned w = 0; w < workers; ++w) {
-            pool.emplace_back([&records, &selected, &next_index]() {
+            pool.emplace_back([&records, &selected, &next_index,
+                               passes]() {
                 for (;;) {
                     std::size_t i = next_index.fetch_add(1);
                     if (i >= selected.size())
                         return;
-                    records[i] = bench::runScenario(*selected[i]);
+                    records[i] = bench::runScenario(*selected[i],
+                                                    nullptr, passes);
                 }
             });
         }

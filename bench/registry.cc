@@ -341,6 +341,14 @@ ScenarioRecord::toJson() const
     rec.set("event_core", r.run.eventCore);
     rec.set("heap_fallback_events", r.run.heapFallbackEvents);
 
+    rec.set("passes", transformsEnabled);
+    rec.set("waits_before", r.passStats.waitsBefore);
+    rec.set("waits_after", r.passStats.waitsAfter);
+    rec.set("waits_eliminated", r.passStats.waitsEliminated);
+    rec.set("ops_before", r.passStats.opsBefore);
+    rec.set("ops_after", r.passStats.opsAfter);
+    rec.set("ops_merged", r.passStats.opsMerged);
+
     rec.set("sync_vars", r.plan.numSyncVars);
     rec.set("data_bus_utilization", r.run.dataBusUtilization);
     rec.set("sync_bus_utilization", r.run.syncBusUtilization);
@@ -352,7 +360,8 @@ ScenarioRecord::toJson() const
 }
 
 ScenarioRecord
-runScenario(const Scenario &scenario, sim::Tracer *tracer)
+runScenario(const Scenario &scenario, sim::Tracer *tracer,
+            const ir::PassConfig *passes)
 {
     ScenarioRecord record;
     record.scenario = &scenario;
@@ -369,6 +378,11 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer)
 
     core::RunConfig cfg = scenario.config;
     cfg.tracer = tracer;
+    if (passes)
+        cfg.passes = *passes;
+    record.transformsEnabled = cfg.passes.enabled &&
+                               (cfg.passes.eliminateRedundantWaits ||
+                                cfg.passes.peephole);
     record.result = core::runDoacross(loop, scenario.kind, cfg);
     record.hostNanos = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

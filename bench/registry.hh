@@ -34,10 +34,13 @@ namespace bench {
  * record with "kind" ("sim" or "native"), adds event_core and
  * heap_fallback_events to sim records, and introduces native
  * records (host wall-time of real-thread execution — no simulated
- * cycles). Loaders accept all versions and ignore non-"sim" records
- * when comparing cycles.
+ * cycles); v4 adds the IR pass-pipeline fields to sim records:
+ * "passes" (whether transform passes ran), "waits_before",
+ * "waits_after", "waits_eliminated", "ops_before", "ops_after" and
+ * "ops_merged". Loaders accept all versions and ignore non-"sim"
+ * records when comparing cycles.
  */
-constexpr int kTrajectorySchemaVersion = 3;
+constexpr int kTrajectorySchemaVersion = 4;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;
@@ -97,6 +100,14 @@ struct ScenarioRecord
      */
     std::uint64_t hostNanos = 0;
 
+    /**
+     * Whether IR transform passes (redundant-wait elimination and
+     * the peephole) were enabled for this run. The verifier runs
+     * either way; recorded so trajectory readers can tell the two
+     * series apart.
+     */
+    bool transformsEnabled = false;
+
     /** Simulated events per host second (0 when unmeasured). */
     double
     eventsPerSec() const
@@ -121,9 +132,15 @@ struct ScenarioRecord
  * on a dependence violation or deadlock — a broken scenario must
  * never silently enter a trajectory file.
  * @param tracer optional event tracer for blame reports.
+ * @param passes when non-null, overrides the scenario's registered
+ *        ir::PassConfig (psync_bench uses this to turn the
+ *        transform passes on by default and off under
+ *        `--no-passes`); null runs the config as registered, i.e.
+ *        verifier on, transforms off.
  */
 ScenarioRecord runScenario(const Scenario &scenario,
-                           sim::Tracer *tracer = nullptr);
+                           sim::Tracer *tracer = nullptr,
+                           const ir::PassConfig *passes = nullptr);
 
 /**
  * Outcome of one native (real-thread) scenario run. Records host

@@ -13,7 +13,14 @@
  * "match" means the native execution enforced exactly the orderings
  * the simulator did.
  *
- * Usage: scheme_explorer [--native] [seed] [N] [statements] [P]
+ * With --dump-ir, each scheme's lowered program for the first two
+ * iterations is disassembled one op per line (with stable op ids)
+ * both before and after the transform passes (redundant-wait
+ * elimination + peephole), so the effect of the pipeline is
+ * directly readable.
+ *
+ * Usage: scheme_explorer [--native] [--dump-ir]
+ *                        [seed] [N] [statements] [P]
  */
 
 #include <cstdlib>
@@ -33,10 +40,13 @@ int
 main(int argc, char **argv)
 {
     bool with_native = false;
+    bool dump_ir = false;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--native") == 0)
             with_native = true;
+        else if (std::strcmp(argv[i], "--dump-ir") == 0)
+            dump_ir = true;
         else
             positional.push_back(argv[i]);
     }
@@ -81,6 +91,42 @@ main(int argc, char **argv)
         core::ValueTrace sim_values;
         if (with_native)
             cfg.extraSink = &sim_values;
+
+        if (dump_ir) {
+            // Plan twice against throwaway machines: once with the
+            // pipeline disabled (raw lowering) and once with the
+            // transforms on, and disassemble the first iterations
+            // of each so the passes' effect is readable.
+            std::cout << "---- " << sync::schemeKindName(kind)
+                      << ": lowered IR ----\n";
+            for (bool transformed : {false, true}) {
+                core::RunConfig pcfg = cfg;
+                pcfg.passes.enabled = transformed;
+                pcfg.passes.eliminateRedundantWaits = transformed;
+                pcfg.passes.peephole = transformed;
+                sim::Machine scratch(pcfg.machine);
+                auto planned = core::planDoacross(
+                    loop, kind, pcfg, scratch.fabric());
+                std::cout << (transformed ? "after passes"
+                                          : "before passes")
+                          << " (" << planned.passStats.opsAfter
+                          << " ops, " << planned.passStats.waitsAfter
+                          << " waits):\n";
+                std::size_t shown = 0;
+                for (const auto &prog : planned.programs) {
+                    if (shown++ == 2) {
+                        std::cout << "  ... "
+                                  << planned.programs.size() - 2
+                                  << " more programs\n";
+                        break;
+                    }
+                    std::cout << ir::disassemble(
+                        prog, /*with_ids=*/true);
+                }
+            }
+            std::cout << "\n";
+        }
+
         auto r = core::runDoacross(loop, kind, cfg);
         if (!r.run.completed) {
             std::cout << sync::schemeKindName(kind)

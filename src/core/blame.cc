@@ -23,6 +23,14 @@ BlameReport::VarBlame::name() const
     return "v" + std::to_string(var);
 }
 
+std::string
+BlameReport::SiteBlame::name() const
+{
+    std::string base =
+        label.empty() ? "v" + std::to_string(var) : label;
+    return base + "@op" + std::to_string(opId);
+}
+
 BlameReport
 buildBlameReport(const TraceRecorder &recorder, const RunResult &run,
                  sim::Tick bound)
@@ -50,6 +58,29 @@ buildBlameReport(const TraceRecorder &recorder, const RunResult &run,
         report.vars.push_back(std::move(entry.second));
     }
     std::stable_sort(report.vars.begin(), report.vars.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.blockedCycles > b.blockedCycles;
+                     });
+
+    std::map<std::pair<sim::SyncVarId, std::uint32_t>,
+             BlameReport::SiteBlame>
+        by_site;
+    for (const auto &edge : recorder.waitSiteEdges()) {
+        BlameReport::SiteBlame &site =
+            by_site[{edge.var, edge.opId}];
+        site.var = edge.var;
+        site.opId = edge.opId;
+        ++site.waits;
+        site.blockedCycles += edge.cycles();
+        site.maxWait = std::max(site.maxWait, edge.cycles());
+    }
+    for (auto &entry : by_site) {
+        auto it = recorder.syncVars().find(entry.first.first);
+        if (it != recorder.syncVars().end())
+            entry.second.label = it->second.label;
+        report.sites.push_back(std::move(entry.second));
+    }
+    std::stable_sort(report.sites.begin(), report.sites.end(),
                      [](const auto &a, const auto &b) {
                          return a.blockedCycles > b.blockedCycles;
                      });
@@ -93,6 +124,21 @@ BlameReport::toJson() const
         vars_json.push(std::move(v));
     }
     doc.set("vars", std::move(vars_json));
+
+    json::Value sites_json = json::array();
+    for (const auto &site : sites) {
+        json::Value s = json::object();
+        s.set("var", static_cast<std::uint64_t>(site.var));
+        s.set("op_id", static_cast<std::uint64_t>(site.opId));
+        if (!site.label.empty())
+            s.set("label", site.label);
+        s.set("waits", site.waits);
+        s.set("blocked_cycles",
+              static_cast<std::uint64_t>(site.blockedCycles));
+        s.set("max_wait", static_cast<std::uint64_t>(site.maxWait));
+        sites_json.push(std::move(s));
+    }
+    doc.set("wait_sites", std::move(sites_json));
 
     json::Value modules_json = json::array();
     for (const auto &heat : modules) {
@@ -160,6 +206,22 @@ BlameReport::writeText(std::ostream &os) const
     }
     if (vars.empty())
         os << "(no blocking waits recorded)\n";
+
+    os << "-- wait sites (variable @ IR op id) "
+       << "----------------------------\n";
+    if (sites.empty()) {
+        os << "(no per-op wait edges recorded)\n";
+    } else {
+        os << std::left << std::setw(20) << "site" << std::right
+           << std::setw(8) << "waits" << std::setw(13)
+           << "blocked-cyc" << std::setw(10) << "max-wait" << "\n";
+        for (const auto &site : sites) {
+            os << std::left << std::setw(20) << site.name()
+               << std::right << std::setw(8) << site.waits
+               << std::setw(13) << site.blockedCycles
+               << std::setw(10) << site.maxWait << "\n";
+        }
+    }
 
     os << "-- memory-module heat "
        << "------------------------------------------\n";

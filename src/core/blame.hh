@@ -51,6 +51,28 @@ struct BlameReport
         std::string name() const;
     };
 
+    /**
+     * Blocking attributed to one emitting wait *site*: a (variable,
+     * IR op id) pair, aggregated across iterations. Op ids are the
+     * stable ids ir::ProgramBuilder stamps at lowering time, so a
+     * site survives IR passes deleting or merging its neighbors and
+     * can be correlated with `--dump-ir` output. Id 0 collects
+     * waits of hand-built programs.
+     */
+    struct SiteBlame
+    {
+        sim::SyncVarId var = 0;
+        std::uint32_t opId = 0;
+        /** Scheme-assigned variable label, if any. */
+        std::string label;
+        std::uint64_t waits = 0;
+        sim::Tick blockedCycles = 0;
+        sim::Tick maxWait = 0;
+
+        /** Display name: "<var-name>@op<id>". */
+        std::string name() const;
+    };
+
     /** Occupancy of one memory module. */
     struct ModuleHeat
     {
@@ -63,6 +85,9 @@ struct BlameReport
 
     /** Sorted by descending blockedCycles. */
     std::vector<VarBlame> vars;
+
+    /** Per-wait-site attribution, sorted by descending cycles. */
+    std::vector<SiteBlame> sites;
 
     /** One entry per module that appears in the trace. */
     std::vector<ModuleHeat> modules;

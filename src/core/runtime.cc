@@ -53,6 +53,19 @@ planDoacross(const dep::Loop &loop, sync::SchemeKind kind,
     planned.programs.reserve(total);
     for (std::uint64_t lpid = 1; lpid <= total; ++lpid)
         planned.programs.push_back(scheme->emit(lpid));
+
+    planned.passStats = ir::runPasses(
+        planned.programs, cfg.passes,
+        [&fabric](sim::SyncVarId var) { return fabric.peek(var); });
+    if (cfg.passes.enabled && cfg.passes.verify &&
+        !planned.passStats.verified) {
+        sim::fatal("IR verifier rejected the %s plan for %s: %s%s",
+                   sync::schemeKindName(kind), loop.name.c_str(),
+                   planned.passStats.verifierErrors[0].c_str(),
+                   planned.passStats.verifierErrors.size() > 1
+                       ? " (more errors follow)"
+                       : "");
+    }
     return planned;
 }
 
@@ -75,6 +88,7 @@ runDoacross(const dep::Loop &loop, sync::SchemeKind kind,
     PlannedDoacross planned =
         planDoacross(loop, kind, cfg, machine.fabric());
     result.plan = std::move(planned.plan);
+    result.passStats = planned.passStats;
     result.initCycles = initCost(result.plan, cfg.machine);
 
     result.run = runProgramPool(machine, planned.programs,

@@ -16,6 +16,7 @@
 #include "core/metrics.hh"
 #include "core/trace_check.hh"
 #include "dep/dep_graph.hh"
+#include "ir/passes.hh"
 #include "sim/machine.hh"
 #include "sync/scheme.hh"
 
@@ -66,6 +67,13 @@ struct RunConfig
      * ablation baseline for the Fig. 2.1 observation.
      */
     bool eliminateCoveredDeps = true;
+    /**
+     * IR pass pipeline run over the lowered programs inside
+     * planDoacross (see ir/passes.hh). Defaults keep the verifier
+     * on and every transform off, so lowered programs reach the
+     * executors byte-identical to the schemes' raw emission.
+     */
+    ir::PassConfig passes;
     /** Verify the trace after the run (costs host time only). */
     bool checkTrace = true;
     /** Abort threshold for deadlocked synchronization. */
@@ -101,6 +109,8 @@ struct DoacrossResult
      * processors for the module-service part.
      */
     sim::Tick initCycles = 0;
+    /** Effect of the IR pass pipeline on the lowered programs. */
+    ir::PassStats passStats;
 
     sim::Tick totalWithInit() const { return run.cycles + initCycles; }
     bool correct() const { return violations.empty(); }
@@ -122,12 +132,16 @@ struct PlannedDoacross
 {
     sync::SchemePlan plan;
     std::vector<sim::Program> programs;
+    /** Effect of the IR pass pipeline on the lowered programs. */
+    ir::PassStats passStats;
 };
 
 /**
- * Plan `kind` for `loop` and emit all iteration programs against
+ * Plan `kind` for `loop`, emit all iteration programs against
  * `fabric` (applies the same covered-arc elimination rule
- * runDoacross uses).
+ * runDoacross uses), and run the configured IR pass pipeline over
+ * the lowered programs. An IR verifier failure is fatal: a wait no
+ * signal can satisfy means the plan would deadlock.
  */
 PlannedDoacross planDoacross(const dep::Loop &loop,
                              sync::SchemeKind kind,

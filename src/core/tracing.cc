@@ -54,6 +54,14 @@ TraceRecorder::waitEdge(sim::SyncVarId var, sim::ProcId who,
 }
 
 void
+TraceRecorder::waitEdgeOp(sim::SyncVarId var, sim::ProcId who,
+                          std::uint32_t op_id, sim::Tick start,
+                          sim::Tick end)
+{
+    waitSiteEdges_.push_back({var, who, op_id, start, end});
+}
+
+void
 TraceRecorder::nameSyncVar(sim::SyncVarId var,
                            const std::string &label)
 {
@@ -68,6 +76,7 @@ TraceRecorder::clear()
     counters_.clear();
     instants_.clear();
     waitEdges_.clear();
+    waitSiteEdges_.clear();
     syncVars_.clear();
 }
 

@@ -71,6 +71,23 @@ class TraceRecorder : public sim::Tracer
         sim::Tick cycles() const { return end - start; }
     };
 
+    /**
+     * One satisfied program-op wait, keyed by the emitting op's
+     * stable IR id (0 = hand-built program). Aggregating these by
+     * (var, opId) attributes blocking to the wait *site* the
+     * scheme emitted, across iterations.
+     */
+    struct WaitSiteEdge
+    {
+        sim::SyncVarId var;
+        sim::ProcId who;
+        std::uint32_t opId;
+        sim::Tick start;
+        sim::Tick end;
+
+        sim::Tick cycles() const { return end - start; }
+    };
+
     struct SyncVarStats
     {
         std::string label;
@@ -94,6 +111,9 @@ class TraceRecorder : public sim::Tracer
                    sim::ProcId who, sim::Tick at) override;
     void waitEdge(sim::SyncVarId var, sim::ProcId who,
                   sim::Tick start, sim::Tick end) override;
+    void waitEdgeOp(sim::SyncVarId var, sim::ProcId who,
+                    std::uint32_t op_id, sim::Tick start,
+                    sim::Tick end) override;
     void nameSyncVar(sim::SyncVarId var,
                      const std::string &label) override;
 
@@ -117,6 +137,10 @@ class TraceRecorder : public sim::Tracer
     const std::vector<WaitEdge> &waitEdges() const
     {
         return waitEdges_;
+    }
+    const std::vector<WaitSiteEdge> &waitSiteEdges() const
+    {
+        return waitSiteEdges_;
     }
 
     std::size_t
@@ -158,6 +182,7 @@ class TraceRecorder : public sim::Tracer
     std::vector<CounterEvent> counters_;
     std::vector<InstantEvent> instants_;
     std::vector<WaitEdge> waitEdges_;
+    std::vector<WaitSiteEdge> waitSiteEdges_;
     std::map<sim::SyncVarId, SyncVarStats> syncVars_;
 };
 

@@ -1,0 +1,270 @@
+#include "ir/passes.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace psync {
+namespace ir {
+
+namespace {
+
+/** Signal capability of one sync variable across the whole plan. */
+struct VarReach
+{
+    SyncWord maxWritten = 0;
+    bool written = false;
+    std::uint64_t increments = 0;
+};
+
+std::string
+renderWord(SyncWord w)
+{
+    std::ostringstream os;
+    os << w;
+    // PC-packed words are easier to read as <owner,step>; plain
+    // counters have owner 0, where the packed form adds nothing.
+    if (sim::PcWord::owner(w) != 0)
+        os << " <" << sim::PcWord::owner(w) << ","
+           << sim::PcWord::step(w) << ">";
+    return os.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyPrograms(const std::vector<Program> &programs,
+               const InitValueFn &init_value)
+{
+    std::unordered_map<SyncVarId, VarReach> reach;
+    for (const Program &program : programs) {
+        for (const Op &op : program.ops) {
+            switch (op.kind) {
+              case OpKind::syncWrite:
+              case OpKind::pcMark:
+              case OpKind::pcTransfer: {
+                VarReach &r = reach[op.var];
+                r.maxWritten = std::max(r.maxWritten, op.value);
+                r.written = true;
+                break;
+              }
+              case OpKind::syncFetchInc:
+                reach[op.var].increments += 1;
+                break;
+              case OpKind::keyedRead:
+              case OpKind::keyedWrite:
+                reach[op.var].increments += 1;
+                break;
+              case OpKind::ctrBarrier: {
+                reach[op.var].increments += 1;
+                VarReach &rel = reach[op.aux];
+                rel.maxWritten = std::max(rel.maxWritten, op.value);
+                rel.written = true;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    auto reachable = [&](SyncVarId var) -> SyncWord {
+        SyncWord base = init_value ? init_value(var) : 0;
+        auto it = reach.find(var);
+        if (it == reach.end())
+            return base;
+        if (it->second.written)
+            base = std::max(base, it->second.maxWritten);
+        return base + it->second.increments;
+    };
+
+    std::vector<std::string> errors;
+    auto complain = [&](const Program &program, const Op &op,
+                        SyncVarId var, SyncWord need) {
+        std::ostringstream os;
+        os << "iter " << program.iter << " op " << op.id << " ("
+           << opKindName(op.kind) << "): waits var " << var
+           << " >= " << renderWord(need)
+           << " but max reachable value is "
+           << renderWord(reachable(var));
+        errors.push_back(os.str());
+    };
+
+    for (const Program &program : programs) {
+        for (const Op &op : program.ops) {
+            switch (op.kind) {
+              case OpKind::syncWaitGE:
+                if (reachable(op.var) < op.value)
+                    complain(program, op, op.var, op.value);
+                break;
+              case OpKind::pcTransfer:
+                if (reachable(op.var) < op.aux)
+                    complain(program, op, op.var, op.aux);
+                break;
+              case OpKind::keyedRead:
+              case OpKind::keyedWrite:
+                if (reachable(op.var) < op.value)
+                    complain(program, op, op.var, op.value);
+                break;
+              case OpKind::ctrBarrier:
+                if (reachable(op.aux) < op.value)
+                    complain(program, op, op.aux, op.value);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return errors;
+}
+
+std::uint64_t
+eliminateRedundantWaits(Program &program)
+{
+    // Known lower bound on each variable's value at the current
+    // point of this program, established by earlier ops.
+    std::unordered_map<SyncVarId, SyncWord> bound;
+    std::vector<Op> kept;
+    kept.reserve(program.ops.size());
+    std::uint64_t removed = 0;
+    for (const Op &op : program.ops) {
+        switch (op.kind) {
+          case OpKind::syncWaitGE: {
+            auto it = bound.find(op.var);
+            if (it != bound.end() && it->second >= op.value) {
+                ++removed;
+                continue; // dominated: drop the wait
+            }
+            SyncWord &b = bound[op.var];
+            b = std::max(b, op.value);
+            break;
+          }
+          case OpKind::syncWrite: {
+            SyncWord &b = bound[op.var];
+            b = std::max(b, op.value);
+            break;
+          }
+          case OpKind::pcTransfer: {
+            // Waits var >= aux, then writes value.
+            SyncWord &b = bound[op.var];
+            b = std::max(b, std::max(op.aux, op.value));
+            break;
+          }
+          case OpKind::syncFetchInc: {
+            auto it = bound.find(op.var);
+            if (it != bound.end())
+                it->second += 1; // own increment; var is monotone
+            break;
+          }
+          case OpKind::keyedRead:
+          case OpKind::keyedWrite: {
+            // Waits key >= value, then the module increments it.
+            SyncWord &b = bound[op.var];
+            b = std::max(b, op.value) + 1;
+            break;
+          }
+          case OpKind::ctrBarrier: {
+            SyncWord &rel = bound[op.aux];
+            rel = std::max(rel, op.value);
+            auto it = bound.find(op.var);
+            if (it != bound.end())
+                it->second += 1;
+            break;
+          }
+          case OpKind::pcMark:
+            // Conditional write (skipped while unowned): does NOT
+            // establish var >= value.
+            break;
+          default:
+            break;
+        }
+        kept.push_back(op);
+    }
+    if (removed)
+        program.ops = std::move(kept);
+    return removed;
+}
+
+std::uint64_t
+peephole(Program &program)
+{
+    std::vector<Op> out;
+    out.reserve(program.ops.size());
+    std::uint64_t merged = 0;
+    for (const Op &op : program.ops) {
+        if (!out.empty()) {
+            Op &prev = out.back();
+            if (op.kind == OpKind::compute &&
+                prev.kind == OpKind::compute &&
+                op.iterTag == prev.iterTag) {
+                prev.cycles += op.cycles;
+                ++merged;
+                continue;
+            }
+            // Adjacent monotone releases to one variable: the later
+            // write supersedes the earlier (waiters only ever see
+            // the final, larger value — released later, never
+            // earlier, which preserves every enforced ordering).
+            if (op.kind == OpKind::syncWrite &&
+                prev.kind == OpKind::syncWrite &&
+                op.var == prev.var && op.value >= prev.value) {
+                prev = op;
+                ++merged;
+                continue;
+            }
+        }
+        out.push_back(op);
+    }
+    if (merged)
+        program.ops = std::move(out);
+    return merged;
+}
+
+std::uint64_t
+countWaits(const std::vector<Program> &programs)
+{
+    std::uint64_t n = 0;
+    for (const Program &program : programs)
+        for (const Op &op : program.ops)
+            if (op.kind == OpKind::syncWaitGE)
+                ++n;
+    return n;
+}
+
+std::uint64_t
+countOps(const std::vector<Program> &programs)
+{
+    std::uint64_t n = 0;
+    for (const Program &program : programs)
+        n += program.ops.size();
+    return n;
+}
+
+PassStats
+runPasses(std::vector<Program> &programs, const PassConfig &config,
+          const InitValueFn &init_value)
+{
+    PassStats stats;
+    stats.opsBefore = countOps(programs);
+    stats.waitsBefore = countWaits(programs);
+    if (config.enabled) {
+        if (config.eliminateRedundantWaits)
+            for (Program &program : programs)
+                stats.waitsEliminated +=
+                    eliminateRedundantWaits(program);
+        if (config.peephole)
+            for (Program &program : programs)
+                stats.opsMerged += peephole(program);
+        if (config.verify) {
+            stats.verifierErrors =
+                verifyPrograms(programs, init_value);
+            stats.verified = stats.verifierErrors.empty();
+        }
+    }
+    stats.opsAfter = countOps(programs);
+    stats.waitsAfter = countWaits(programs);
+    return stats;
+}
+
+} // namespace ir
+} // namespace psync

@@ -1,11 +1,9 @@
-#include "sim/program.hh"
+#include "ir/program.hh"
 
 #include <sstream>
 
-#include "sim/logging.hh"
-
 namespace psync {
-namespace sim {
+namespace ir {
 
 const char *
 opKindName(OpKind kind)
@@ -29,12 +27,16 @@ opKindName(OpKind kind)
 }
 
 std::string
-disassemble(const Program &program)
+disassemble(const Program &program, bool with_ids)
 {
+    using sim::PcWord;
     std::ostringstream os;
     os << "iter " << program.iter << ":\n";
     for (const Op &op : program.ops) {
-        os << "  " << opKindName(op.kind);
+        os << "  ";
+        if (with_ids)
+            os << "[" << op.id << "] ";
+        os << opKindName(op.kind);
         switch (op.kind) {
           case OpKind::compute:
             os << " " << op.cycles;
@@ -83,5 +85,5 @@ disassemble(const Program &program)
     return os.str();
 }
 
-} // namespace sim
+} // namespace ir
 } // namespace psync

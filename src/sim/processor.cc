@@ -152,10 +152,16 @@ Processor::execWaitGE(const Op &op)
     tracePhase(TracePhase::syncOverhead, eventq.now(),
                eventq.now() + issue);
     eventq.scheduleIn(issue, [this, op]() {
-        fabric.waitGE(id_, op.var, op.value, [this](Tick waited) {
+        fabric.waitGE(id_, op.var, op.value, [this, op](Tick waited) {
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
+            if (waited > 0) {
+                PSYNC_TRACE(tracer,
+                            waitEdgeOp(op.var, id_, op.id,
+                                       eventq.now() - waited,
+                                       eventq.now()));
+            }
             step();
         });
     });
@@ -256,6 +262,12 @@ Processor::execPcTransfer(const Op &op)
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
+            if (waited > 0) {
+                PSYNC_TRACE(tracer,
+                            waitEdgeOp(op.var, id_, op.id,
+                                       eventq.now() - waited,
+                                       eventq.now()));
+            }
             ownedPc = true;
             fabric.write(id_, op.var, op.value, [this]() { step(); });
         });
@@ -278,11 +290,21 @@ Processor::execKeyed(const Op &op)
                eventq.now() + issue);
     Tick start = eventq.now();
     bool is_write = op.kind == OpKind::keyedWrite;
-    eventq.scheduleIn(issue, [this, op, start, issue, is_write,
+    // Capture the individual op fields, not the Op: with the extra
+    // bookkeeping words the full-Op capture spills the handler past
+    // the inline buffer on every keyed access.
+    SyncVarId key = op.var;
+    SyncWord threshold = op.value;
+    Addr addr = op.addr;
+    std::uint32_t stmt = op.stmt;
+    std::uint16_t ref = op.ref;
+    std::uint64_t iter = op.iterTag ? op.iterTag : current->iter;
+    eventq.scheduleIn(issue, [this, key, threshold, addr, stmt, ref,
+                              iter, start, issue, is_write,
                               mem_fab]() {
-        mem_fab->keyedAccess(id_, op.var, op.value,
-                             [this, op, start, issue,
-                              is_write](Tick waited) {
+        mem_fab->keyedAccess(id_, key, threshold,
+                             [this, addr, stmt, ref, iter, start,
+                              issue, is_write](Tick waited) {
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
@@ -297,10 +319,8 @@ Processor::execKeyed(const Op &op)
                 // The data access happens inside the module
                 // service that just completed — after the key test
                 // passed — so the record anchors at completion.
-                trace->access(op.stmt, op.ref,
-                              op.iterTag ? op.iterTag
-                                         : current->iter,
-                              op.addr, is_write, end, end);
+                trace->access(stmt, ref, iter, addr, is_write, end,
+                              end);
             }
             step();
         });

@@ -1,237 +1,32 @@
 /**
  * @file
- * The op vocabulary interpreted by simulated processors.
+ * Simulator view of the backend-neutral synchronization IR.
  *
- * A Doacross iteration is compiled (core/codegen) into a Program: a
- * straight-line sequence of ops — compute delays, shared-memory
- * data accesses, and synchronization operations. Branches are
- * resolved at codegen time (deterministically seeded), so programs
- * need no control flow; the synchronization placement rules for
- * branches (Example 3) are reflected in which ops each resolved
- * path contains.
+ * The op vocabulary itself lives in ir/program.hh (shared with the
+ * native backend and transformed by the ir pass pipeline); this
+ * header re-exports it under the historical sim:: names so the
+ * simulator and its tests keep compiling unchanged, and adds the
+ * TraceSink consumer interface, which is genuinely simulator/
+ * executor-side (it observes execution, not programs).
  */
 
 #ifndef PSYNC_SIM_PROGRAM_HH
 #define PSYNC_SIM_PROGRAM_HH
 
 #include <cstdint>
-#include <string>
-#include <vector>
 
+#include "ir/program.hh"
 #include "sim/types.hh"
 
 namespace psync {
 namespace sim {
 
-/** Kinds of operations a processor can execute. */
-enum class OpKind : std::uint8_t
-{
-    /** Spend `cycles` of pure computation. */
-    compute,
-    /** Read a shared-memory word at `addr`. */
-    dataRead,
-    /** Write a shared-memory word at `addr`. */
-    dataWrite,
-    /** Spin until sync var `var` >= `value`. */
-    syncWaitGE,
-    /** Write `value` to sync var `var`. */
-    syncWrite,
-    /** Atomically increment sync var `var` (value ignored). */
-    syncFetchInc,
-    /**
-     * Improved-primitive mark_PC (Fig. 4.3): write `value` to
-     * `var` only if this process already owns the PC or ownership
-     * has been transferred; otherwise skip without waiting.
-     * The owner field of `value` is the process id.
-     */
-    pcMark,
-    /**
-     * Improved-primitive transfer_PC (Fig. 4.3): if the PC is not
-     * yet owned, spin until it is (value >= `aux`), then write
-     * `value` (= <pid+X, 0>) to hand it to the next owner.
-     */
-    pcTransfer,
-    /**
-     * Cedar-style combined keyed read: one request to the module
-     * holding key `var` and the datum at `addr`; the module tests
-     * key >= `value`, performs the access, and increments the key
-     * (section 3.1, [26]). Requires the memory sync fabric.
-     */
-    keyedRead,
-    /** Combined keyed write (same protocol as keyedRead). */
-    keyedWrite,
-    /**
-     * Counter-based barrier episode: atomically increment `var`;
-     * the arrival that brings the count to generation * P writes
-     * the generation number to release variable `aux`; everyone
-     * then spins until the release variable reaches the
-     * generation. The canonical hot-spot barrier Example 4
-     * compares the butterfly barrier against.
-     */
-    ctrBarrier,
-    /** Zero-time marker: statement instance `stmt` begins. */
-    stmtStart,
-    /** Zero-time marker: statement instance `stmt` ends. */
-    stmtEnd,
-};
-
-/** Printable op kind name (tests and debug dumps). */
-const char *opKindName(OpKind kind);
-
-/** One operation of an iteration program. */
-struct Op
-{
-    OpKind kind = OpKind::compute;
-    /** Compute duration, for OpKind::compute. */
-    Tick cycles = 0;
-    /** Target address, for data accesses. */
-    Addr addr = 0;
-    /** Target variable, for sync ops. */
-    SyncVarId var = 0;
-    /** Write value or wait threshold. */
-    SyncWord value = 0;
-    /** Secondary operand (pcTransfer ownership threshold). */
-    SyncWord aux = 0;
-    /** Statement id for markers and tagged accesses. */
-    std::uint32_t stmt = 0;
-    /** Reference index within the statement, for tagged accesses. */
-    std::uint16_t ref = 0;
-    /**
-     * Iteration tag override for trace records; 0 means "use the
-     * program's iter". Hand-built programs that execute many cells
-     * of a pseudo-loop in one program tag each cell's accesses
-     * with that cell's lpid.
-     */
-    std::uint64_t iterTag = 0;
-
-    static Op
-    mkCompute(Tick cycles)
-    {
-        Op op;
-        op.kind = OpKind::compute;
-        op.cycles = cycles;
-        return op;
-    }
-
-    static Op
-    mkData(bool is_write, Addr addr, std::uint32_t stmt,
-           std::uint16_t ref = 0)
-    {
-        Op op;
-        op.kind = is_write ? OpKind::dataWrite : OpKind::dataRead;
-        op.addr = addr;
-        op.stmt = stmt;
-        op.ref = ref;
-        return op;
-    }
-
-    static Op
-    mkKeyed(bool is_write, SyncVarId key, SyncWord threshold,
-            Addr addr, std::uint32_t stmt, std::uint16_t ref = 0)
-    {
-        Op op;
-        op.kind = is_write ? OpKind::keyedWrite : OpKind::keyedRead;
-        op.var = key;
-        op.value = threshold;
-        op.addr = addr;
-        op.stmt = stmt;
-        op.ref = ref;
-        return op;
-    }
-
-    static Op
-    mkCtrBarrier(SyncVarId counter, SyncVarId release,
-                 SyncWord generation, Tick num_procs)
-    {
-        Op op;
-        op.kind = OpKind::ctrBarrier;
-        op.var = counter;
-        op.aux = release;
-        op.value = generation;
-        op.cycles = num_procs;
-        return op;
-    }
-
-    static Op
-    mkWaitGE(SyncVarId var, SyncWord threshold)
-    {
-        Op op;
-        op.kind = OpKind::syncWaitGE;
-        op.var = var;
-        op.value = threshold;
-        return op;
-    }
-
-    static Op
-    mkWrite(SyncVarId var, SyncWord value)
-    {
-        Op op;
-        op.kind = OpKind::syncWrite;
-        op.var = var;
-        op.value = value;
-        return op;
-    }
-
-    static Op
-    mkFetchInc(SyncVarId var)
-    {
-        Op op;
-        op.kind = OpKind::syncFetchInc;
-        op.var = var;
-        return op;
-    }
-
-    static Op
-    mkPcMark(SyncVarId var, SyncWord value)
-    {
-        Op op;
-        op.kind = OpKind::pcMark;
-        op.var = var;
-        op.value = value;
-        return op;
-    }
-
-    static Op
-    mkPcTransfer(SyncVarId var, SyncWord next_value,
-                 SyncWord own_threshold)
-    {
-        Op op;
-        op.kind = OpKind::pcTransfer;
-        op.var = var;
-        op.value = next_value;
-        op.aux = own_threshold;
-        return op;
-    }
-
-    static Op
-    mkStmtStart(std::uint32_t stmt)
-    {
-        Op op;
-        op.kind = OpKind::stmtStart;
-        op.stmt = stmt;
-        return op;
-    }
-
-    static Op
-    mkStmtEnd(std::uint32_t stmt)
-    {
-        Op op;
-        op.kind = OpKind::stmtEnd;
-        op.stmt = stmt;
-        return op;
-    }
-};
-
-/** One schedulable unit of work (a Doacross iteration / process). */
-struct Program
-{
-    /** Linearized process id (1-based, as in the paper). */
-    std::uint64_t iter = 0;
-    std::vector<Op> ops;
-};
-
-/** Render a program as one op per line (tests, debugging). */
-std::string disassemble(const Program &program);
+using OpKind = ir::OpKind;
+using Op = ir::Op;
+using Program = ir::Program;
+using ProgramBuilder = ir::ProgramBuilder;
+using ir::disassemble;
+using ir::opKindName;
 
 /** Event-trace consumer; see core/trace_check for the verifier. */
 class TraceSink

@@ -20,6 +20,7 @@
 #ifndef PSYNC_SIM_TRACING_HH
 #define PSYNC_SIM_TRACING_HH
 
+#include <cstdint>
 #include <string>
 
 #include "sim/types.hh"
@@ -100,6 +101,22 @@ class Tracer
      */
     virtual void waitEdge(SyncVarId var, ProcId who, Tick start,
                           Tick end) = 0;
+
+    /**
+     * Like waitEdge, but emitted by the processor for program ops
+     * and stamped with the op's stable IR id (assigned by
+     * ir::ProgramBuilder at lowering time; 0 for hand-built
+     * programs). Lets blame reports attribute spin to the emitting
+     * wait *site* across iterations, surviving IR passes that
+     * delete or merge neighboring ops. Default is a no-op so
+     * existing tracers need no change.
+     */
+    virtual void
+    waitEdgeOp(SyncVarId var, ProcId who, std::uint32_t op_id,
+               Tick start, Tick end)
+    {
+        (void)var; (void)who; (void)op_id; (void)start; (void)end;
+    }
 
     /**
      * Attach a human-readable label to a synchronization variable

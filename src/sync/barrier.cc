@@ -16,8 +16,8 @@ CounterBarrier::CounterBarrier(sim::SyncFabric &fabric,
 void
 CounterBarrier::emit(sim::Program &prog, unsigned generation) const
 {
-    prog.ops.push_back(sim::Op::mkCtrBarrier(counter_, release_,
-                                             generation, numProcs_));
+    ir::ProgramBuilder b(prog);
+    b.ctrBarrier(counter_, release_, generation, numProcs_);
 }
 
 DisseminationBarrier::DisseminationBarrier(sim::SyncFabric &fabric,
@@ -38,6 +38,7 @@ void
 DisseminationBarrier::emit(sim::Program &prog, sim::ProcId pid,
                            unsigned episode) const
 {
+    ir::ProgramBuilder b(prog);
     for (unsigned k = 1; k <= rounds_; ++k) {
         sim::SyncWord step =
             static_cast<sim::SyncWord>(episode - 1) * rounds_ + k;
@@ -46,9 +47,8 @@ DisseminationBarrier::emit(sim::Program &prog, sim::ProcId pid,
         // behind me (mod P) to have signalled this round.
         sim::ProcId behind =
             (pid + numProcs_ - (dist % numProcs_)) % numProcs_;
-        prog.ops.push_back(sim::Op::mkWrite(pcVarOf(pid), step));
-        prog.ops.push_back(
-            sim::Op::mkWaitGE(pcVarOf(behind), step));
+        b.write(pcVarOf(pid), step);
+        b.waitGE(pcVarOf(behind), step);
     }
 }
 
@@ -69,14 +69,15 @@ void
 ButterflyBarrier::emit(sim::Program &prog, sim::ProcId pid,
                        unsigned episode) const
 {
+    ir::ProgramBuilder b(prog);
     for (unsigned i = 1; i <= stages_; ++i) {
         sim::SyncWord step =
             static_cast<sim::SyncWord>(episode - 1) * stages_ + i;
         // set_PC(step) on my own counter, then wait for my partner
         // in this stage: while (PC[pid xor 2^(i-1)].step < step).
-        prog.ops.push_back(sim::Op::mkWrite(pcVarOf(pid), step));
+        b.write(pcVarOf(pid), step);
         sim::ProcId partner = pid ^ (1u << (i - 1));
-        prog.ops.push_back(sim::Op::mkWaitGE(pcVarOf(partner), step));
+        b.waitGE(pcVarOf(partner), step);
     }
 }
 

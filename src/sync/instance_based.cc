@@ -152,12 +152,13 @@ InstanceBasedScheme::emit(std::uint64_t lpid) const
     const dep::Loop &loop = graph_->loop();
     sim::Program prog;
     prog.iter = lpid;
+    ir::ProgramBuilder b(prog);
     long i = 0, j = 0;
     loop.indicesOf(lpid, i, j);
 
     for (unsigned s = 0; s < loop.body.size(); ++s) {
         const dep::Statement &stmt = loop.body[s];
-        prog.ops.push_back(sim::Op::mkStmtStart(s));
+        b.stmtStart(s);
 
         // Reads: wait full on the renamed copy, or read the
         // original element when no in-bounds producer exists
@@ -172,20 +173,18 @@ InstanceBasedScheme::emit(std::uint64_t lpid) const
                 static_cast<std::uint64_t>(rs.distance) < lpid;
             if (has_producer) {
                 std::uint64_t w = lpid - rs.distance;
-                prog.ops.push_back(sim::Op::mkWaitGE(
-                    keyVarOf(w, rs.slot, rs.readerIndex), 1));
-                prog.ops.push_back(sim::Op::mkData(
-                    false, copyAddrOf(w, rs.slot, rs.readerIndex),
-                    s, static_cast<std::uint16_t>(r)));
+                b.waitGE(keyVarOf(w, rs.slot, rs.readerIndex), 1);
+                b.data(false,
+                       copyAddrOf(w, rs.slot, rs.readerIndex), s,
+                       static_cast<std::uint16_t>(r));
             } else {
-                prog.ops.push_back(sim::Op::mkData(
-                    false, layout_->addrOf(ref, i, j), s,
-                    static_cast<std::uint16_t>(r)));
+                b.data(false, layout_->addrOf(ref, i, j), s,
+                       static_cast<std::uint16_t>(r));
             }
         }
 
         if (stmt.cost > 0)
-            prog.ops.push_back(sim::Op::mkCompute(stmt.cost));
+            b.compute(stmt.cost);
 
         // Writes: store every copy of the renamed instance; no
         // waiting — anti and output dependences are gone.
@@ -194,12 +193,11 @@ InstanceBasedScheme::emit(std::uint64_t lpid) const
                 continue;
             unsigned slot = static_cast<unsigned>(slotOf_[s][r]);
             for (unsigned c = 0; c < writeSlots_[slot].copies; ++c) {
-                prog.ops.push_back(sim::Op::mkData(
-                    true, copyAddrOf(lpid, slot, c), s,
-                    static_cast<std::uint16_t>(r)));
+                b.data(true, copyAddrOf(lpid, slot, c), s,
+                       static_cast<std::uint16_t>(r));
             }
         }
-        prog.ops.push_back(sim::Op::mkStmtEnd(s));
+        b.stmtEnd(s);
 
         // Signals: set every reader's key to full.
         for (unsigned r = 0; r < stmt.refs.size(); ++r) {
@@ -207,8 +205,7 @@ InstanceBasedScheme::emit(std::uint64_t lpid) const
                 continue;
             unsigned slot = static_cast<unsigned>(slotOf_[s][r]);
             for (unsigned k = 0; k < writeSlots_[slot].keys; ++k) {
-                prog.ops.push_back(sim::Op::mkWrite(
-                    keyVarOf(lpid, slot, k), 1));
+                b.write(keyVarOf(lpid, slot, k), 1);
             }
         }
     }

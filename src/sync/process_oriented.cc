@@ -67,6 +67,7 @@ ProcessOrientedScheme::emit(std::uint64_t lpid) const
     const dep::Loop &loop = graph_->loop();
     sim::Program prog;
     prog.iter = lpid;
+    ir::ProgramBuilder b(prog);
     long i = 0, j = 0;
     loop.indicesOf(lpid, i, j);
     const long m = loop.innerTrip();
@@ -84,13 +85,12 @@ ProcessOrientedScheme::emit(std::uint64_t lpid) const
         sim::Tick check = static_cast<sim::Tick>(total_refs) *
                           loop.depth * cfg_.boundaryCheckCost;
         if (check > 0)
-            prog.ops.push_back(sim::Op::mkCompute(check));
+            b.compute(check);
     }
 
     auto emit_get = [&]() {
         if (!improved_ && !acquired) {
-            prog.ops.push_back(sim::Op::mkWaitGE(
-                my_pc, sim::PcWord::pack(pid, 0)));
+            b.waitGE(my_pc, sim::PcWord::pack(pid, 0));
             acquired = true;
         }
     };
@@ -109,13 +109,12 @@ ProcessOrientedScheme::emit(std::uint64_t lpid) const
                     continue; // a linearization-only arc
                 }
                 std::uint64_t src_lpid = lpid - dist;
-                prog.ops.push_back(sim::Op::mkWaitGE(
-                    pcVarOf(src_lpid),
-                    sim::PcWord::pack(
-                        static_cast<std::uint32_t>(src_lpid),
-                        stepOf_[d.src])));
+                b.waitGE(pcVarOf(src_lpid),
+                         sim::PcWord::pack(
+                             static_cast<std::uint32_t>(src_lpid),
+                             stepOf_[d.src]));
             }
-            emitStatementBody(loop, s, i, j, *layout_, prog);
+            emitStatementBody(loop, s, i, j, *layout_, b);
         }
 
         if (stepOf_[s] == 0)
@@ -127,11 +126,11 @@ ProcessOrientedScheme::emit(std::uint64_t lpid) const
             sim::SyncWord next =
                 sim::PcWord::pack(pid + numPcs_, 0);
             if (improved_) {
-                prog.ops.push_back(sim::Op::mkPcTransfer(
-                    my_pc, next, sim::PcWord::pack(pid, 0)));
+                b.pcTransfer(my_pc, next,
+                             sim::PcWord::pack(pid, 0));
             } else {
                 emit_get();
-                prog.ops.push_back(sim::Op::mkWrite(my_pc, next));
+                b.write(my_pc, next);
             }
         } else if (active || cfg_.earlyBranchSignals) {
             // set_PC / mark_PC after a completed source. When the
@@ -141,10 +140,10 @@ ProcessOrientedScheme::emit(std::uint64_t lpid) const
             // at the cost of delayed sinks.
             sim::SyncWord val = sim::PcWord::pack(pid, stepOf_[s]);
             if (improved_) {
-                prog.ops.push_back(sim::Op::mkPcMark(my_pc, val));
+                b.pcMark(my_pc, val);
             } else {
                 emit_get();
-                prog.ops.push_back(sim::Op::mkWrite(my_pc, val));
+                b.write(my_pc, val);
             }
         }
     }

@@ -122,18 +122,19 @@ ReferenceBasedScheme::emit(std::uint64_t lpid) const
     const dep::Loop &loop = graph_->loop();
     sim::Program prog;
     prog.iter = lpid;
+    ir::ProgramBuilder b(prog);
     long i = 0, j = 0;
     loop.indicesOf(lpid, i, j);
 
     if (boundaryCost_ > 0)
-        prog.ops.push_back(sim::Op::mkCompute(boundaryCost_));
+        b.compute(boundaryCost_);
 
     for (unsigned s = 0; s < loop.body.size(); ++s) {
         const dep::Statement &stmt = loop.body[s];
         if (!dep::stmtActive(loop, stmt, lpid))
             continue;
 
-        prog.ops.push_back(sim::Op::mkStmtStart(s));
+        b.stmtStart(s);
         // One synchronized access per reference. Combined (Cedar)
         // mode sends a single keyed request; split mode issues the
         // Fig. 3.1a triple: wait key >= N, access, ++key.
@@ -143,15 +144,13 @@ ReferenceBasedScheme::emit(std::uint64_t lpid) const
             sim::SyncWord order = orderOf(lpid, s, r);
             sim::Addr addr = layout_->addrOf(ref, i, j);
             if (cfg_.cedarCombining) {
-                prog.ops.push_back(sim::Op::mkKeyed(
-                    is_write, key, order, addr, s,
-                    static_cast<std::uint16_t>(r)));
+                b.keyed(is_write, key, order, addr, s,
+                        static_cast<std::uint16_t>(r));
             } else {
-                prog.ops.push_back(sim::Op::mkWaitGE(key, order));
-                prog.ops.push_back(sim::Op::mkData(
-                    is_write, addr, s,
-                    static_cast<std::uint16_t>(r)));
-                prog.ops.push_back(sim::Op::mkFetchInc(key));
+                b.waitGE(key, order);
+                b.data(is_write, addr, s,
+                       static_cast<std::uint16_t>(r));
+                b.fetchInc(key);
             }
         };
         for (unsigned r = 0; r < stmt.refs.size(); ++r) {
@@ -159,12 +158,12 @@ ReferenceBasedScheme::emit(std::uint64_t lpid) const
                 emit_access(r, false);
         }
         if (stmt.cost > 0)
-            prog.ops.push_back(sim::Op::mkCompute(stmt.cost));
+            b.compute(stmt.cost);
         for (unsigned r = 0; r < stmt.refs.size(); ++r) {
             if (stmt.refs[r].isWrite)
                 emit_access(r, true);
         }
-        prog.ops.push_back(sim::Op::mkStmtEnd(s));
+        b.stmtEnd(s);
     }
     return prog;
 }

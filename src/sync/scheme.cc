@@ -48,12 +48,13 @@ class NoneScheme : public Scheme
         const dep::Loop &loop = graph_->loop();
         sim::Program prog;
         prog.iter = lpid;
+        ir::ProgramBuilder b(prog);
         long i = 0, j = 0;
         loop.indicesOf(lpid, i, j);
         for (unsigned s = 0; s < loop.body.size(); ++s) {
             if (!dep::stmtActive(loop, loop.body[s], lpid))
                 continue;
-            emitStatementBody(loop, s, i, j, *layout_, prog);
+            emitStatementBody(loop, s, i, j, *layout_, b);
         }
         return prog;
     }
@@ -96,29 +97,27 @@ allSyncSchemes()
 void
 emitStatementBody(const dep::Loop &loop, unsigned stmt_idx, long i,
                   long j, const dep::DataLayout &layout,
-                  sim::Program &out)
+                  ir::ProgramBuilder &out)
 {
     const dep::Statement &stmt = loop.body[stmt_idx];
-    out.ops.push_back(sim::Op::mkStmtStart(stmt_idx));
+    out.stmtStart(stmt_idx);
     for (unsigned r = 0; r < stmt.refs.size(); ++r) {
         const dep::ArrayRef &ref = stmt.refs[r];
         if (!ref.isWrite) {
-            out.ops.push_back(sim::Op::mkData(
-                false, layout.addrOf(ref, i, j), stmt_idx,
-                static_cast<std::uint16_t>(r)));
+            out.data(false, layout.addrOf(ref, i, j), stmt_idx,
+                     static_cast<std::uint16_t>(r));
         }
     }
     if (stmt.cost > 0)
-        out.ops.push_back(sim::Op::mkCompute(stmt.cost));
+        out.compute(stmt.cost);
     for (unsigned r = 0; r < stmt.refs.size(); ++r) {
         const dep::ArrayRef &ref = stmt.refs[r];
         if (ref.isWrite) {
-            out.ops.push_back(sim::Op::mkData(
-                true, layout.addrOf(ref, i, j), stmt_idx,
-                static_cast<std::uint16_t>(r)));
+            out.data(true, layout.addrOf(ref, i, j), stmt_idx,
+                     static_cast<std::uint16_t>(r));
         }
     }
-    out.ops.push_back(sim::Op::mkStmtEnd(stmt_idx));
+    out.stmtEnd(stmt_idx);
 }
 
 } // namespace sync

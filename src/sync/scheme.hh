@@ -166,11 +166,12 @@ std::vector<SchemeKind> allSyncSchemes();
 /**
  * Shared emission helper: append the body of statement `stmt_idx`
  * of `loop` at iteration (i, j) — reads, compute, writes — wrapped
- * in stmtStart/stmtEnd markers. Used by every scheme.
+ * in stmtStart/stmtEnd markers. Used by every scheme. Emits through
+ * the IR builder so every op carries a stable id.
  */
 void emitStatementBody(const dep::Loop &loop, unsigned stmt_idx,
                        long i, long j, const dep::DataLayout &layout,
-                       sim::Program &out);
+                       ir::ProgramBuilder &out);
 
 } // namespace sync
 } // namespace psync

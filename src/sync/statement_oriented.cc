@@ -62,6 +62,7 @@ StatementOrientedScheme::emit(std::uint64_t lpid) const
     const dep::Loop &loop = graph_->loop();
     sim::Program prog;
     prog.iter = lpid;
+    ir::ProgramBuilder b(prog);
     long i = 0, j = 0;
     loop.indicesOf(lpid, i, j);
     const long m = loop.innerTrip();
@@ -73,7 +74,7 @@ StatementOrientedScheme::emit(std::uint64_t lpid) const
         sim::Tick check = static_cast<sim::Tick>(total_refs) *
                           loop.depth * cfg_.boundaryCheckCost;
         if (check > 0)
-            prog.ops.push_back(sim::Op::mkCompute(check));
+            b.compute(check);
     }
 
     auto advance = [&](unsigned s) {
@@ -81,8 +82,8 @@ StatementOrientedScheme::emit(std::uint64_t lpid) const
         // wait uses >= — the counter never overshoots because this
         // process is the only one allowed to write lpid.
         sim::SyncVarId sc = scVarOf(s);
-        prog.ops.push_back(sim::Op::mkWaitGE(sc, lpid - 1));
-        prog.ops.push_back(sim::Op::mkWrite(sc, lpid));
+        b.waitGE(sc, lpid - 1);
+        b.write(sc, lpid);
     };
 
     for (unsigned s = 0; s < loop.body.size(); ++s) {
@@ -98,10 +99,9 @@ StatementOrientedScheme::emit(std::uint64_t lpid) const
                     continue; // a linearization-only arc
                 }
                 // Await(d, N): wait SC[N] >= lpid - d.
-                prog.ops.push_back(sim::Op::mkWaitGE(
-                    scVarOf(d.src), lpid - dist));
+                b.waitGE(scVarOf(d.src), lpid - dist);
             }
-            emitStatementBody(loop, s, i, j, *layout_, prog);
+            emitStatementBody(loop, s, i, j, *layout_, b);
         }
 
         if (scIndexOf_[s] < 0)

@@ -1,21 +1,9 @@
 #include "workloads/branches.hh"
 
+#include "workloads/common.hh"
+
 namespace psync {
 namespace workloads {
-
-namespace {
-
-dep::ArrayRef
-ref1(const char *array, long offset, bool is_write)
-{
-    dep::ArrayRef ref;
-    ref.array = array;
-    ref.subs = {dep::Subscript{1, 0, offset}};
-    ref.isWrite = is_write;
-    return ref;
-}
-
-} // namespace
 
 dep::Loop
 makeBranchLoop(long n, double taken_prob, sim::Tick stmt_cost,
@@ -38,32 +26,32 @@ makeBranchLoop(long n, double taken_prob, sim::Tick stmt_cost,
     dep::Statement s1; // sink of the taken-arm source, d = 2
     s1.label = "S1";
     s1.cost = stmt_cost;
-    s1.refs = {ref1("B", -2, false)};
+    s1.refs = {ref1d("B", -2, false)};
     loop.body.push_back(s1);
 
     dep::Statement s2; // sink of the untaken-arm source, d = 3
     s2.label = "S2";
     s2.cost = stmt_cost;
-    s2.refs = {ref1("C", -3, false)};
+    s2.refs = {ref1d("C", -3, false)};
     loop.body.push_back(s2);
 
     dep::Statement s3; // unconditional source+sink: A[I] = A[I-1]
     s3.label = "S3";
     s3.cost = stmt_cost;
-    s3.refs = {ref1("A", -1, false), ref1("A", 0, true)};
+    s3.refs = {ref1d("A", -1, false), ref1d("A", 0, true)};
     loop.body.push_back(s3);
 
     dep::Statement s4; // taken arm: B[I] = ...
     s4.label = "S4";
     s4.cost = arm_cost;
-    s4.refs = {ref1("B", 0, true)};
+    s4.refs = {ref1d("B", 0, true)};
     s4.guard = dep::Guard{0, true};
     loop.body.push_back(s4);
 
     dep::Statement s5; // else arm: C[I] = ...
     s5.label = "S5";
     s5.cost = arm_cost;
-    s5.refs = {ref1("C", 0, true)};
+    s5.refs = {ref1d("C", 0, true)};
     s5.guard = dep::Guard{0, false};
     loop.body.push_back(s5);
 
@@ -76,7 +64,7 @@ makeBranchLoop(long n, double taken_prob, sim::Tick stmt_cost,
     dep::Statement s7; // last source: E[I] = E[I-1] ...
     s7.label = "S7";
     s7.cost = stmt_cost;
-    s7.refs = {ref1("E", -1, false), ref1("E", 0, true)};
+    s7.refs = {ref1d("E", -1, false), ref1d("E", 0, true)};
     loop.body.push_back(s7);
 
     return loop;

@@ -1,6 +1,6 @@
 #include "workloads/butterfly.hh"
 
-#include "sim/rng.hh"
+#include "workloads/common.hh"
 
 namespace psync {
 namespace workloads {
@@ -10,10 +10,8 @@ namespace {
 sim::Tick
 episodeWork(const BarrierSpec &spec, unsigned pid, unsigned episode)
 {
-    if (spec.workJitter == 0)
-        return spec.workCost;
-    sim::Rng rng(spec.seed + pid * 7919u + episode * 104729u);
-    return spec.workCost + (rng.chance(0.5) ? spec.workJitter : 0);
+    return jitteredCost(spec.workCost, spec.workJitter, spec.seed,
+                        pid, episode);
 }
 
 template <typename EmitBarrier>

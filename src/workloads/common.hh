@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared builder helpers for the workload generators.
+ *
+ * Every workload used to hand-roll its own dep::ArrayRef
+ * construction (`ref1` in branches, `refA` in fig21, `ref2` in
+ * nested, verbose inline aggregates in relaxation/synthetic) and the
+ * bulk-synchronous ones duplicated the per-(pid, step) jittered-cost
+ * idiom. These helpers are the single home for both, so the affine
+ * subscript convention (Subscript{iCoef, jCoef, offset}) is written
+ * in one place.
+ */
+
+#ifndef PSYNC_WORKLOADS_COMMON_HH
+#define PSYNC_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+
+#include "dep/dependence.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace psync {
+namespace workloads {
+
+/** 1-D reference `array[I + offset]` (subscript coefficient 1). */
+inline dep::ArrayRef
+ref1d(const char *array, long offset, bool is_write)
+{
+    dep::ArrayRef ref;
+    ref.array = array;
+    ref.subs = {dep::Subscript{1, 0, offset}};
+    ref.isWrite = is_write;
+    return ref;
+}
+
+/**
+ * 2-D reference `array[ci*I + oi, cj*J + oj]` — first subscript
+ * runs over the outer index, second over the inner.
+ */
+inline dep::ArrayRef
+ref2d(const char *array, int ci, long oi, int cj, long oj,
+      bool is_write)
+{
+    dep::ArrayRef ref;
+    ref.array = array;
+    ref.subs = {dep::Subscript{ci, 0, oi}, dep::Subscript{0, cj, oj}};
+    ref.isWrite = is_write;
+    return ref;
+}
+
+/**
+ * Deterministic per-(pid, step) work cost: `base`, or
+ * `base + jitter` with probability 1/2. Seeding is a pure function
+ * of (seed, pid, step) so a run is reproducible regardless of the
+ * order programs are built or executed in.
+ */
+inline sim::Tick
+jitteredCost(sim::Tick base, sim::Tick jitter, std::uint64_t seed,
+             unsigned pid, unsigned step)
+{
+    if (jitter == 0)
+        return base;
+    sim::Rng rng(seed + pid * 7919u + step * 104729u);
+    return base + (rng.chance(0.5) ? jitter : 0);
+}
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_COMMON_HH

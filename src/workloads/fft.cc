@@ -1,7 +1,7 @@
 #include "workloads/fft.hh"
 
 #include "sim/logging.hh"
-#include "sim/rng.hh"
+#include "workloads/common.hh"
 
 namespace psync {
 namespace workloads {
@@ -25,10 +25,8 @@ constexpr sim::Addr chunkRegion = sim::Addr(1) << 34;
 sim::Tick
 stageWork(const FftSpec &spec, unsigned pid, unsigned step)
 {
-    if (spec.stageJitter == 0)
-        return spec.stageCost;
-    sim::Rng rng(spec.seed + pid * 7919u + step * 104729u);
-    return spec.stageCost + (rng.chance(0.5) ? spec.stageJitter : 0);
+    return jitteredCost(spec.stageCost, spec.stageJitter, spec.seed,
+                        pid, step);
 }
 
 /** Outbox address of (pid, global step, word). */

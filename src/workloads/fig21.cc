@@ -1,5 +1,7 @@
 #include "workloads/fig21.hh"
 
+#include "workloads/common.hh"
+
 namespace psync {
 namespace workloads {
 
@@ -8,11 +10,7 @@ namespace {
 dep::ArrayRef
 refA(long offset, bool is_write)
 {
-    dep::ArrayRef ref;
-    ref.array = "A";
-    ref.subs.push_back(dep::Subscript{1, 0, offset});
-    ref.isWrite = is_write;
-    return ref;
+    return ref1d("A", offset, is_write);
 }
 
 } // namespace

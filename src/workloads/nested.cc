@@ -1,22 +1,9 @@
 #include "workloads/nested.hh"
 
+#include "workloads/common.hh"
+
 namespace psync {
 namespace workloads {
-
-namespace {
-
-dep::ArrayRef
-ref2(const char *array, int ci, long oi, int cj, long oj,
-     bool is_write)
-{
-    dep::ArrayRef ref;
-    ref.array = array;
-    ref.subs = {dep::Subscript{ci, 0, oi}, dep::Subscript{0, cj, oj}};
-    ref.isWrite = is_write;
-    return ref;
-}
-
-} // namespace
 
 dep::Loop
 makeNestedLoop(long n, long m, sim::Tick stmt_cost)
@@ -30,21 +17,21 @@ makeNestedLoop(long n, long m, sim::Tick stmt_cost)
     dep::Statement s1;
     s1.label = "S1";
     s1.cost = stmt_cost;
-    s1.refs = {ref2("A", 1, 0, 1, 0, true)};
+    s1.refs = {ref2d("A", 1, 0, 1, 0, true)};
     loop.body.push_back(s1);
 
     dep::Statement s2;
     s2.label = "S2";
     s2.cost = stmt_cost;
-    s2.refs = {ref2("A", 1, 0, 1, -1, false),
-               ref2("B", 1, 0, 1, 0, true)};
+    s2.refs = {ref2d("A", 1, 0, 1, -1, false),
+               ref2d("B", 1, 0, 1, 0, true)};
     loop.body.push_back(s2);
 
     dep::Statement s3;
     s3.label = "S3";
     s3.cost = stmt_cost;
-    s3.refs = {ref2("B", 1, -1, 1, -1, false),
-               ref2("C", 1, 0, 1, 0, true)};
+    s3.refs = {ref2d("B", 1, -1, 1, -1, false),
+               ref2d("C", 1, 0, 1, 0, true)};
     loop.body.push_back(s3);
 
     return loop;

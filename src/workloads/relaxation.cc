@@ -4,6 +4,7 @@
 
 #include "dep/transform.hh"
 #include "sim/logging.hh"
+#include "workloads/common.hh"
 
 namespace psync {
 namespace workloads {
@@ -20,19 +21,9 @@ makeRelaxationLoop(long n, sim::Tick stmt_cost)
     dep::Statement s1;
     s1.label = "S1";
     s1.cost = stmt_cost;
-    dep::ArrayRef up;   // A[I-1, J]
-    up.array = "A";
-    up.subs = {dep::Subscript{1, 0, -1}, dep::Subscript{0, 1, 0}};
-    up.isWrite = false;
-    dep::ArrayRef left; // A[I, J-1]
-    left.array = "A";
-    left.subs = {dep::Subscript{1, 0, 0}, dep::Subscript{0, 1, -1}};
-    left.isWrite = false;
-    dep::ArrayRef self; // A[I, J]
-    self.array = "A";
-    self.subs = {dep::Subscript{1, 0, 0}, dep::Subscript{0, 1, 0}};
-    self.isWrite = true;
-    s1.refs = {up, left, self};
+    s1.refs = {ref2d("A", 1, -1, 1, 0, false),  // A[I-1, J]
+               ref2d("A", 1, 0, 1, -1, false),  // A[I, J-1]
+               ref2d("A", 1, 0, 1, 0, true)};   // A[I, J]
     loop.body.push_back(s1);
     return loop;
 }

@@ -1,6 +1,7 @@
 #include "workloads/synthetic.hh"
 
 #include "sim/rng.hh"
+#include "workloads/common.hh"
 
 namespace psync {
 namespace workloads {
@@ -27,14 +28,13 @@ makeSyntheticLoop(const SyntheticSpec &spec)
 
         unsigned num_refs = 1 + static_cast<unsigned>(rng.below(3));
         for (unsigned r = 0; r < num_refs; ++r) {
-            dep::ArrayRef ref;
-            ref.array = "X" + std::to_string(
-                rng.below(spec.numArrays));
+            std::string array =
+                "X" + std::to_string(rng.below(spec.numArrays));
             long offset =
                 static_cast<long>(rng.below(2 * spec.maxOffset + 1)) -
                 spec.maxOffset;
-            ref.subs = {dep::Subscript{1, 0, offset}};
-            ref.isWrite = rng.chance(spec.writeProb);
+            dep::ArrayRef ref = ref1d(array.c_str(), offset,
+                                      rng.chance(spec.writeProb));
             any_write = any_write || ref.isWrite;
             stmt.refs.push_back(ref);
         }

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * IR pass pipeline unit tests: redundant-wait elimination soundness
+ * rules, peephole merging, the structural verifier (including the
+ * negative case: a wait with no dominating signal source is
+ * rejected at plan time), and runPasses bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/passes.hh"
+#include "ir/program.hh"
+
+using namespace psync;
+
+namespace {
+
+/** Plan-time init values: every variable starts at zero. */
+ir::SyncWord
+zeroInit(ir::SyncVarId)
+{
+    return 0;
+}
+
+ir::Program
+makeProgram(std::uint64_t iter = 1)
+{
+    ir::Program prog;
+    prog.iter = iter;
+    return prog;
+}
+
+unsigned
+countKind(const ir::Program &prog, ir::OpKind kind)
+{
+    unsigned n = 0;
+    for (const auto &op : prog.ops)
+        n += op.kind == kind ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+TEST(EliminationTest, DropsWaitDominatedByEarlierWrite)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.write(3, 5);
+    b.waitGE(3, 5);  // dominated: the write established v3 >= 5
+    b.waitGE(3, 3);  // dominated: 5 >= 3
+    b.waitGE(3, 7);  // NOT dominated: 7 > 5
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(prog), 2u);
+    ASSERT_EQ(prog.ops.size(), 2u);
+    EXPECT_EQ(prog.ops[1].kind, ir::OpKind::syncWaitGE);
+    EXPECT_EQ(prog.ops[1].value, 7u);
+}
+
+TEST(EliminationTest, EarlierWaitEstablishesItsThreshold)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.waitGE(1, 5);
+    b.waitGE(1, 4);  // once v1 >= 5 held, v1 >= 4 holds (monotone)
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(prog), 1u);
+    ASSERT_EQ(prog.ops.size(), 1u);
+    EXPECT_EQ(prog.ops[0].value, 5u);
+}
+
+TEST(EliminationTest, FetchIncBumpsAnEstablishedBound)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.write(2, 1);
+    b.fetchInc(2);
+    b.waitGE(2, 2);  // write made v2 >= 1, the inc made it >= 2
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(prog), 1u);
+    EXPECT_EQ(countKind(prog, ir::OpKind::syncWaitGE), 0u);
+}
+
+TEST(EliminationTest, FetchIncWithoutBoundEstablishesNothing)
+{
+    // An increment on a variable with no program-local bound says
+    // nothing about its absolute value (another processor may not
+    // have signaled yet), so a following wait must stay.
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.fetchInc(2);
+    b.waitGE(2, 1);
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(prog), 0u);
+    EXPECT_EQ(countKind(prog, ir::OpKind::syncWaitGE), 1u);
+}
+
+TEST(EliminationTest, PcMarkNeverEstablishesABound)
+{
+    // mark_PC is conditional: it is skipped when the PC is not yet
+    // owned (Fig. 4.3), so it must not license wait deletion.
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.pcMark(4, 9);
+    b.waitGE(4, 9);
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(prog), 0u);
+    EXPECT_EQ(countKind(prog, ir::OpKind::syncWaitGE), 1u);
+}
+
+TEST(EliminationTest, PcTransferEstablishesWrittenAndAuxBound)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.pcTransfer(5, 10, 7);  // waits v5 >= 7, then writes 10
+    b.waitGE(5, 10);
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(prog), 1u);
+}
+
+TEST(EliminationTest, BoundsAreProgramLocal)
+{
+    // Establishing a bound in one program must not delete waits in
+    // another: domination only holds within a single instruction
+    // stream.
+    ir::Program first = makeProgram(1);
+    ir::ProgramBuilder b1(first);
+    b1.write(6, 3);
+    ir::Program second = makeProgram(2);
+    ir::ProgramBuilder b2(second);
+    b2.waitGE(6, 3);
+
+    EXPECT_EQ(ir::eliminateRedundantWaits(first), 0u);
+    EXPECT_EQ(ir::eliminateRedundantWaits(second), 0u);
+    EXPECT_EQ(countKind(second, ir::OpKind::syncWaitGE), 1u);
+}
+
+TEST(PeepholeTest, MergesAdjacentComputes)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.compute(3);
+    b.compute(4);
+    b.compute(5);
+
+    EXPECT_EQ(ir::peephole(prog), 2u);
+    ASSERT_EQ(prog.ops.size(), 1u);
+    EXPECT_EQ(prog.ops[0].cycles, 12u);
+}
+
+TEST(PeepholeTest, DoesNotMergeComputesAcrossIterTags)
+{
+    // iterTag drives statement-instance attribution in traces;
+    // merging across tags would mis-blame cycles.
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.compute(3).iterTag = 1;
+    b.compute(4).iterTag = 2;
+
+    EXPECT_EQ(ir::peephole(prog), 0u);
+    EXPECT_EQ(prog.ops.size(), 2u);
+}
+
+TEST(PeepholeTest, MergesMonotoneAdjacentWritesToOneVar)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.write(7, 1);
+    b.write(7, 2);  // supersedes: same var, later value >= earlier
+
+    EXPECT_EQ(ir::peephole(prog), 1u);
+    ASSERT_EQ(prog.ops.size(), 1u);
+    EXPECT_EQ(prog.ops[0].value, 2u);
+}
+
+TEST(PeepholeTest, KeepsWritesToDifferentVarsAndNonMonotone)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.write(7, 2);
+    b.write(8, 1);  // different variable
+    ir::Program other = makeProgram();
+    ir::ProgramBuilder b2(other);
+    b2.write(7, 2);
+    b2.write(7, 1);  // dropping either would change final state
+
+    EXPECT_EQ(ir::peephole(prog), 0u);
+    EXPECT_EQ(ir::peephole(other), 0u);
+}
+
+TEST(VerifierTest, AcceptsCrossProgramSignalAndWait)
+{
+    ir::Program producer = makeProgram(1);
+    ir::ProgramBuilder b1(producer);
+    b1.write(1, 1);
+    ir::Program consumer = makeProgram(2);
+    ir::ProgramBuilder b2(consumer);
+    b2.waitGE(1, 1);
+
+    auto errors = ir::verifyPrograms({producer, consumer}, zeroInit);
+    EXPECT_TRUE(errors.empty());
+}
+
+/**
+ * The negative case the pipeline exists to catch (mirroring
+ * trace_check_negative_test's role for the runtime checker): a
+ * wait whose threshold no combination of initial values, writes
+ * and increments anywhere in the plan can reach must be rejected.
+ */
+TEST(VerifierTest, RejectsWaitWithNoDominatingSignal)
+{
+    ir::Program producer = makeProgram(1);
+    ir::ProgramBuilder b1(producer);
+    b1.write(1, 1);
+    ir::Program consumer = makeProgram(2);
+    ir::ProgramBuilder b2(consumer);
+    b2.waitGE(1, 2);  // nobody ever raises v1 past 1: deadlock
+
+    auto errors = ir::verifyPrograms({producer, consumer}, zeroInit);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("iter 2"), std::string::npos)
+        << errors[0];
+    EXPECT_NE(errors[0].find("waits var 1"), std::string::npos)
+        << errors[0];
+}
+
+TEST(VerifierTest, CountsIncrementsTowardReachability)
+{
+    ir::Program a = makeProgram(1);
+    ir::ProgramBuilder b1(a);
+    b1.fetchInc(3);
+    ir::Program b = makeProgram(2);
+    ir::ProgramBuilder b2(b);
+    b2.fetchInc(3);
+    b2.waitGE(3, 2);  // two increments from zero reach 2
+
+    EXPECT_TRUE(ir::verifyPrograms({a, b}, zeroInit).empty());
+
+    ir::Program c = makeProgram(3);
+    ir::ProgramBuilder b3(c);
+    b3.waitGE(3, 3);  // but not 3
+    EXPECT_EQ(ir::verifyPrograms({a, b, c}, zeroInit).size(), 1u);
+}
+
+TEST(VerifierTest, InitialValuesCountAsSignals)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.waitGE(9, 5);
+
+    auto init = [](ir::SyncVarId var) -> ir::SyncWord {
+        return var == 9 ? 5 : 0;
+    };
+    EXPECT_TRUE(ir::verifyPrograms({prog}, init).empty());
+}
+
+TEST(RunPassesTest, DisabledPipelineIsByteIdentical)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.write(1, 5);
+    b.waitGE(1, 5);  // would be eliminated if transforms ran
+    b.compute(2);
+    b.compute(3);    // would be merged if transforms ran
+    std::vector<ir::Program> programs = {prog};
+
+    ir::PassConfig cfg;
+    cfg.enabled = false;
+    ir::PassStats stats = ir::runPasses(programs, cfg, zeroInit);
+
+    ASSERT_EQ(programs[0].ops.size(), prog.ops.size());
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        EXPECT_EQ(programs[0].ops[i].kind, prog.ops[i].kind) << i;
+        EXPECT_EQ(programs[0].ops[i].id, prog.ops[i].id) << i;
+    }
+    EXPECT_EQ(stats.opsBefore, stats.opsAfter);
+    EXPECT_EQ(stats.waitsEliminated, 0u);
+    EXPECT_FALSE(stats.verified);  // verifier did not run
+}
+
+TEST(RunPassesTest, StatsAccountForEliminationAndMerging)
+{
+    ir::Program prog = makeProgram();
+    ir::ProgramBuilder b(prog);
+    b.write(1, 5);
+    b.waitGE(1, 5);
+    b.compute(2);
+    b.compute(3);
+    std::vector<ir::Program> programs = {prog};
+
+    ir::PassConfig cfg;
+    cfg.eliminateRedundantWaits = true;
+    cfg.peephole = true;
+    ir::PassStats stats = ir::runPasses(programs, cfg, zeroInit);
+
+    EXPECT_EQ(stats.opsBefore, 4u);
+    EXPECT_EQ(stats.opsAfter, 2u);
+    EXPECT_EQ(stats.waitsBefore, 1u);
+    EXPECT_EQ(stats.waitsAfter, 0u);
+    EXPECT_EQ(stats.waitsEliminated, 1u);
+    EXPECT_EQ(stats.opsMerged, 1u);
+    EXPECT_TRUE(stats.verified);
+    EXPECT_TRUE(stats.verifierErrors.empty());
+}
+
+TEST(ProgramBuilderTest, StampsSequentialIdsAndResumes)
+{
+    ir::Program prog = makeProgram();
+    {
+        ir::ProgramBuilder b(prog);
+        b.compute(1);
+        b.compute(2);
+    }
+    EXPECT_EQ(prog.ops[0].id, 1u);
+    EXPECT_EQ(prog.ops[1].id, 2u);
+    {
+        // A second builder over the same program resumes numbering
+        // instead of reusing ids.
+        ir::ProgramBuilder b(prog);
+        b.compute(3);
+    }
+    EXPECT_EQ(prog.ops[2].id, 3u);
+}

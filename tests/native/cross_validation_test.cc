@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <iterator>
 #include <map>
 
@@ -47,6 +48,16 @@ configFor(sync::SchemeKind kind, unsigned procs = 4)
     cfg.scheme.numPcs = 16;
     cfg.scheme.numScs = 1u << 20;
     cfg.tickLimit = 2000000000ull;
+    // PSYNC_TEST_PASSES=1 runs the whole suite with the IR
+    // transform passes enabled, so CI cross-validates both the raw
+    // lowering and the optimized programs (both backends execute
+    // the same transformed plan either way).
+    if (const char *p = std::getenv("PSYNC_TEST_PASSES")) {
+        if (p[0] == '1') {
+            cfg.passes.eliminateRedundantWaits = true;
+            cfg.passes.peephole = true;
+        }
+    }
     return cfg;
 }
 
