@@ -32,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -41,6 +42,7 @@
 #include "bench/compare.hh"
 #include "bench/registry.hh"
 #include "core/blame.hh"
+#include "core/profile.hh"
 #include "core/tracing.hh"
 
 using namespace psync;
@@ -55,12 +57,14 @@ struct Options
     bool native = false;
     bool forbidHeapFallback = false;
     bool noPasses = false;
+    bool profile = false;
     unsigned jobs = 1;
     std::vector<unsigned> threadCounts;
     std::vector<std::string> patterns;
     std::string jsonPath;
     std::string baselinePath;
     std::string reportJsonPath;
+    std::string profileTracePath;
     std::string compareOld;
     std::string compareNew;
     bench::CompareOptions compare;
@@ -78,6 +82,7 @@ usage(std::FILE *to)
         "                   [--compare OLD NEW] [--exact]\n"
         "                   [--native] [--threads N,N,...]\n"
         "                   [--forbid-heap-fallback] [--no-passes]\n"
+        "                   [--profile] [--profile-trace FILE]\n"
         "                   [--report [PATTERN]] "
         "[--report-json FILE]\n"
         "\n"
@@ -89,7 +94,18 @@ usage(std::FILE *to)
         "(redundant-wait elimination + peephole) by default;\n"
         "--no-passes runs each scenario's config as registered\n"
         "(verifier only), reproducing pre-pipeline cycle counts\n"
-        "exactly.\n");
+        "exactly.\n"
+        "\n"
+        "--profile reconstructs each run's achieved critical path\n"
+        "(per-op cycle attribution, wait-latency histograms) and\n"
+        "prints a per-scenario report; records gain the schema-v5\n"
+        "critpath_achieved / critpath_gap_pct / profile fields.\n"
+        "With --native it times blocking waits on the host clock\n"
+        "instead. --profile-trace FILE additionally writes a\n"
+        "Perfetto/Chrome trace with a \"critical path\" track (one\n"
+        "file per scenario; the scenario id lands in the name when\n"
+        "more than one is selected). Cycle counts are identical\n"
+        "with profiling on or off.\n");
 }
 
 bool
@@ -140,6 +156,14 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.forbidHeapFallback = true;
         } else if (arg == "--no-passes") {
             opts.noPasses = true;
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--profile-trace") {
+            const char *p = next("--profile-trace");
+            if (!p)
+                return false;
+            opts.profileTracePath = p;
+            opts.profile = true;
         } else if (arg == "--threads") {
             const char *p = next("--threads");
             if (!p)
@@ -265,6 +289,46 @@ selectScenarios(const Options &opts)
     return selected;
 }
 
+/** One-line log2-histogram summary for table footers. */
+std::string
+histSummary(const core::LogHistogram &h)
+{
+    if (h.count() == 0)
+        return "(no samples)";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu p50=%llu p95=%llu p99=%llu max=%llu",
+                  static_cast<unsigned long long>(h.count()),
+                  static_cast<unsigned long long>(h.percentile(0.50)),
+                  static_cast<unsigned long long>(h.percentile(0.95)),
+                  static_cast<unsigned long long>(h.percentile(0.99)),
+                  static_cast<unsigned long long>(h.max()));
+    return buf;
+}
+
+/**
+ * Per-scenario output path for --profile-trace: the given path when
+ * only one scenario runs, otherwise the sanitized scenario id is
+ * spliced in before the extension so files never collide.
+ */
+std::string
+traceFileFor(const std::string &base, const std::string &id,
+             bool many)
+{
+    if (!many)
+        return base;
+    std::string tag = id;
+    for (char &c : tag) {
+        if (c == '/' || c == ':' || c == '#')
+            c = '-';
+    }
+    std::size_t dot = base.rfind('.');
+    if (dot == std::string::npos ||
+        base.find('/', dot) != std::string::npos)
+        return base + "-" + tag;
+    return base.substr(0, dot) + "-" + tag + base.substr(dot);
+}
+
 /**
  * Pass configuration for sim runs: transform passes on by default,
  * scenario config as registered (nullptr) under --no-passes.
@@ -319,7 +383,7 @@ runNative(const Options &opts,
     for (const auto *scenario : selected) {
         for (unsigned t : threads) {
             bench::NativeScenarioRecord record =
-                bench::runScenarioNative(*scenario, t);
+                bench::runScenarioNative(*scenario, t, opts.profile);
             table.row(
                 {record.recordId(),
                  bench::Table::fixed(
@@ -331,6 +395,16 @@ runNative(const Options &opts,
                  bench::Table::num(record.result.run.syncOps),
                  bench::Table::num(record.result.run.parks)});
             bench::mergeRecord(doc, record.toJson());
+            if (opts.profile) {
+                const native::NativeRunResult &r = record.result.run;
+                std::printf("    wait ns:      %s\n",
+                            histSummary(r.waitNs).c_str());
+                std::printf("    park-wake ns: %s\n",
+                            histSummary(r.parkWakeNs).c_str());
+                std::printf("    fa retries:   %llu\n",
+                            static_cast<unsigned long long>(
+                                r.faRetries));
+            }
         }
     }
 
@@ -459,26 +533,37 @@ main(int argc, char **argv)
     // order after the join.
     const ir::PassConfig *passes = benchPasses(opts);
     std::vector<bench::ScenarioRecord> records(selected.size());
+    // Profiling keeps each run's recorder alive past the run so
+    // --profile-trace can render the full phase tracks afterwards.
+    std::vector<std::unique_ptr<core::TraceRecorder>> recorders(
+        opts.profile ? selected.size() : 0);
+    auto run_one = [&](std::size_t i) {
+        if (!opts.profile) {
+            records[i] =
+                bench::runScenario(*selected[i], nullptr, passes);
+            return;
+        }
+        recorders[i] = std::make_unique<core::TraceRecorder>();
+        records[i] = bench::runScenario(
+            *selected[i], recorders[i].get(), passes,
+            /*profile=*/true);
+    };
     unsigned workers = std::min<std::size_t>(opts.jobs,
                                              selected.size());
     if (workers <= 1) {
-        for (std::size_t i = 0; i < selected.size(); ++i) {
-            records[i] =
-                bench::runScenario(*selected[i], nullptr, passes);
-        }
+        for (std::size_t i = 0; i < selected.size(); ++i)
+            run_one(i);
     } else {
         std::atomic<std::size_t> next_index{0};
         std::vector<std::thread> pool;
         pool.reserve(workers);
         for (unsigned w = 0; w < workers; ++w) {
-            pool.emplace_back([&records, &selected, &next_index,
-                               passes]() {
+            pool.emplace_back([&run_one, &selected, &next_index]() {
                 for (;;) {
                     std::size_t i = next_index.fetch_add(1);
                     if (i >= selected.size())
                         return;
-                    records[i] = bench::runScenario(*selected[i],
-                                                    nullptr, passes);
+                    run_one(i);
                 }
             });
         }
@@ -515,6 +600,54 @@ main(int argc, char **argv)
         bench::mergeRecord(fresh, std::move(rec));
     }
 
+    int profile_rc = 0;
+    if (opts.profile) {
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            const bench::ScenarioRecord &record = records[i];
+            if (!record.profile)
+                continue;
+            std::cout << "\n";
+            record.profile->writeText(std::cout, selected[i]->id);
+
+            // The reconstruction must land between the analytical
+            // floor and the run itself; anything else means the
+            // walk lost or double-counted cycles.
+            sim::Tick achieved = record.profile->achievedCycles;
+            if (achieved < record.boundCycles ||
+                achieved > record.result.run.cycles) {
+                std::fprintf(
+                    stderr,
+                    "profile invariant violated: %s achieved %llu "
+                    "outside [bound %llu, cycles %llu]\n",
+                    selected[i]->id.c_str(),
+                    static_cast<unsigned long long>(achieved),
+                    static_cast<unsigned long long>(
+                        record.boundCycles),
+                    static_cast<unsigned long long>(
+                        record.result.run.cycles));
+                profile_rc = 1;
+            }
+
+            if (!opts.profileTracePath.empty() && recorders[i]) {
+                std::string path = traceFileFor(
+                    opts.profileTracePath, selected[i]->id,
+                    selected.size() > 1);
+                core::json::Value trace =
+                    recorders[i]->chromeTrace();
+                core::json::Value events =
+                    *trace.find("traceEvents");
+                core::json::Value path_events =
+                    record.profile->perfettoEvents();
+                for (auto &ev : path_events.asArray())
+                    events.push(std::move(ev));
+                trace.set("traceEvents", std::move(events));
+                if (!writeJsonFile(path, trace))
+                    return 2;
+                std::printf("wrote %s\n", path.c_str());
+            }
+        }
+    }
+
     if (!opts.jsonPath.empty() &&
         !writeJsonFile(opts.jsonPath, doc))
         return 2;
@@ -544,7 +677,7 @@ main(int argc, char **argv)
         bench::CompareResult result = bench::compareTrajectories(
             baseline, fresh, opts.compare);
         bench::printCompare(std::cout, result, opts.compare);
-        return result.ok() ? 0 : 1;
+        return result.ok() ? profile_rc : 1;
     }
-    return 0;
+    return profile_rc;
 }

@@ -355,13 +355,53 @@ ScenarioRecord::toJson() const
     rec.set("hot_spot_ratio", r.run.hotSpotRatio);
     rec.set("module_queue_delay",
             static_cast<std::uint64_t>(r.run.moduleQueueDelay));
+
+    // Schema v5: profiled runs carry the achieved critical path and
+    // wait-latency summaries. Absent entirely on unprofiled runs so
+    // those records stay byte-comparable with v4 output.
+    if (profile) {
+        rec.set("critpath_achieved",
+                static_cast<std::uint64_t>(profile->achievedCycles));
+        rec.set("critpath_gap_pct", profile->gapPct());
+
+        core::json::Value prof = core::json::object();
+        core::json::Value phases = core::json::object();
+        phases.set("compute",
+                   static_cast<std::uint64_t>(profile->computeCycles));
+        phases.set("spin",
+                   static_cast<std::uint64_t>(profile->spinCycles));
+        phases.set("sync_overhead",
+                   static_cast<std::uint64_t>(profile->syncCycles));
+        phases.set("stall",
+                   static_cast<std::uint64_t>(profile->stallCycles));
+        phases.set("dispatch",
+                   static_cast<std::uint64_t>(
+                       profile->dispatchCycles));
+        phases.set("propagation",
+                   static_cast<std::uint64_t>(
+                       profile->propagationCycles));
+        phases.set("other",
+                   static_cast<std::uint64_t>(profile->otherCycles));
+        prof.set("phases", std::move(phases));
+        prof.set("truncated", profile->truncated);
+        prof.set("segments",
+                 static_cast<std::uint64_t>(
+                     profile->segments.size()));
+        prof.set("wait_latency", profile->waitAll.toJson());
+        core::json::Value by_kind = core::json::object();
+        for (const auto &kv : profile->waitByKind)
+            by_kind.set(kv.first, kv.second.toJson());
+        prof.set("wait_by_kind", std::move(by_kind));
+        rec.set("profile", std::move(prof));
+    }
+
     rec.set("result", r.run.toJson());
     return rec;
 }
 
 ScenarioRecord
 runScenario(const Scenario &scenario, sim::Tracer *tracer,
-            const ir::PassConfig *passes)
+            const ir::PassConfig *passes, bool profile)
 {
     ScenarioRecord record;
     record.scenario = &scenario;
@@ -389,6 +429,22 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer,
             std::chrono::steady_clock::now() - host_start)
             .count());
     require(record.result, scenario.id.c_str());
+
+    if (profile) {
+        auto *rec_tracer = dynamic_cast<core::TraceRecorder *>(tracer);
+        if (!rec_tracer) {
+            std::fprintf(stderr,
+                         "FATAL: %s: profiling requires a "
+                         "TraceRecorder tracer\n",
+                         scenario.id.c_str());
+            std::abort();
+        }
+        record.profile = std::make_shared<core::CriticalPathProfile>(
+            core::buildCriticalPathProfile(*rec_tracer,
+                                           record.result.run.cycles,
+                                           record.boundCycles));
+        record.result.run.waitLatency = record.profile->waitAll;
+    }
     return record;
 }
 
@@ -422,21 +478,31 @@ NativeScenarioRecord::toJson() const
     rec.set("accesses_logged", r.accessesLogged);
     rec.set("instances_checked", result.instancesChecked);
     rec.set("sync_vars", result.plan.numSyncVars);
+
+    // Schema v5: host-clock latency fields, profiled runs only.
+    if (profiled) {
+        rec.set("fa_retries", r.faRetries);
+        rec.set("wait_ns", r.waitNs.toJson());
+        rec.set("park_wake_ns", r.parkWakeNs.toJson());
+    }
     return rec;
 }
 
 NativeScenarioRecord
-runScenarioNative(const Scenario &scenario, unsigned threads)
+runScenarioNative(const Scenario &scenario, unsigned threads,
+                  bool profile)
 {
     NativeScenarioRecord record;
     record.scenario = &scenario;
     record.numThreads = threads;
+    record.profiled = profile;
 
     dep::Loop loop = scenario.loop();
     native::NativeConfig ncfg;
     ncfg.numThreads = threads;
     ncfg.schedule = scenario.config.schedule;
     ncfg.chunkSize = scenario.config.chunkSize;
+    ncfg.profile = profile;
     record.result = native::runDoacrossNative(
         loop, scenario.kind, scenario.config, ncfg);
 

@@ -19,7 +19,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/json.hh"
+#include "core/profile.hh"
 #include "core/runtime.hh"
 #include "dep/loop_ir.hh"
 #include "native/runner.hh"
@@ -37,10 +40,16 @@ namespace bench {
  * cycles); v4 adds the IR pass-pipeline fields to sim records:
  * "passes" (whether transform passes ran), "waits_before",
  * "waits_after", "waits_eliminated", "ops_before", "ops_after" and
- * "ops_merged". Loaders accept all versions and ignore non-"sim"
- * records when comparing cycles.
+ * "ops_merged"; v5 adds profiling fields to records produced under
+ * `--profile`: sim records gain "critpath_achieved",
+ * "critpath_gap_pct" and a "profile" object (path phase
+ * composition plus wait-latency histogram summaries), native
+ * records gain "fa_retries", "wait_ns" and "park_wake_ns" — all
+ * absent on unprofiled runs, so unprofiled v5 records differ from
+ * v4 only in the version stamp. Loaders accept all versions and
+ * ignore non-"sim" records when comparing cycles.
  */
-constexpr int kTrajectorySchemaVersion = 4;
+constexpr int kTrajectorySchemaVersion = 5;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;
@@ -108,6 +117,13 @@ struct ScenarioRecord
      */
     bool transformsEnabled = false;
 
+    /**
+     * Achieved-critical-path profile, built when runScenario was
+     * asked to profile (requires a TraceRecorder tracer); null
+     * otherwise. Shared so records stay cheap to copy.
+     */
+    std::shared_ptr<core::CriticalPathProfile> profile;
+
     /** Simulated events per host second (0 when unmeasured). */
     double
     eventsPerSec() const
@@ -137,10 +153,14 @@ struct ScenarioRecord
  *        transform passes on by default and off under
  *        `--no-passes`); null runs the config as registered, i.e.
  *        verifier on, transforms off.
+ * @param profile build the achieved-critical-path profile from the
+ *        recorded trace and fill result.run.waitLatency; requires
+ *        `tracer` to be a core::TraceRecorder.
  */
 ScenarioRecord runScenario(const Scenario &scenario,
                            sim::Tracer *tracer = nullptr,
-                           const ir::PassConfig *passes = nullptr);
+                           const ir::PassConfig *passes = nullptr,
+                           bool profile = false);
 
 /**
  * Outcome of one native (real-thread) scenario run. Records host
@@ -152,6 +172,8 @@ struct NativeScenarioRecord
     const Scenario *scenario = nullptr;
     unsigned numThreads = 0;
     native::NativeDoacrossResult result;
+    /** Host-clock latency instrumentation was on for this run. */
+    bool profiled = false;
 
     /**
      * Trajectory record with kind "native". The id is the scenario
@@ -167,10 +189,13 @@ struct NativeScenarioRecord
  * threads. Planning is identical to runScenario; execution happens
  * on real threads and is verified by replaying the access log
  * through the same trace checker. Aborts the process on a
- * dependence violation, value divergence, or deadlock.
+ * dependence violation, value divergence, or deadlock. With
+ * `profile`, blocking waits are host-clock timed (spin-vs-park
+ * split, park wakeup latency, fetch&add retries) into the record.
  */
 NativeScenarioRecord runScenarioNative(const Scenario &scenario,
-                                       unsigned threads);
+                                       unsigned threads,
+                                       bool profile = false);
 
 } // namespace bench
 } // namespace psync

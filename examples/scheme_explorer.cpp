@@ -19,16 +19,28 @@
  * elimination + peephole), so the effect of the pipeline is
  * directly readable.
  *
- * Usage: scheme_explorer [--native] [--dump-ir]
+ * With --profile, each scheme's run is traced and its achieved
+ * critical path reconstructed; a side-by-side composition table
+ * (compute / spin / sync / stall / dispatch / propagation share of
+ * the path, gap over the analytical bound, hottest sync variable)
+ * is printed after the sweep, so where each scheme loses its
+ * cycles is directly comparable.
+ *
+ * Usage: scheme_explorer [--native] [--dump-ir] [--profile]
  *                        [seed] [N] [statements] [P]
  */
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "core/critical_path.hh"
+#include "core/profile.hh"
 #include "core/runtime.hh"
+#include "core/tracing.hh"
 #include "core/value_trace.hh"
 #include "dep/dep_graph.hh"
 #include "native/runner.hh"
@@ -41,12 +53,15 @@ main(int argc, char **argv)
 {
     bool with_native = false;
     bool dump_ir = false;
+    bool with_profile = false;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--native") == 0)
             with_native = true;
         else if (std::strcmp(argv[i], "--dump-ir") == 0)
             dump_ir = true;
+        else if (std::strcmp(argv[i], "--profile") == 0)
+            with_profile = true;
         else
             positional.push_back(argv[i]);
     }
@@ -74,6 +89,13 @@ main(int argc, char **argv)
     sim::Tick seq = core::sequentialCycles(loop, base);
     std::cout << "sequential: " << seq << " cycles\n\n";
 
+    struct ProfileRow
+    {
+        std::string scheme;
+        core::CriticalPathProfile prof;
+    };
+    std::vector<ProfileRow> profile_rows;
+
     std::cout << "scheme             cycles    speedup  spin-frac  "
                  "sync-vars  verified";
     if (with_native)
@@ -91,6 +113,9 @@ main(int argc, char **argv)
         core::ValueTrace sim_values;
         if (with_native)
             cfg.extraSink = &sim_values;
+        core::TraceRecorder recorder;
+        if (with_profile)
+            cfg.tracer = &recorder;
 
         if (dump_ir) {
             // Plan twice against throwaway machines: once with the
@@ -145,6 +170,17 @@ main(int argc, char **argv)
             return 1;
         }
 
+        if (with_profile) {
+            core::CriticalPath cp = core::criticalPath(
+                graph,
+                core::CriticalPathCosts::fromMachine(cfg.machine));
+            profile_rows.push_back(
+                {sync::schemeKindName(kind),
+                 core::buildCriticalPathProfile(
+                     recorder, r.run.cycles,
+                     cp.achievableBound(procs))});
+        }
+
         if (with_native) {
             native::NativeConfig ncfg;
             ncfg.numThreads = procs;
@@ -168,6 +204,40 @@ main(int argc, char **argv)
             }
         }
         std::cout << "\n";
+    }
+
+    if (!profile_rows.empty()) {
+        std::cout << "\npath composition (% of achieved critical "
+                     "path):\n";
+        std::printf("%-18s %8s %6s %6s %6s %6s %6s %6s %6s  %s\n",
+                    "scheme", "cycles", "gap%", "comp", "spin",
+                    "sync", "stall", "disp", "prop", "hottest var");
+        for (const auto &row : profile_rows) {
+            const core::CriticalPathProfile &p = row.prof;
+            auto pct = [&](sim::Tick part) {
+                return p.achievedCycles
+                           ? 100.0 * static_cast<double>(part) /
+                                 static_cast<double>(p.achievedCycles)
+                           : 0.0;
+            };
+            std::string hottest = "-";
+            if (!p.varShares.empty()) {
+                const auto &v = p.varShares.front();
+                hottest = (v.label.empty()
+                               ? "var" + std::to_string(v.var)
+                               : v.label) +
+                          " (" + std::to_string(v.cycles) + "cyc)";
+            }
+            std::printf(
+                "%-18s %8llu %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f "
+                "%6.1f  %s\n",
+                row.scheme.c_str(),
+                static_cast<unsigned long long>(p.achievedCycles),
+                p.gapPct(), pct(p.computeCycles), pct(p.spinCycles),
+                pct(p.syncCycles), pct(p.stallCycles),
+                pct(p.dispatchCycles), pct(p.propagationCycles),
+                hottest.c_str());
+        }
     }
     return 0;
 }

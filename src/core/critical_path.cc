@@ -63,9 +63,14 @@ criticalPath(const dep::DepGraph &graph,
                 if (!dep::sinkHasSource(loop, d, lpid))
                     continue;
                 std::uint64_t src_lpid = lpid - dist;
-                start = std::max(
-                    start,
-                    end[(src_lpid - 1) * num_stmts + d.src]);
+                // A cross-processor arc pays the sync-fabric hop on
+                // top of the producer's completion: the consumer
+                // cannot observe the value before it crosses the
+                // fabric (0 on memory-resident schemes).
+                sim::Tick src_end =
+                    end[(src_lpid - 1) * num_stmts + d.src];
+                start = std::max(start,
+                                 src_end + costs.syncHopCycles);
             }
             sim::Tick finish = start + duration[s];
             end[(lpid - 1) * num_stmts + s] = finish;

@@ -27,6 +27,18 @@ struct CriticalPathCosts
     /** Cycles per uncontended memory access (bus + service). */
     sim::Tick accessCycles = 5;
 
+    /**
+     * Minimum cycles for a produced value to cross the sync fabric
+     * to a waiting consumer, charged once per cross-iteration arc.
+     * On the register fabric a posted write cannot wake a waiter
+     * before the next sync-bus broadcast slot, so even with free
+     * synchronization ops the dependence hop costs syncBusCycles.
+     * Memory-resident schemes poll (or combine the key test into
+     * the charged data access), so no separate floor applies and
+     * this stays 0 — keeping the bound a true lower bound there.
+     */
+    sim::Tick syncHopCycles = 0;
+
     /** Derive from a machine configuration. */
     static CriticalPathCosts
     fromMachine(const sim::MachineConfig &mc)
@@ -34,6 +46,8 @@ struct CriticalPathCosts
         CriticalPathCosts c;
         c.accessCycles =
             mc.dataBusCycles + mc.memory.serviceCycles;
+        if (mc.fabric == sim::FabricKind::registers)
+            c.syncHopCycles = mc.syncBusCycles;
         return c;
     }
 };

@@ -5,6 +5,60 @@
 namespace psync {
 namespace core {
 
+std::uint64_t
+LogHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the sample we want, 1-based; ceil without float
+    // rounding surprises at q == 1.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_))
+        ++rank;
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            // Inclusive upper bound of bucket i, clamped to what
+            // was actually observed. The overflow bucket has no
+            // finite bound of its own; the observed max is the
+            // tightest true statement.
+            std::uint64_t hi =
+                i == 0 ? 0
+                       : (i >= kBuckets - 1
+                              ? max_
+                              : (std::uint64_t{1} << i) - 1);
+            if (hi < min_)
+                hi = min_;
+            if (hi > max_)
+                hi = max_;
+            return hi;
+        }
+    }
+    return max_;
+}
+
+json::Value
+LogHistogram::toJson() const
+{
+    json::Value v = json::object();
+    v.set("count", count_);
+    v.set("sum", sum_);
+    v.set("min", min());
+    v.set("max", max_);
+    v.set("p50", percentile(0.50));
+    v.set("p95", percentile(0.95));
+    v.set("p99", percentile(0.99));
+    return v;
+}
+
 RunResult
 collectResult(sim::Machine &machine, bool completed)
 {
@@ -94,6 +148,8 @@ RunResult::toJson() const
     v.set("cache_hits", cacheHits);
     v.set("cache_misses", cacheMisses);
     v.set("cache_invalidations", cacheInvalidations);
+    if (waitLatency.count() > 0)
+        v.set("wait_latency", waitLatency.toJson());
     return v;
 }
 

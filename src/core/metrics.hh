@@ -19,6 +19,97 @@
 namespace psync {
 namespace core {
 
+/**
+ * Fixed-bucket log2 histogram of non-negative durations (cycles or
+ * nanoseconds). Bucket i holds the values of bit-width i: bucket 0
+ * is exactly {0}, bucket i >= 1 covers [2^(i-1), 2^i - 1]. The last
+ * bucket is an overflow bucket absorbing everything at or above
+ * 2^(kBuckets-2), so record() never drops a sample. Recording is
+ * two integer ops and an increment — cheap enough for per-wait host
+ * instrumentation — and exact count/sum/min/max ride along so the
+ * summary quantiles can be clamped to observed values.
+ */
+class LogHistogram
+{
+  public:
+    /** Bucket 48 is the overflow bucket (values >= 2^47). */
+    static constexpr unsigned kBuckets = 49;
+
+    void
+    record(std::uint64_t value)
+    {
+        unsigned b = bucketOf(value);
+        ++buckets_[b];
+        ++count_;
+        sum_ += value;
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+
+    /** Fold another histogram into this one. */
+    void
+    merge(const LogHistogram &other)
+    {
+        if (other.count_ == 0)
+            return;
+        for (unsigned i = 0; i < kBuckets; ++i)
+            buckets_[i] += other.buckets_[i];
+        if (count_ == 0 || other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    std::uint64_t
+    bucketCount(unsigned bucket) const
+    {
+        return bucket < kBuckets ? buckets_[bucket] : 0;
+    }
+
+    /** Bucket a value lands in (tests pin the bucketing scheme). */
+    static unsigned
+    bucketOf(std::uint64_t value)
+    {
+        unsigned width = 0;
+        while (value) {
+            ++width;
+            value >>= 1;
+        }
+        return width < kBuckets ? width : kBuckets - 1;
+    }
+
+    /**
+     * Quantile estimate, q in [0, 1]: the inclusive upper bound of
+     * the first bucket whose cumulative count reaches q*count,
+     * clamped to the exact [min, max] observed. Zero when empty.
+     * With log2 buckets the estimate is within 2x of the true
+     * quantile, which is the resolution the latency tables need.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /**
+     * Summary object `{count, sum, min, max, p50, p95, p99}` —
+     * insertion order is fixed so trajectory diffs stay readable.
+     */
+    json::Value toJson() const;
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
 /** Aggregated outcome of one simulation. */
 struct RunResult
 {
@@ -74,6 +165,13 @@ struct RunResult
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheInvalidations = 0;
 
+    /**
+     * Distribution of satisfied-wait durations in cycles, filled
+     * from the trace recorder when the run was profiled; empty (and
+     * omitted from toJson) otherwise.
+     */
+    LogHistogram waitLatency;
+
     /** Fraction of processor-cycles spent computing. */
     double
     utilization() const
@@ -106,8 +204,10 @@ struct RunResult
     /**
      * Machine-readable dump: every raw field plus the derived
      * utilization/spin fractions, a superset of what printResult
-     * shows. Keys are stable snake_case; tools should treat absent
-     * keys as zero.
+     * shows. Keys are stable snake_case and always emitted in the
+     * same order (new fields append after the existing block), so
+     * trajectory diffs line up; tools should treat absent keys as
+     * zero. `wait_latency` appears only when the run was profiled.
      */
     json::Value toJson() const;
 };

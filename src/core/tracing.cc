@@ -38,8 +38,7 @@ void
 TraceRecorder::syncVarOp(sim::SyncVarId var, const char *op,
                          sim::ProcId who, sim::Tick at)
 {
-    (void)who;
-    (void)at;
+    syncOpEvents_.push_back({var, who, at, op});
     SyncVarStats &stats = syncVars_[var];
     ++stats.opCounts[op];
     ++stats.total;
@@ -62,6 +61,15 @@ TraceRecorder::waitEdgeOp(sim::SyncVarId var, sim::ProcId who,
 }
 
 void
+TraceRecorder::opSpan(sim::ProcId who, std::uint64_t iter,
+                      std::uint32_t op_id, ir::OpKind kind,
+                      sim::SyncVarId var, sim::Tick start,
+                      sim::Tick end)
+{
+    opSpans_.push_back({who, iter, op_id, kind, var, start, end});
+}
+
+void
 TraceRecorder::nameSyncVar(sim::SyncVarId var,
                            const std::string &label)
 {
@@ -77,6 +85,8 @@ TraceRecorder::clear()
     instants_.clear();
     waitEdges_.clear();
     waitSiteEdges_.clear();
+    opSpans_.clear();
+    syncOpEvents_.clear();
     syncVars_.clear();
 }
 

@@ -88,6 +88,40 @@ class TraceRecorder : public sim::Tracer
         sim::Tick cycles() const { return end - start; }
     };
 
+    /**
+     * One executed program op: issue through completion on one
+     * processor, stamped with the op's stable IR id, kind, sync
+     * variable (0 = none) and iteration. Spans of one processor
+     * never overlap and arrive in completion order; together with
+     * the wait edges they are the profiler's (core/profile) input.
+     */
+    struct OpSpan
+    {
+        sim::ProcId who;
+        std::uint64_t iter;
+        std::uint32_t opId;
+        ir::OpKind kind;
+        sim::SyncVarId var;
+        sim::Tick start;
+        sim::Tick end;
+
+        sim::Tick cycles() const { return end - start; }
+    };
+
+    /**
+     * One sync-variable access event with its actor and time
+     * ("write", "broadcast", "rmw", "keyed", ...). The profiler
+     * scans these to find which processor's operation satisfied a
+     * blocked wait.
+     */
+    struct SyncOpEvent
+    {
+        sim::SyncVarId var;
+        sim::ProcId who;
+        sim::Tick at;
+        std::string op;
+    };
+
     struct SyncVarStats
     {
         std::string label;
@@ -114,6 +148,10 @@ class TraceRecorder : public sim::Tracer
     void waitEdgeOp(sim::SyncVarId var, sim::ProcId who,
                     std::uint32_t op_id, sim::Tick start,
                     sim::Tick end) override;
+    void opSpan(sim::ProcId who, std::uint64_t iter,
+                std::uint32_t op_id, ir::OpKind kind,
+                sim::SyncVarId var, sim::Tick start,
+                sim::Tick end) override;
     void nameSyncVar(sim::SyncVarId var,
                      const std::string &label) override;
 
@@ -142,13 +180,18 @@ class TraceRecorder : public sim::Tracer
     {
         return waitSiteEdges_;
     }
+    const std::vector<OpSpan> &opSpans() const { return opSpans_; }
+    const std::vector<SyncOpEvent> &syncOpEvents() const
+    {
+        return syncOpEvents_;
+    }
 
     std::size_t
     eventCount() const
     {
         return phases_.size() + resources_.size() +
                counters_.size() + instants_.size() +
-               waitEdges_.size();
+               waitEdges_.size() + opSpans_.size();
     }
 
     /** Drop everything recorded so far (reuse across runs). */
@@ -183,6 +226,8 @@ class TraceRecorder : public sim::Tracer
     std::vector<InstantEvent> instants_;
     std::vector<WaitEdge> waitEdges_;
     std::vector<WaitSiteEdge> waitSiteEdges_;
+    std::vector<OpSpan> opSpans_;
+    std::vector<SyncOpEvent> syncOpEvents_;
     std::map<sim::SyncVarId, SyncVarStats> syncVars_;
 };
 

@@ -110,10 +110,25 @@ NativeExecutor::runProgram(const sim::Program &program,
 
     auto wait_ge = [&](sim::SyncVarId var, sim::SyncWord threshold) {
         ++ts.waits;
-        WaitOutcome out = fabric_.waitGE(var, threshold, deadline);
+        WaitOutcome out =
+            fabric_.waitGE(var, threshold, deadline, cfg_.profile);
         ts.spins += out.spins;
         ts.parks += out.parks;
+        if (cfg_.profile && (out.spins || out.parks)) {
+            // Instantly satisfied waits never blocked; recording
+            // them would drown the distribution in zeros, mirroring
+            // the simulator's "no edge for instant waits" rule.
+            ts.waitNs.record(out.waitNanos);
+            if (out.parkWakeNanos)
+                ts.parkWakeNs.record(out.parkWakeNanos);
+        }
         return out.satisfied;
+    };
+
+    auto fetch_add = [&](sim::SyncVarId var) {
+        if (cfg_.profile)
+            return fabric_.fetchAddCounted(var, 1, ts.faRetries);
+        return fabric_.fetchAdd(var, 1);
     };
 
     for (const auto &op : program.ops) {
@@ -163,7 +178,7 @@ NativeExecutor::runProgram(const sim::Program &program,
             break;
           case sim::OpKind::syncFetchInc:
             ++ts.syncOps;
-            fabric_.fetchAdd(op.var, 1);
+            fetch_add(op.var);
             break;
           case sim::OpKind::pcMark: {
             ++ts.syncOps;
@@ -204,7 +219,7 @@ NativeExecutor::runProgram(const sim::Program &program,
           case sim::OpKind::ctrBarrier: {
             ++ts.syncOps;
             std::uint64_t num_procs = op.cycles;
-            sim::SyncWord old = fabric_.fetchAdd(op.var, 1);
+            sim::SyncWord old = fetch_add(op.var);
             if (old + 1 == op.value * num_procs)
                 fabric_.store(op.aux, op.value);
             if (!wait_ge(op.aux, op.value))
@@ -237,7 +252,7 @@ NativeExecutor::runProgram(const sim::Program &program,
                                         value, op.stmt, op.ref,
                                         is_write});
             }
-            fabric_.fetchAdd(op.var, 1);
+            fetch_add(op.var);
             break;
           }
         }
@@ -398,6 +413,9 @@ NativeExecutor::collect(std::vector<ThreadState> &states,
         r.spins += ts.spins;
         r.parks += ts.parks;
         r.marksSkipped += ts.marksSkipped;
+        r.faRetries += ts.faRetries;
+        r.waitNs.merge(ts.waitNs);
+        r.parkWakeNs.merge(ts.parkWakeNs);
         log_size += ts.accessLog.size();
     }
 

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.hh"
 #include "core/runtime.hh"
 #include "native/fabric.hh"
 #include "sim/program.hh"
@@ -69,6 +70,13 @@ struct NativeConfig
     std::uint64_t timeoutMs = 20000;
     /** Record tagged data accesses for replay/verification. */
     bool recordAccesses = true;
+    /**
+     * Host-clock latency instrumentation: time each blocking wait
+     * (spin-vs-park split, park wakeup latency) into per-thread
+     * log2 histograms and count fetch&add CAS retries. Off by
+     * default — the untimed hot path never reads the clock.
+     */
+    bool profile = false;
 };
 
 /** One logged data access (tickets, not simulated ticks). */
@@ -101,6 +109,13 @@ struct NativeRunResult
     std::uint64_t accessesLogged = 0;
     /** Fatal protocol errors (PC owned past a process, ...). */
     std::vector<std::string> errors;
+
+    /** fetch&add CAS retries (profiling runs only). */
+    std::uint64_t faRetries = 0;
+    /** Blocking-wait durations in ns (profiling runs only). */
+    core::LogHistogram waitNs;
+    /** Final-park-slice durations in ns (profiling runs only). */
+    core::LogHistogram parkWakeNs;
 
     double
     programsPerSec() const
@@ -200,6 +215,11 @@ class NativeExecutor
         std::vector<AccessRecord> accessLog;
         std::uint64_t jitterState = 0;
         bool failed = false;
+
+        /** Profiling-run instrumentation (cfg.profile). */
+        std::uint64_t faRetries = 0;
+        core::LogHistogram waitNs;
+        core::LogHistogram parkWakeNs;
     };
 
     std::uint64_t

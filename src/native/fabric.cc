@@ -68,6 +68,23 @@ NativeSyncFabric::fetchAdd(sim::SyncVarId var, sim::SyncWord delta)
     return old;
 }
 
+sim::SyncWord
+NativeSyncFabric::fetchAddCounted(sim::SyncVarId var,
+                                  sim::SyncWord delta,
+                                  std::uint64_t &retries)
+{
+    std::atomic<sim::SyncWord> &word = words_[var];
+    sim::SyncWord cur = word.load(std::memory_order_relaxed);
+    while (!word.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+        ++retries;
+        cpuRelax();
+    }
+    wake(var);
+    return cur;
+}
+
 void
 NativeSyncFabric::wake(sim::SyncVarId var)
 {
@@ -89,14 +106,29 @@ NativeSyncFabric::wake(sim::SyncVarId var)
 
 WaitOutcome
 NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
-                         Deadline deadline)
+                         Deadline deadline, bool timed)
 {
     WaitOutcome out;
     const std::atomic<sim::SyncWord> &word = words_[var];
+    using Clock = std::chrono::steady_clock;
+    using std::chrono::nanoseconds;
+    Clock::time_point t0;
+    if (timed)
+        t0 = Clock::now();
+    auto nanos_since = [](Clock::time_point from) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<nanoseconds>(Clock::now() -
+                                                    from)
+                .count());
+    };
 
     for (unsigned i = 0; i < spinLimit_; ++i) {
         if (word.load(std::memory_order_acquire) >= threshold) {
             out.satisfied = true;
+            if (timed && out.spins) {
+                out.waitNanos = nanos_since(t0);
+                out.spinNanos = out.waitNanos;
+            }
             return out;
         }
         if (aborted())
@@ -107,18 +139,24 @@ NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
         if ((i & 15u) == 15u)
             std::this_thread::yield();
     }
+    if (timed)
+        out.spinNanos = nanos_since(t0);
 
     Shard &shard = shardOf(var);
     std::unique_lock<std::mutex> lk(shard.m);
     shard.waiters.fetch_add(1, std::memory_order_seq_cst);
+    Clock::time_point slice_start;
+    bool slept = false;
     for (;;) {
         if (word.load(std::memory_order_seq_cst) >= threshold) {
             out.satisfied = true;
+            if (timed && slept)
+                out.parkWakeNanos = nanos_since(slice_start);
             break;
         }
         if (aborted())
             break;
-        if (std::chrono::steady_clock::now() >= deadline) {
+        if (Clock::now() >= deadline) {
             lk.unlock();
             abortAll();
             lk.lock();
@@ -126,9 +164,15 @@ NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
         }
         ++out.parks;
         totalParks_.fetch_add(1, std::memory_order_relaxed);
+        if (timed) {
+            slice_start = Clock::now();
+            slept = true;
+        }
         shard.cv.wait_for(lk, kParkSlice);
     }
     shard.waiters.fetch_sub(1, std::memory_order_seq_cst);
+    if (timed)
+        out.waitNanos = nanos_since(t0);
     return out;
 }
 

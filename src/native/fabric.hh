@@ -63,6 +63,23 @@ struct WaitOutcome
     std::uint64_t parks = 0;
     /** False: the fabric aborted (deadline or external abort). */
     bool satisfied = false;
+
+    /**
+     * Host-clock instrumentation, filled only when waitGE is called
+     * with `timed == true` (profiling runs; the untimed hot path
+     * never reads the clock). All in nanoseconds.
+     */
+    /** Total blocked time, first poll through satisfaction. */
+    std::uint64_t waitNanos = 0;
+    /** Portion spent in the bounded spin phase. */
+    std::uint64_t spinNanos = 0;
+    /**
+     * Duration of the final park slice — the sleep that ended with
+     * the threshold satisfied. Upper-bounds the notify-to-running
+     * wakeup latency (the slice also covers time before the writer
+     * committed). Zero when the wait never parked.
+     */
+    std::uint64_t parkWakeNanos = 0;
 };
 
 /** Synchronization variables on host atomics. */
@@ -106,13 +123,25 @@ class NativeSyncFabric
     sim::SyncWord fetchAdd(sim::SyncVarId var, sim::SyncWord delta);
 
     /**
+     * fetchAdd by CAS loop, counting retries into `retries` —
+     * the contention signal a hardware fetch&add would hide.
+     * Profiling-only: the uncontended path costs one extra load, so
+     * the executor calls it only when profiling is enabled.
+     */
+    sim::SyncWord fetchAddCounted(sim::SyncVarId var,
+                                  sim::SyncWord delta,
+                                  std::uint64_t &retries);
+
+    /**
      * Block until value(var) >= threshold (same unsigned order the
      * packed PC words use). Returns outcome.satisfied == false when
      * the fabric aborted or `deadline` passed (which itself aborts
-     * the fabric, releasing every other waiter too).
+     * the fabric, releasing every other waiter too). With `timed`
+     * the outcome carries host-clock wait/spin/park-wake durations;
+     * untimed calls never read the clock on the spin path.
      */
     WaitOutcome waitGE(sim::SyncVarId var, sim::SyncWord threshold,
-                       Deadline deadline);
+                       Deadline deadline, bool timed = false);
 
     /** Wake everything and make all pending/future waits fail. */
     void abortAll();

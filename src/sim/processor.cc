@@ -118,6 +118,8 @@ Processor::execCompute(const Op &op)
     computeCycles_ += op.cycles;
     tracePhase(TracePhase::compute, eventq.now(),
                eventq.now() + op.cycles);
+    traceOpSpan(op.id, op.kind, 0, opIter(op), eventq.now(),
+                eventq.now() + op.cycles);
     eventq.scheduleIn(op.cycles, [this]() { step(); });
 }
 
@@ -130,6 +132,7 @@ Processor::execData(const Op &op)
         Tick end = eventq.now();
         stallCycles_ += end - start;
         tracePhase(TracePhase::stall, start, end);
+        traceOpSpan(op.id, op.kind, 0, opIter(op), start, end);
         if (trace) {
             trace->access(op.stmt, op.ref,
                           op.iterTag ? op.iterTag : current->iter,
@@ -151,8 +154,10 @@ Processor::execWaitGE(const Op &op)
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
                eventq.now() + issue);
-    eventq.scheduleIn(issue, [this, op]() {
-        fabric.waitGE(id_, op.var, op.value, [this, op](Tick waited) {
+    Tick start = eventq.now();
+    eventq.scheduleIn(issue, [this, op, start]() {
+        fabric.waitGE(id_, op.var, op.value,
+                      [this, op, start](Tick waited) {
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
@@ -162,6 +167,8 @@ Processor::execWaitGE(const Op &op)
                                        eventq.now() - waited,
                                        eventq.now()));
             }
+            traceOpSpan(op.id, op.kind, op.var, opIter(op), start,
+                        eventq.now());
             step();
         });
     });
@@ -177,7 +184,7 @@ Processor::execWrite(const Op &op)
                eventq.now() + issue);
     Tick start = eventq.now();
     eventq.scheduleIn(issue, [this, op, start]() {
-        fabric.write(id_, op.var, op.value, [this, start]() {
+        fabric.write(id_, op.var, op.value, [this, op, start]() {
             // Anything beyond the fixed issue cost (memory-fabric
             // write latency) is synchronization overhead too.
             Tick total = eventq.now() - start;
@@ -185,6 +192,8 @@ Processor::execWrite(const Op &op)
             syncOverheadCycles_ += total > fixed ? total - fixed : 0;
             tracePhase(TracePhase::syncOverhead, start + fixed,
                        eventq.now());
+            traceOpSpan(op.id, op.kind, op.var, opIter(op), start,
+                        eventq.now());
             step();
         });
     });
@@ -200,12 +209,14 @@ Processor::execFetchInc(const Op &op)
                eventq.now() + issue);
     Tick start = eventq.now();
     eventq.scheduleIn(issue, [this, op, start]() {
-        fabric.fetchInc(id_, op.var, [this, start](SyncWord) {
+        fabric.fetchInc(id_, op.var, [this, op, start](SyncWord) {
             Tick total = eventq.now() - start;
             Tick fixed = fabric.issueCost();
             syncOverheadCycles_ += total > fixed ? total - fixed : 0;
             tracePhase(TracePhase::syncOverhead, start + fixed,
                        eventq.now());
+            traceOpSpan(op.id, op.kind, op.var, opIter(op), start,
+                        eventq.now());
             step();
         });
     });
@@ -220,17 +231,25 @@ Processor::execPcMark(const Op &op)
     tracePhase(TracePhase::syncOverhead, eventq.now(),
                eventq.now() + issue);
     std::uint32_t my_owner = PcWord::owner(op.value);
-    eventq.scheduleIn(issue, [this, op, my_owner]() {
+    Tick start = eventq.now();
+    eventq.scheduleIn(issue, [this, op, my_owner, start]() {
         if (ownedPc) {
-            fabric.write(id_, op.var, op.value, [this]() { step(); });
+            fabric.write(id_, op.var, op.value, [this, op, start]() {
+                traceOpSpan(op.id, op.kind, op.var, opIter(op),
+                            start, eventq.now());
+                step();
+            });
             return;
         }
-        fabric.read(id_, op.var, [this, op, my_owner](SyncWord cur) {
+        fabric.read(id_, op.var,
+                    [this, op, my_owner, start](SyncWord cur) {
             std::uint32_t cur_owner = PcWord::owner(cur);
             if (cur_owner < my_owner) {
                 // Ownership has not been transferred yet; proceed
                 // without waiting (Fig. 4.3).
                 ++marksSkipped_;
+                traceOpSpan(op.id, op.kind, op.var, opIter(op),
+                            start, eventq.now());
                 step();
                 return;
             }
@@ -239,7 +258,11 @@ Processor::execPcMark(const Op &op)
                       "protocol violated", op.var, cur_owner, my_owner);
             }
             ownedPc = true;
-            fabric.write(id_, op.var, op.value, [this]() { step(); });
+            fabric.write(id_, op.var, op.value, [this, op, start]() {
+                traceOpSpan(op.id, op.kind, op.var, opIter(op),
+                            start, eventq.now());
+                step();
+            });
         });
     });
 }
@@ -252,13 +275,19 @@ Processor::execPcTransfer(const Op &op)
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
                eventq.now() + issue);
-    eventq.scheduleIn(issue, [this, op]() {
+    Tick start = eventq.now();
+    eventq.scheduleIn(issue, [this, op, start]() {
         if (ownedPc) {
-            fabric.write(id_, op.var, op.value, [this]() { step(); });
+            fabric.write(id_, op.var, op.value, [this, op, start]() {
+                traceOpSpan(op.id, op.kind, op.var, opIter(op),
+                            start, eventq.now());
+                step();
+            });
             return;
         }
         // get_PC: wait until ownership reaches this process.
-        fabric.waitGE(id_, op.var, op.aux, [this, op](Tick waited) {
+        fabric.waitGE(id_, op.var, op.aux,
+                      [this, op, start](Tick waited) {
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
@@ -269,7 +298,11 @@ Processor::execPcTransfer(const Op &op)
                                        eventq.now()));
             }
             ownedPc = true;
-            fabric.write(id_, op.var, op.value, [this]() { step(); });
+            fabric.write(id_, op.var, op.value, [this, op, start]() {
+                traceOpSpan(op.id, op.kind, op.var, opIter(op),
+                            start, eventq.now());
+                step();
+            });
         });
     });
 }
@@ -298,13 +331,15 @@ Processor::execKeyed(const Op &op)
     Addr addr = op.addr;
     std::uint32_t stmt = op.stmt;
     std::uint16_t ref = op.ref;
+    std::uint32_t op_id = op.id;
     std::uint64_t iter = op.iterTag ? op.iterTag : current->iter;
     eventq.scheduleIn(issue, [this, key, threshold, addr, stmt, ref,
-                              iter, start, issue, is_write,
+                              op_id, iter, start, issue, is_write,
                               mem_fab]() {
         mem_fab->keyedAccess(id_, key, threshold,
-                             [this, addr, stmt, ref, iter, start,
-                              issue, is_write](Tick waited) {
+                             [this, key, addr, stmt, ref, op_id,
+                              iter, start, issue,
+                              is_write](Tick waited) {
             spinCycles_ += waited;
             tracePhase(TracePhase::spin, eventq.now() - waited,
                        eventq.now());
@@ -315,6 +350,15 @@ Processor::execKeyed(const Op &op)
                 ? past_issue - waited
                 : 0;
             Tick end = eventq.now();
+            if (waited > 0) {
+                PSYNC_TRACE(tracer,
+                            waitEdgeOp(key, id_, op_id,
+                                       end - waited, end));
+            }
+            traceOpSpan(op_id,
+                        is_write ? OpKind::keyedWrite
+                                 : OpKind::keyedRead,
+                        key, iter, start, end);
             if (trace) {
                 // The data access happens inside the module
                 // service that just completed — after the key test
@@ -336,33 +380,48 @@ Processor::execCtrBarrier(const Op &op)
     tracePhase(TracePhase::syncOverhead, eventq.now(),
                eventq.now() + issue);
     Tick start = eventq.now();
-    std::uint64_t num_procs = op.cycles;
-    eventq.scheduleIn(issue, [this, op, start, num_procs, issue]() {
+    std::uint64_t iter = opIter(op);
+    eventq.scheduleIn(issue, [this, op, start, issue, iter]() {
         fabric.fetchInc(id_, op.var,
-                        [this, op, start, num_procs,
-                         issue](SyncWord old_val) {
-            auto resume = [this, start, issue]() {
+                        [this, op, start, issue,
+                         iter](SyncWord old_val) {
+            // Capture only scalar pieces in `resume`: the
+            // last-arrival path copies it into two more handlers,
+            // so a fat closure would spill past the inline buffer.
+            std::uint32_t op_id = op.id;
+            SyncVarId release = op.aux;
+            auto resume = [this, start, iter, op_id, release]() {
                 // Spin starts after the issue cost, which is
                 // already booked as sync overhead — the trace
                 // below always anchored there; the counter now
                 // agrees instead of double-counting the issue.
-                Tick wait_start = start + issue;
+                Tick wait_start = start + fabric.issueCost();
                 spinCycles_ += eventq.now() > wait_start
                     ? eventq.now() - wait_start
                     : 0;
-                tracePhase(TracePhase::spin, start + issue,
+                tracePhase(TracePhase::spin, wait_start,
                            eventq.now());
+                if (eventq.now() > wait_start) {
+                    PSYNC_TRACE(tracer,
+                                waitEdgeOp(release, id_, op_id,
+                                           wait_start,
+                                           eventq.now()));
+                }
+                traceOpSpan(op_id, OpKind::ctrBarrier, release,
+                            iter, start, eventq.now());
                 step();
             };
+            std::uint64_t num_procs = op.cycles;
             if (old_val + 1 == op.value * num_procs) {
                 // Last arrival: release this generation.
-                fabric.write(id_, op.aux, op.value, [this, op,
-                                                     resume]() {
-                    fabric.waitGE(id_, op.aux, op.value,
+                SyncWord gen = op.value;
+                fabric.write(id_, release, gen, [this, release, gen,
+                                                 resume]() {
+                    fabric.waitGE(id_, release, gen,
                                   [resume](Tick) { resume(); });
                 });
             } else {
-                fabric.waitGE(id_, op.aux, op.value,
+                fabric.waitGE(id_, release, op.value,
                               [resume](Tick) { resume(); });
             }
         });

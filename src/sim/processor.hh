@@ -87,6 +87,35 @@ class Processor
 #endif
     }
 
+    /**
+     * Emit one executed-op span (issue through completion) to the
+     * attached tracer. Empty spans are dropped, matching the
+     * phase-interval contract.
+     */
+    void
+    traceOpSpan(std::uint32_t op_id, OpKind kind, SyncVarId var,
+                std::uint64_t iter, Tick start, Tick end)
+    {
+#ifndef PSYNC_TRACING_DISABLED
+        if (tracer && end > start)
+            tracer->opSpan(id_, iter, op_id, kind, var, start, end);
+#else
+        (void)op_id;
+        (void)kind;
+        (void)var;
+        (void)iter;
+        (void)start;
+        (void)end;
+#endif
+    }
+
+    /** Iteration an op belongs to (iterTag overrides program iter). */
+    std::uint64_t
+    opIter(const Op &op) const
+    {
+        return op.iterTag ? op.iterTag : current->iter;
+    }
+
     void execCompute(const Op &op);
     void execData(const Op &op);
     void execWaitGE(const Op &op);

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <string>
 
+#include "ir/program.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -116,6 +117,25 @@ class Tracer
                Tick start, Tick end)
     {
         (void)var; (void)who; (void)op_id; (void)start; (void)end;
+    }
+
+    /**
+     * Processor `who` executed one program op over [start, end):
+     * issue through completion, wait time included. Stamped with
+     * the op's stable IR id (0 for hand-built programs), its kind,
+     * its sync variable (0 when the op has none) and the iteration
+     * it belongs to. Together with waitEdge these spans are the
+     * input of the causal critical-path profiler (core/profile):
+     * spans give program order per processor, wait edges give the
+     * cross-processor arcs. Components do not emit empty spans.
+     * Default is a no-op so existing tracers need no change.
+     */
+    virtual void
+    opSpan(ProcId who, std::uint64_t iter, std::uint32_t op_id,
+           ir::OpKind kind, SyncVarId var, Tick start, Tick end)
+    {
+        (void)who; (void)iter; (void)op_id; (void)kind; (void)var;
+        (void)start; (void)end;
     }
 
     /**

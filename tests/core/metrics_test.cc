@@ -164,4 +164,122 @@ TEST(MetricsTest, JsonRoundTripsEveryField)
     EXPECT_EQ(num("cache_hits"), 121);
     EXPECT_EQ(num("cache_misses"), 122);
     EXPECT_EQ(num("cache_invalidations"), 123);
+
+    // wait_latency only appears on profiled runs (satellite key
+    // order stays stable for unprofiled records).
+    EXPECT_EQ(v.find("wait_latency"), nullptr);
+}
+
+TEST(MetricsTest, WaitLatencyEmittedWhenRecorded)
+{
+    core::RunResult r;
+    r.waitLatency.record(7);
+    r.waitLatency.record(9);
+    std::ostringstream os;
+    r.toJson().dump(os, 2);
+    auto parsed = core::json::parse(os.str());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const core::json::Value *w = parsed.value.find("wait_latency");
+    ASSERT_NE(w, nullptr);
+    ASSERT_NE(w->find("count"), nullptr);
+    EXPECT_EQ(w->find("count")->asNumber(), 2);
+    EXPECT_EQ(w->find("sum")->asNumber(), 16);
+    EXPECT_EQ(w->find("min")->asNumber(), 7);
+    EXPECT_EQ(w->find("max")->asNumber(), 9);
+}
+
+TEST(LogHistogramTest, EmptyReportsZeros)
+{
+    core::LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+    for (unsigned b = 0; b < core::LogHistogram::kBuckets; ++b)
+        EXPECT_EQ(h.bucketCount(b), 0u) << b;
+}
+
+TEST(LogHistogramTest, SingleSampleClampsEveryQuantile)
+{
+    core::LogHistogram h;
+    h.record(100);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sum(), 100u);
+    EXPECT_EQ(h.min(), 100u);
+    EXPECT_EQ(h.max(), 100u);
+    // Bucket upper bound is 127, but quantiles clamp to observed.
+    EXPECT_EQ(h.percentile(0.5), 100u);
+    EXPECT_EQ(h.percentile(0.99), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(LogHistogramTest, BucketingSchemeIsPinned)
+{
+    using H = core::LogHistogram;
+    EXPECT_EQ(H::bucketOf(0), 0u);
+    EXPECT_EQ(H::bucketOf(1), 1u);
+    EXPECT_EQ(H::bucketOf(2), 2u);
+    EXPECT_EQ(H::bucketOf(3), 2u);
+    EXPECT_EQ(H::bucketOf(4), 3u);
+    EXPECT_EQ(H::bucketOf(7), 3u);
+    EXPECT_EQ(H::bucketOf((std::uint64_t{1} << 47) - 1),
+              H::kBuckets - 2);
+    // Everything at or above 2^47 lands in the overflow bucket.
+    EXPECT_EQ(H::bucketOf(std::uint64_t{1} << 47), H::kBuckets - 1);
+    EXPECT_EQ(H::bucketOf(~std::uint64_t{0}), H::kBuckets - 1);
+}
+
+TEST(LogHistogramTest, OverflowBucketNeverDropsSamples)
+{
+    core::LogHistogram h;
+    h.record(std::uint64_t{1} << 47);
+    h.record(std::uint64_t{1} << 60);
+    h.record(~std::uint64_t{0});
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucketCount(core::LogHistogram::kBuckets - 1), 3u);
+    EXPECT_EQ(h.max(), ~std::uint64_t{0});
+    EXPECT_EQ(h.min(), std::uint64_t{1} << 47);
+    // The overflow bucket has no finite upper bound of its own;
+    // every rank inside it reports the observed max.
+    EXPECT_EQ(h.percentile(1.0), ~std::uint64_t{0});
+    EXPECT_EQ(h.percentile(0.01), ~std::uint64_t{0});
+}
+
+TEST(LogHistogramTest, PercentileHitsBucketUpperBound)
+{
+    core::LogHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.record(10); // bucket 4: [8, 15]
+    h.record(1000); // bucket 10: [512, 1023]
+    EXPECT_EQ(h.percentile(0.5), 15u);
+    EXPECT_EQ(h.percentile(0.95), 15u);
+    // Rank 101 falls in the 1000-sample's bucket, clamped to max.
+    EXPECT_EQ(h.percentile(1.0), 1000u);
+}
+
+TEST(LogHistogramTest, MergeCombinesCountsAndExtremes)
+{
+    core::LogHistogram a, b, empty;
+    a.record(3);
+    a.record(100);
+    b.record(1);
+    b.record(50000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.sum(), 3u + 100u + 1u + 50000u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 50000u);
+    EXPECT_EQ(a.bucketCount(core::LogHistogram::bucketOf(3)), 1u);
+    EXPECT_EQ(a.bucketCount(core::LogHistogram::bucketOf(1)), 1u);
+
+    // Merging an empty histogram changes nothing, either way.
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.min(), 1u);
+    empty.merge(b);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.min(), 1u);
+    EXPECT_EQ(empty.max(), 50000u);
 }
