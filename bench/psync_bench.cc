@@ -58,9 +58,13 @@ struct Options
     bool forbidHeapFallback = false;
     bool noPasses = false;
     bool profile = false;
+    bool timeline = false;
+    sim::Tick timelineInterval = 0;
     unsigned jobs = 1;
     std::vector<unsigned> threadCounts;
     std::vector<std::string> patterns;
+    std::vector<std::string> globs;
+    std::string timelineJsonPath;
     std::string jsonPath;
     std::string baselinePath;
     std::string reportJsonPath;
@@ -76,13 +80,15 @@ usage(std::FILE *to)
     std::fprintf(
         to,
         "usage: psync_bench [--list] [--all] [--run PATTERN]... \n"
-        "                   [PATTERN]... [--json FILE]\n"
-        "                   [--jobs N]\n"
+        "                   [--scenarios GLOB]... [PATTERN]...\n"
+        "                   [--json FILE] [--jobs N]\n"
         "                   [--baseline FILE] [--threshold PCT]\n"
         "                   [--compare OLD NEW] [--exact]\n"
         "                   [--native] [--threads N,N,...]\n"
         "                   [--forbid-heap-fallback] [--no-passes]\n"
         "                   [--profile] [--profile-trace FILE]\n"
+        "                   [--timeline] [--timeline-interval N]\n"
+        "                   [--timeline-json FILE]\n"
         "                   [--report [PATTERN]] "
         "[--report-json FILE]\n"
         "\n"
@@ -105,7 +111,19 @@ usage(std::FILE *to)
         "Perfetto/Chrome trace with a \"critical path\" track (one\n"
         "file per scenario; the scenario id lands in the name when\n"
         "more than one is selected). Cycle counts are identical\n"
-        "with profiling on or off.\n");
+        "with profiling on or off.\n"
+        "\n"
+        "--timeline samples each run at a fixed interval (bus\n"
+        "occupancy, per-module traffic and backlog, sync-var\n"
+        "waiters, processor state mix, event-core self-metrics),\n"
+        "prints a sparkline report with detected hot spots, and\n"
+        "stamps records with the schema-v6 \"timeline\" summary.\n"
+        "--timeline-interval N overrides the auto-picked interval\n"
+        "(~128 samples per run); --timeline-json FILE writes the\n"
+        "full series. Sampling is passive: cycle counts are\n"
+        "identical with it on or off. --scenarios selects by\n"
+        "shell-style glob over scenario ids (\"fig32-*\",\n"
+        "\"*/statement*\").\n");
 }
 
 bool
@@ -158,6 +176,33 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.noPasses = true;
         } else if (arg == "--profile") {
             opts.profile = true;
+        } else if (arg == "--timeline") {
+            opts.timeline = true;
+        } else if (arg == "--timeline-interval") {
+            const char *p = next("--timeline-interval");
+            if (!p)
+                return false;
+            long long n = std::atoll(p);
+            if (n < 1) {
+                std::fprintf(
+                    stderr,
+                    "--timeline-interval needs a positive cycle "
+                    "count\n");
+                return false;
+            }
+            opts.timelineInterval = static_cast<sim::Tick>(n);
+            opts.timeline = true;
+        } else if (arg == "--timeline-json") {
+            const char *p = next("--timeline-json");
+            if (!p)
+                return false;
+            opts.timelineJsonPath = p;
+            opts.timeline = true;
+        } else if (arg == "--scenarios") {
+            const char *p = next("--scenarios");
+            if (!p)
+                return false;
+            opts.globs.push_back(p);
         } else if (arg == "--profile-trace") {
             const char *p = next("--profile-trace");
             if (!p)
@@ -268,15 +313,16 @@ listScenarios()
 std::vector<const bench::Scenario *>
 selectScenarios(const Options &opts)
 {
-    if (opts.all || opts.patterns.empty())
+    if (opts.all ||
+        (opts.patterns.empty() && opts.globs.empty()))
         return bench::matchScenarios("");
     std::vector<const bench::Scenario *> selected;
-    for (const auto &pattern : opts.patterns) {
-        auto matched = bench::matchScenarios(pattern);
+    auto take = [&](const std::string &pattern,
+                    std::vector<const bench::Scenario *> matched) {
         if (matched.empty()) {
             std::fprintf(stderr, "no scenario matches '%s'\n",
                          pattern.c_str());
-            continue;
+            return;
         }
         for (const auto *s : matched) {
             bool seen = false;
@@ -285,7 +331,11 @@ selectScenarios(const Options &opts)
             if (!seen)
                 selected.push_back(s);
         }
-    }
+    };
+    for (const auto &pattern : opts.patterns)
+        take(pattern, bench::matchScenarios(pattern));
+    for (const auto &glob : opts.globs)
+        take(glob, bench::matchScenariosGlob(glob));
     return selected;
 }
 
@@ -533,20 +583,27 @@ main(int argc, char **argv)
     // order after the join.
     const ir::PassConfig *passes = benchPasses(opts);
     std::vector<bench::ScenarioRecord> records(selected.size());
-    // Profiling keeps each run's recorder alive past the run so
-    // --profile-trace can render the full phase tracks afterwards.
+    // Profiling and timeline sampling keep each run's recorder
+    // alive past the run so --profile-trace can render the full
+    // phase tracks (and counter tracks) afterwards.
+    bool record_trace = opts.profile || opts.timeline;
+    sim::Tick interval =
+        opts.timeline ? (opts.timelineInterval
+                             ? opts.timelineInterval
+                             : bench::kTimelineAutoInterval)
+                      : 0;
     std::vector<std::unique_ptr<core::TraceRecorder>> recorders(
-        opts.profile ? selected.size() : 0);
+        record_trace ? selected.size() : 0);
     auto run_one = [&](std::size_t i) {
-        if (!opts.profile) {
+        if (!record_trace) {
             records[i] =
                 bench::runScenario(*selected[i], nullptr, passes);
             return;
         }
         recorders[i] = std::make_unique<core::TraceRecorder>();
         records[i] = bench::runScenario(
-            *selected[i], recorders[i].get(), passes,
-            /*profile=*/true);
+            *selected[i], recorders[i].get(), passes, opts.profile,
+            interval);
     };
     unsigned workers = std::min<std::size_t>(opts.jobs,
                                              selected.size());
@@ -645,6 +702,34 @@ main(int argc, char **argv)
                     return 2;
                 std::printf("wrote %s\n", path.c_str());
             }
+        }
+    }
+
+    if (opts.timeline) {
+        core::json::Value timelines = core::json::array();
+        for (std::size_t i = 0; i < selected.size(); ++i) {
+            const bench::ScenarioRecord &record = records[i];
+            if (!record.timeline)
+                continue;
+            std::cout << "\n== " << selected[i]->id
+                      << " timeline ==\n";
+            record.timeline->writeText(std::cout);
+            if (!opts.timelineJsonPath.empty()) {
+                core::json::Value entry = core::json::object();
+                entry.set("scenario", selected[i]->id);
+                entry.set("timeline", record.timeline->toJson());
+                timelines.push(std::move(entry));
+            }
+        }
+        if (!opts.timelineJsonPath.empty()) {
+            core::json::Value tdoc = core::json::object();
+            tdoc.set("schema_version",
+                     bench::kTrajectorySchemaVersion);
+            tdoc.set("timelines", std::move(timelines));
+            if (!writeJsonFile(opts.timelineJsonPath, tdoc))
+                return 2;
+            std::printf("wrote %s\n",
+                        opts.timelineJsonPath.c_str());
         }
     }
 

@@ -1,5 +1,6 @@
 #include "bench/registry.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -140,6 +141,17 @@ class Registry
                 "later processes under statement counters",
                 kind, makeJitterLoop, registerMachine());
         }
+        // Same serialization with the counters living in memory
+        // modules: the hot statement counter turns into a hot
+        // module, which the timeline hot-spot detector and the
+        // blame heatmap must both attribute to the same place.
+        add("fig32-jitter", "statement-mem",
+            "fig2.1+jitter (N=256, p=0.15, 800cyc)",
+            "statement",
+            "Fig. 3.2 on the memory fabric: the serialized "
+            "statement counter becomes a hot memory module",
+            sync::SchemeKind::statementOriented, makeJitterLoop,
+            memoryMachine());
 
         // -- E10: where the PCs live.
         {
@@ -299,6 +311,47 @@ matchScenarios(const std::string &pattern)
     return matched;
 }
 
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Classic two-pointer wildcard match: on mismatch past a '*',
+    // retry from one character further into the text.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::vector<const Scenario *>
+matchScenariosGlob(const std::string &pattern)
+{
+    if (pattern.find('*') == std::string::npos &&
+        pattern.find('?') == std::string::npos)
+        return matchScenarios(pattern);
+    std::vector<const Scenario *> matched;
+    for (const auto &s : allScenarios()) {
+        if (globMatch(pattern, s.id))
+            matched.push_back(&s);
+    }
+    return matched;
+}
+
 core::json::Value
 ScenarioRecord::toJson() const
 {
@@ -395,13 +448,20 @@ ScenarioRecord::toJson() const
         rec.set("profile", std::move(prof));
     }
 
+    // Schema v6: sampled runs carry the timeline summary (peaks +
+    // hot spots). Absent entirely on unsampled runs so those stay
+    // byte-comparable with v5 output.
+    if (timeline)
+        rec.set("timeline", timeline->summaryJson());
+
     rec.set("result", r.run.toJson());
     return rec;
 }
 
 ScenarioRecord
 runScenario(const Scenario &scenario, sim::Tracer *tracer,
-            const ir::PassConfig *passes, bool profile)
+            const ir::PassConfig *passes, bool profile,
+            sim::Tick timeline_interval)
 {
     ScenarioRecord record;
     record.scenario = &scenario;
@@ -420,6 +480,13 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer,
     cfg.tracer = tracer;
     if (passes)
         cfg.passes = *passes;
+    if (timeline_interval == kTimelineAutoInterval) {
+        // ~128 samples across the run, but never finer than 16
+        // cycles so tiny scenarios don't sample every event.
+        timeline_interval = std::max<sim::Tick>(
+            16, record.boundCycles / 128);
+    }
+    cfg.machine.timelineInterval = timeline_interval;
     record.transformsEnabled = cfg.passes.enabled &&
                                (cfg.passes.eliminateRedundantWaits ||
                                 cfg.passes.peephole);
@@ -444,6 +511,14 @@ runScenario(const Scenario &scenario, sim::Tracer *tracer,
                                            record.result.run.cycles,
                                            record.boundCycles));
         record.result.run.waitLatency = record.profile->waitAll;
+    }
+
+    if (timeline_interval > 0) {
+        if (auto *rec_tracer =
+                dynamic_cast<core::TraceRecorder *>(tracer)) {
+            record.timeline = std::make_shared<core::Timeline>(
+                core::buildTimeline(*rec_tracer));
+        }
     }
     return record;
 }

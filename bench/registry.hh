@@ -24,6 +24,7 @@
 #include "core/json.hh"
 #include "core/profile.hh"
 #include "core/runtime.hh"
+#include "core/timeline.hh"
 #include "dep/loop_ir.hh"
 #include "native/runner.hh"
 
@@ -46,10 +47,16 @@ namespace bench {
  * composition plus wait-latency histogram summaries), native
  * records gain "fa_retries", "wait_ns" and "park_wake_ns" — all
  * absent on unprofiled runs, so unprofiled v5 records differ from
- * v4 only in the version stamp. Loaders accept all versions and
- * ignore non-"sim" records when comparing cycles.
+ * v4 only in the version stamp; v6 adds a "timeline" summary
+ * object to sim records produced under `--timeline` (sampling
+ * interval, peak bus occupancy and queue depth, peak module
+ * backlog, peak waiter count, peak event rate, heap-fallback total
+ * and the detected hot-spot records) — absent on unsampled runs,
+ * so those records differ from v5 only in the version stamp.
+ * Loaders accept all versions and ignore non-"sim" records when
+ * comparing cycles.
  */
-constexpr int kTrajectorySchemaVersion = 5;
+constexpr int kTrajectorySchemaVersion = 6;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;
@@ -91,6 +98,23 @@ const Scenario *findScenario(const std::string &id);
 std::vector<const Scenario *>
 matchScenarios(const std::string &pattern);
 
+/**
+ * Shell-style glob match over the whole of `text`: `*` matches any
+ * run (including empty, including '/'), `?` any single character;
+ * everything else is literal. Iterative, so adversarial patterns
+ * cost O(pattern x text), not exponential time.
+ */
+bool globMatch(const std::string &pattern, const std::string &text);
+
+/**
+ * Scenarios whose id matches the shell-style glob (--scenarios):
+ * "fig32-*" takes a group, "*statement*" a scheme column. A
+ * pattern without a glob metacharacter degrades to substring
+ * matching so existing --run habits keep working.
+ */
+std::vector<const Scenario *>
+matchScenariosGlob(const std::string &pattern);
+
 /** Outcome of one scenario run, with the bound attached. */
 struct ScenarioRecord
 {
@@ -124,6 +148,13 @@ struct ScenarioRecord
      */
     std::shared_ptr<core::CriticalPathProfile> profile;
 
+    /**
+     * Assembled timeline, built when runScenario sampled the run
+     * (timeline_interval > 0, requires a TraceRecorder tracer);
+     * null otherwise. Shared so records stay cheap to copy.
+     */
+    std::shared_ptr<core::Timeline> timeline;
+
     /** Simulated events per host second (0 when unmeasured). */
     double
     eventsPerSec() const
@@ -156,11 +187,25 @@ struct ScenarioRecord
  * @param profile build the achieved-critical-path profile from the
  *        recorded trace and fill result.run.waitLatency; requires
  *        `tracer` to be a core::TraceRecorder.
+ * @param timeline_interval sample the run's timeline every this
+ *        many cycles (0 = off). Sampling is passive — cycle counts
+ *        are identical with it on or off — and needs `tracer` to be
+ *        a core::TraceRecorder for the Timeline to be assembled.
+ *        kTimelineAutoInterval picks an interval from the scenario's
+ *        cycle bound (~128 samples across the run).
  */
 ScenarioRecord runScenario(const Scenario &scenario,
                            sim::Tracer *tracer = nullptr,
                            const ir::PassConfig *passes = nullptr,
-                           bool profile = false);
+                           bool profile = false,
+                           sim::Tick timeline_interval = 0);
+
+/**
+ * Sentinel for runScenario's timeline_interval: derive the interval
+ * from the scenario's achievable cycle bound, max(16, bound / 128).
+ */
+constexpr sim::Tick kTimelineAutoInterval =
+    static_cast<sim::Tick>(-1);
 
 /**
  * Outcome of one native (real-thread) scenario run. Records host

@@ -26,10 +26,18 @@
  * is printed after the sweep, so where each scheme loses its
  * cycles is directly comparable.
  *
+ * With --timeline, each scheme's run is sampled at a fixed
+ * interval and a sparkline report (bus occupancy, module traffic,
+ * waiter counts, processor state mix, detected hot spots) is
+ * printed per scheme. Sampling is passive; cycle counts are
+ * identical with it on or off.
+ *
  * Usage: scheme_explorer [--native] [--dump-ir] [--profile]
+ *                        [--timeline]
  *                        [seed] [N] [statements] [P]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +48,7 @@
 #include "core/critical_path.hh"
 #include "core/profile.hh"
 #include "core/runtime.hh"
+#include "core/timeline.hh"
 #include "core/tracing.hh"
 #include "core/value_trace.hh"
 #include "dep/dep_graph.hh"
@@ -54,6 +63,7 @@ main(int argc, char **argv)
     bool with_native = false;
     bool dump_ir = false;
     bool with_profile = false;
+    bool with_timeline = false;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--native") == 0)
@@ -62,6 +72,8 @@ main(int argc, char **argv)
             dump_ir = true;
         else if (std::strcmp(argv[i], "--profile") == 0)
             with_profile = true;
+        else if (std::strcmp(argv[i], "--timeline") == 0)
+            with_timeline = true;
         else
             positional.push_back(argv[i]);
     }
@@ -96,6 +108,17 @@ main(int argc, char **argv)
     };
     std::vector<ProfileRow> profile_rows;
 
+    struct TimelineRow
+    {
+        std::string scheme;
+        core::Timeline timeline;
+    };
+    std::vector<TimelineRow> timeline_rows;
+    // ~128 samples across an ideally-parallel run; floor of 16
+    // cycles so tiny loops don't sample every event.
+    sim::Tick timeline_interval = std::max<sim::Tick>(
+        16, seq / (static_cast<sim::Tick>(procs) * 128));
+
     std::cout << "scheme             cycles    speedup  spin-frac  "
                  "sync-vars  verified";
     if (with_native)
@@ -114,8 +137,10 @@ main(int argc, char **argv)
         if (with_native)
             cfg.extraSink = &sim_values;
         core::TraceRecorder recorder;
-        if (with_profile)
+        if (with_profile || with_timeline)
             cfg.tracer = &recorder;
+        if (with_timeline)
+            cfg.machine.timelineInterval = timeline_interval;
 
         if (dump_ir) {
             // Plan twice against throwaway machines: once with the
@@ -181,6 +206,11 @@ main(int argc, char **argv)
                      cp.achievableBound(procs))});
         }
 
+        if (with_timeline) {
+            timeline_rows.push_back({sync::schemeKindName(kind),
+                                     core::buildTimeline(recorder)});
+        }
+
         if (with_native) {
             native::NativeConfig ncfg;
             ncfg.numThreads = procs;
@@ -238,6 +268,11 @@ main(int argc, char **argv)
                 pct(p.dispatchCycles), pct(p.propagationCycles),
                 hottest.c_str());
         }
+    }
+
+    for (const auto &row : timeline_rows) {
+        std::cout << "\n== " << row.scheme << " timeline ==\n";
+        row.timeline.writeText(std::cout);
     }
     return 0;
 }

@@ -64,10 +64,16 @@ namespace {
 void
 dumpNumber(std::ostream &os, double d)
 {
+    // JSON has no NaN/Infinity literals; rates computed over empty
+    // or zero-cycle runs produce them, and "%.17g" would emit
+    // "nan"/"inf" that no parser accepts. Emit null instead.
+    if (!std::isfinite(d)) {
+        os << "null";
+        return;
+    }
     // Integers (the common case: ticks and counts) print without a
     // fraction; doubles use enough digits to round-trip.
-    if (std::isfinite(d) && d == std::floor(d) &&
-        std::fabs(d) < 9.007199254740992e15) {
+    if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
         os << static_cast<long long>(d);
         return;
     }

@@ -70,6 +70,13 @@ TraceRecorder::opSpan(sim::ProcId who, std::uint64_t iter,
 }
 
 void
+TraceRecorder::sample(sim::SampleStream stream, std::uint32_t index,
+                      sim::Tick at, double value)
+{
+    samples_.push_back({stream, index, at, value});
+}
+
+void
 TraceRecorder::nameSyncVar(sim::SyncVarId var,
                            const std::string &label)
 {
@@ -87,6 +94,7 @@ TraceRecorder::clear()
     waitSiteEdges_.clear();
     opSpans_.clear();
     syncOpEvents_.clear();
+    samples_.clear();
     syncVars_.clear();
 }
 
@@ -214,6 +222,40 @@ TraceRecorder::chromeTrace() const
         ev.set("pid", pidResources);
         json::Value args = json::object();
         args.set("value", e.value);
+        ev.set("args", std::move(args));
+        events.push(std::move(ev));
+    }
+
+    // Timeline sample streams as counter tracks. Cumulative
+    // streams are differenced between consecutive samples so
+    // Perfetto shows per-interval rates instead of running totals;
+    // the activity-code stream is skipped (the phase track already
+    // shows processor state as spans).
+    std::map<std::pair<int, std::uint32_t>, double> lastCumulative;
+    for (const auto &s : samples_) {
+        if (s.stream == sim::SampleStream::procActivity)
+            continue;
+        double value = s.value;
+        if (sim::sampleStreamCumulative(s.stream)) {
+            auto key = std::make_pair(static_cast<int>(s.stream),
+                                      s.index);
+            auto it = lastCumulative.find(key);
+            value = s.value -
+                    (it == lastCumulative.end() ? 0.0 : it->second);
+            lastCumulative[key] = s.value;
+        }
+        std::string name =
+            std::string("timeline.") + sim::sampleStreamName(s.stream);
+        if (sim::sampleStreamIndexed(s.stream))
+            name += "[" + std::to_string(s.index) + "]";
+        json::Value ev = json::object();
+        ev.set("name", std::move(name));
+        ev.set("cat", "timeline");
+        ev.set("ph", "C");
+        ev.set("ts", s.at);
+        ev.set("pid", pidResources);
+        json::Value args = json::object();
+        args.set("value", value);
         ev.set("args", std::move(args));
         events.push(std::move(ev));
     }

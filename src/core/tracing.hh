@@ -122,6 +122,19 @@ class TraceRecorder : public sim::Tracer
         std::string op;
     };
 
+    /**
+     * One timeline sample: `stream[index]` had `value` at tick
+     * `at`. Samples of one stream arrive in non-decreasing tick
+     * order (the machine emits one batch per interval boundary).
+     */
+    struct TimelineSample
+    {
+        sim::SampleStream stream;
+        std::uint32_t index;
+        sim::Tick at;
+        double value;
+    };
+
     struct SyncVarStats
     {
         std::string label;
@@ -152,6 +165,8 @@ class TraceRecorder : public sim::Tracer
                 std::uint32_t op_id, ir::OpKind kind,
                 sim::SyncVarId var, sim::Tick start,
                 sim::Tick end) override;
+    void sample(sim::SampleStream stream, std::uint32_t index,
+                sim::Tick at, double value) override;
     void nameSyncVar(sim::SyncVarId var,
                      const std::string &label) override;
 
@@ -181,6 +196,10 @@ class TraceRecorder : public sim::Tracer
         return waitSiteEdges_;
     }
     const std::vector<OpSpan> &opSpans() const { return opSpans_; }
+    const std::vector<TimelineSample> &samples() const
+    {
+        return samples_;
+    }
     const std::vector<SyncOpEvent> &syncOpEvents() const
     {
         return syncOpEvents_;
@@ -228,6 +247,7 @@ class TraceRecorder : public sim::Tracer
     std::vector<WaitSiteEdge> waitSiteEdges_;
     std::vector<OpSpan> opSpans_;
     std::vector<SyncOpEvent> syncOpEvents_;
+    std::vector<TimelineSample> samples_;
     std::map<sim::SyncVarId, SyncVarStats> syncVars_;
 };
 

@@ -84,6 +84,23 @@ Bus::grantNext()
     });
 }
 
+void
+Bus::sampleTimeline(Tracer &t, std::uint32_t index, Tick at) const
+{
+    // busyCyclesStat books a transaction's full occupancy at grant
+    // time; back out the not-yet-elapsed tail of an in-flight
+    // transaction so consecutive samples difference to the busy
+    // cycles actually inside the interval.
+    double busy = busyCyclesStat.value();
+    if (granting && freeAt > at)
+        busy -= static_cast<double>(freeAt - at);
+    if (busy < 0)
+        busy = 0;
+    t.sample(SampleStream::busBusyCycles, index, at, busy);
+    t.sample(SampleStream::busQueueDepth, index, at,
+             static_cast<double>(pending.size() + (granting ? 1 : 0)));
+}
+
 double
 Bus::utilization(Tick end_tick) const
 {

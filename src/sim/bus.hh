@@ -85,6 +85,13 @@ class Bus : public Interconnect
     /** Fraction of time busy over [0, end_tick]. */
     double utilization(Tick end_tick) const override;
 
+    /**
+     * Emit one timeline sample pair (cumulative busy cycles,
+     * instantaneous queue depth) to `t`, tagged with this bus's
+     * stream index (0 = data bus, 1 = sync bus).
+     */
+    void sampleTimeline(Tracer &t, std::uint32_t index, Tick at) const;
+
     /** Write the bus statistics to a stream. */
     void dumpStats(std::ostream &os) const override;
 

@@ -20,6 +20,19 @@ eventCoreKindName(EventCoreKind kind)
     return "unknown";
 }
 
+std::size_t
+EventQueue::occupiedBuckets() const
+{
+    std::size_t buckets = 0;
+    for (std::uint64_t word : occupied_) {
+        while (word) {
+            word &= word - 1;
+            ++buckets;
+        }
+    }
+    return buckets;
+}
+
 void
 EventQueue::pushFar(Event event)
 {

@@ -117,6 +117,15 @@ class EventQueue
     /** Number of pending events (diagnostics). */
     std::size_t pendingEvents() const { return ringCount_ + far_.size(); }
 
+    /** Pending events in the calendar ring (0 on the heap core). */
+    std::size_t ringEvents() const { return ringCount_; }
+
+    /** Non-empty calendar buckets (0 on the heap core). */
+    std::size_t occupiedBuckets() const;
+
+    /** Events parked in the far-future heap. */
+    std::size_t farEvents() const { return far_.size(); }
+
   private:
     struct Event
     {

@@ -35,7 +35,7 @@ stagesFor(unsigned endpoints)
 
 Machine::Machine(const MachineConfig &cfg, TraceSink *trace,
                  Tracer *tracer)
-    : config_(cfg), eventq_(cfg.eventCore)
+    : config_(cfg), tracer_(tracer), eventq_(cfg.eventCore)
 {
     if (config_.numProcs == 0)
         fatal("machine needs at least one processor");
@@ -96,14 +96,86 @@ Machine::run(Processor::Dispatch dispatch, Tick limit)
 {
     for (auto &proc : processors_)
         proc->start(dispatch);
+#ifndef PSYNC_TRACING_DISABLED
+    if (tracer_ && config_.timelineInterval > 0)
+        return runSampled(limit);
+#endif
     bool drained = eventq_.run(limit);
-    if (drained) {
-        for (auto &proc : processors_) {
-            if (!proc->halted())
-                return false;
-        }
+    return drained && allHalted();
+}
+
+bool
+Machine::allHalted() const
+{
+    for (const auto &proc : processors_) {
+        if (!proc->halted())
+            return false;
     }
-    return drained;
+    return true;
+}
+
+bool
+Machine::runSampled(Tick limit)
+{
+    // The resumable event core executes events with when <= chunk
+    // limit and pauses with everything else intact, so chunking by
+    // interval boundaries observes the exact (when, seq) order of
+    // an unchunked run — sampling is passive by construction.
+    const Tick interval = config_.timelineInterval;
+    Tick last_sampled = eventq_.now();
+    sampleTimeline(last_sampled);
+    Tick boundary = last_sampled + interval;
+    while (boundary < limit) {
+        if (eventq_.run(boundary)) {
+            // Drained mid-interval: close the timeline with a final
+            // (possibly partial) sample at the last executed tick.
+            if (eventq_.now() > last_sampled)
+                sampleTimeline(eventq_.now());
+            return allHalted();
+        }
+        sampleTimeline(boundary);
+        last_sampled = boundary;
+        boundary += interval;
+    }
+    bool drained = eventq_.run(limit);
+    if (drained && eventq_.now() > last_sampled)
+        sampleTimeline(eventq_.now());
+    return drained && allHalted();
+}
+
+void
+Machine::sampleTimeline(Tick at)
+{
+#ifndef PSYNC_TRACING_DISABLED
+    if (!tracer_)
+        return;
+    Tracer &t = *tracer_;
+    if (Bus *data_bus = dataBus())
+        data_bus->sampleTimeline(t, 0, at);
+    if (syncBus_)
+        syncBus_->sampleTimeline(t, 1, at);
+    memory_->sampleTimeline(t, at);
+    fabric_->sampleTimeline(t, at);
+    t.sample(SampleStream::eventsExecuted, 0, at,
+             static_cast<double>(eventq_.eventsExecuted()));
+    t.sample(SampleStream::pendingEvents, 0, at,
+             static_cast<double>(eventq_.pendingEvents()));
+    t.sample(SampleStream::ringBuckets, 0, at,
+             static_cast<double>(eventq_.occupiedBuckets()));
+    t.sample(SampleStream::farHeapEvents, 0, at,
+             static_cast<double>(eventq_.farEvents()));
+    t.sample(SampleStream::heapFallbacks, 0, at,
+             static_cast<double>(eventq_.heapFallbackEvents()));
+    for (ProcId id = 0; id < config_.numProcs; ++id) {
+        ProcActivity a = processors_[id]->activity();
+        if (a == ProcActivity::spin && fabric_->isParked(id))
+            a = ProcActivity::parked;
+        t.sample(SampleStream::procActivity, id, at,
+                 static_cast<double>(a));
+    }
+#else
+    (void)at;
+#endif
 }
 
 Tick

@@ -97,6 +97,18 @@ struct MachineConfig
 
     /** Base address of the sync-variable region (memory fabric). */
     Addr syncVarBase = Addr(1) << 40;
+
+    /**
+     * Timeline sampling interval, in cycles (0 = off). When nonzero
+     * and a tracer is attached, Machine::run executes the event
+     * queue in interval-sized chunks and emits one batch of
+     * Tracer::sample calls per boundary (plus a baseline sample at
+     * the start tick and a final one at drain). Chunking pauses and
+     * resumes the queue between the same (when, seq)-ordered
+     * events, so a sampled run is cycle-identical to an unsampled
+     * one.
+     */
+    Tick timelineInterval = 0;
 };
 
 /** An assembled multiprocessor. */
@@ -142,13 +154,27 @@ class Machine
     /** Last tick at which any processor halted. */
     Tick completionTick() const;
 
+    /**
+     * Emit one batch of timeline samples (every SampleStream, all
+     * components) to the attached tracer at tick `at`. Driven by
+     * run() at interval boundaries; exposed for tests.
+     */
+    void sampleTimeline(Tick at);
+
     void dumpStats(std::ostream &os) const;
 
     /** Register every component's statistics with a walker group. */
     void registerStats(stats::Group &group) const;
 
   private:
+    /** Run the queue in interval chunks, sampling at boundaries. */
+    bool runSampled(Tick limit);
+
+    /** True once every processor has drained its work. */
+    bool allHalted() const;
+
     MachineConfig config_;
+    Tracer *tracer_;
     EventQueue eventq_;
     std::unique_ptr<Interconnect> dataNet_;
     std::unique_ptr<Bus> syncBus_;

@@ -193,6 +193,23 @@ Memory::serviceAtModule(Addr addr, AccessHandler on_done)
     eventq.schedule(done, std::move(on_done));
 }
 
+void
+Memory::sampleTimeline(Tracer &t, Tick at) const
+{
+    for (unsigned m = 0; m < config.numModules; ++m) {
+        t.sample(SampleStream::moduleAccesses, m, at, accessesStat[m]);
+        // The reserved-until horizon divided by the service time is
+        // the number of requests queued or in service at the module
+        // right now (rmw counts double, matching its occupancy).
+        double backlog = 0;
+        if (moduleFreeAt[m] > at) {
+            backlog = static_cast<double>(moduleFreeAt[m] - at) /
+                      static_cast<double>(config.serviceCycles);
+        }
+        t.sample(SampleStream::moduleBacklog, m, at, backlog);
+    }
+}
+
 double
 Memory::hotSpotRatio() const
 {

@@ -127,6 +127,13 @@ class Memory
         return static_cast<Tick>(queueDelayStat.value());
     }
 
+    /**
+     * Emit per-module timeline samples to `t`: cumulative serviced
+     * requests and the instantaneous backlog (service-queue depth in
+     * requests, from the module's reserved-until horizon).
+     */
+    void sampleTimeline(Tracer &t, Tick at) const;
+
     void dumpStats(std::ostream &os) const;
 
     /** Register the memory statistics with a walker group. */

@@ -28,11 +28,13 @@ void
 Processor::fetchNext()
 {
     Tick fetch_start = eventq.now();
+    setActivity(ProcActivity::dispatch);
     dispatch_(id_, [this, fetch_start](const Program *program) {
         tracePhase(TracePhase::dispatch, fetch_start, eventq.now());
         if (program == nullptr) {
             halted_ = true;
             haltTick_ = eventq.now();
+            setActivity(ProcActivity::halted);
             PSYNC_DPRINTF(eventq, Proc, "proc %u halted", id_);
             PSYNC_TRACE(tracer, instant("halt", id_, eventq.now()));
             return;
@@ -115,6 +117,7 @@ Processor::step()
 void
 Processor::execCompute(const Op &op)
 {
+    setActivity(ProcActivity::compute);
     computeCycles_ += op.cycles;
     tracePhase(TracePhase::compute, eventq.now(),
                eventq.now() + op.cycles);
@@ -126,6 +129,7 @@ Processor::execCompute(const Op &op)
 void
 Processor::execData(const Op &op)
 {
+    setActivity(ProcActivity::stall);
     Tick start = eventq.now();
     bool is_write = op.kind == OpKind::dataWrite;
     auto done = [this, op, start, is_write]() {
@@ -150,12 +154,14 @@ void
 Processor::execWaitGE(const Op &op)
 {
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
                eventq.now() + issue);
     Tick start = eventq.now();
     eventq.scheduleIn(issue, [this, op, start]() {
+        setActivity(ProcActivity::spin);
         fabric.waitGE(id_, op.var, op.value,
                       [this, op, start](Tick waited) {
             spinCycles_ += waited;
@@ -178,6 +184,7 @@ void
 Processor::execWrite(const Op &op)
 {
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
@@ -203,6 +210,7 @@ void
 Processor::execFetchInc(const Op &op)
 {
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
@@ -226,6 +234,7 @@ void
 Processor::execPcMark(const Op &op)
 {
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
@@ -271,6 +280,7 @@ void
 Processor::execPcTransfer(const Op &op)
 {
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
@@ -286,6 +296,7 @@ Processor::execPcTransfer(const Op &op)
             return;
         }
         // get_PC: wait until ownership reaches this process.
+        setActivity(ProcActivity::spin);
         fabric.waitGE(id_, op.var, op.aux,
                       [this, op, start](Tick waited) {
             spinCycles_ += waited;
@@ -298,6 +309,7 @@ Processor::execPcTransfer(const Op &op)
                                        eventq.now()));
             }
             ownedPc = true;
+            setActivity(ProcActivity::sync);
             fabric.write(id_, op.var, op.value, [this, op, start]() {
                 traceOpSpan(op.id, op.kind, op.var, opIter(op),
                             start, eventq.now());
@@ -317,6 +329,7 @@ Processor::execKeyed(const Op &op)
               "modules)");
     }
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
@@ -336,6 +349,7 @@ Processor::execKeyed(const Op &op)
     eventq.scheduleIn(issue, [this, key, threshold, addr, stmt, ref,
                               op_id, iter, start, issue, is_write,
                               mem_fab]() {
+        setActivity(ProcActivity::spin);
         mem_fab->keyedAccess(id_, key, threshold,
                              [this, key, addr, stmt, ref, op_id,
                               iter, start, issue,
@@ -375,6 +389,7 @@ void
 Processor::execCtrBarrier(const Op &op)
 {
     ++syncOpsIssued_;
+    setActivity(ProcActivity::sync);
     Tick issue = fabric.issueCost();
     syncOverheadCycles_ += issue;
     tracePhase(TracePhase::syncOverhead, eventq.now(),
@@ -412,6 +427,7 @@ Processor::execCtrBarrier(const Op &op)
                 step();
             };
             std::uint64_t num_procs = op.cycles;
+            setActivity(ProcActivity::spin);
             if (old_val + 1 == op.value * num_procs) {
                 // Last arrival: release this generation.
                 SyncWord gen = op.value;

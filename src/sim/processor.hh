@@ -57,6 +57,14 @@ class Processor
     /** True once the processor has drained all its work. */
     bool halted() const { return halted_; }
 
+    /**
+     * What this processor is doing right now. Live state for the
+     * timeline sampler, maintained only while a tracer is attached
+     * (always `dispatch` otherwise); the machine refines `spin`
+     * into `parked` by asking the fabric.
+     */
+    ProcActivity activity() const { return activity_; }
+
     Tick computeCycles() const { return computeCycles_; }
     Tick spinCycles() const { return spinCycles_; }
     Tick syncOverheadCycles() const { return syncOverheadCycles_; }
@@ -109,6 +117,18 @@ class Processor
 #endif
     }
 
+    /** Update live activity state (no-op when untraced). */
+    void
+    setActivity(ProcActivity a)
+    {
+#ifndef PSYNC_TRACING_DISABLED
+        if (tracer)
+            activity_ = a;
+#else
+        (void)a;
+#endif
+    }
+
     /** Iteration an op belongs to (iterTag overrides program iter). */
     std::uint64_t
     opIter(const Op &op) const
@@ -142,6 +162,7 @@ class Processor
 
     bool halted_ = false;
     Tick haltTick_ = 0;
+    ProcActivity activity_ = ProcActivity::dispatch;
 
     Tick computeCycles_ = 0;
     Tick spinCycles_ = 0;

@@ -49,6 +49,52 @@ MemorySyncFabric::addrOf(SyncVarId var) const
     return baseAddr + static_cast<Addr>(var) * 8;
 }
 
+void
+MemorySyncFabric::trackWaitStart(SyncVarId var)
+{
+    if (tracer)
+        ++activeWaiters[var];
+}
+
+void
+MemorySyncFabric::trackWaitEnd(SyncVarId var)
+{
+    if (!tracer)
+        return;
+    auto it = activeWaiters.find(var);
+    if (it != activeWaiters.end() && --it->second == 0)
+        activeWaiters.erase(it);
+}
+
+void
+MemorySyncFabric::trackPark(ProcId who)
+{
+    if (tracer)
+        parkedProcs.insert(who);
+}
+
+void
+MemorySyncFabric::trackUnpark(ProcId who)
+{
+    if (tracer)
+        parkedProcs.erase(who);
+}
+
+void
+MemorySyncFabric::sampleTimeline(Tracer &t, Tick at) const
+{
+    for (const auto &entry : activeWaiters) {
+        t.sample(SampleStream::syncVarWaiters, entry.first, at,
+                 static_cast<double>(entry.second));
+    }
+}
+
+bool
+MemorySyncFabric::isParked(ProcId who) const
+{
+    return parkedProcs.count(who) != 0;
+}
+
 SyncVarId
 MemorySyncFabric::allocate(unsigned count, SyncWord init_value)
 {
@@ -104,6 +150,7 @@ MemorySyncFabric::pollValue(std::uint32_t slot, SyncWord value)
             PSYNC_TRACE(tracer, waitEdge(op.var, op.who, op.started,
                                          eventq.now()));
         }
+        trackWaitEnd(op.var);
         WaitHandler on_done = std::move(op.onWait);
         Tick waited = eventq.now() - op.started;
         freeOp(slot);
@@ -115,6 +162,7 @@ MemorySyncFabric::pollValue(std::uint32_t slot, SyncWord value)
         // fetch happens when a write invalidates it. No poll events
         // tick while parked — the slot just waits on the list.
         op.parkSeq = nextParkSeq++;
+        trackPark(op.who);
         parked[op.var].push_back(slot);
         return;
     }
@@ -139,6 +187,7 @@ MemorySyncFabric::invalidate(SyncVarId var)
         return ops[a].parkSeq < ops[b].parkSeq;
     });
     for (std::uint32_t slot : woken) {
+        trackUnpark(ops[slot].who);
         eventq.scheduleIn(pollInterval,
                           [this, slot]() { pollLoop(slot); });
     }
@@ -159,6 +208,7 @@ MemorySyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
     op.threshold = threshold;
     op.started = eventq.now();
     op.onWait = std::move(on_done);
+    trackWaitStart(var);
     pollLoop(slot);
 }
 
@@ -237,6 +287,7 @@ MemorySyncFabric::keyedService(std::uint32_t slot)
             PSYNC_TRACE(tracer,
                         waitEdge(key, op.who, op.started,
                                  eventq.now()));
+        trackWaitEnd(key);
         WaitHandler on_done = std::move(op.onWait);
         freeOp(slot);
         wakeKeyed(key);
@@ -244,6 +295,7 @@ MemorySyncFabric::keyedService(std::uint32_t slot)
         return;
     }
     op.parkSeq = nextParkSeq++;
+    trackPark(op.who);
     parkedKeyed[key].push_back(slot);
 }
 
@@ -261,6 +313,7 @@ MemorySyncFabric::wakeKeyed(SyncVarId key)
     });
     for (std::uint32_t slot : woken) {
         ++keyedRetriesStat;
+        trackUnpark(ops[slot].who);
         // The retry occupies the key's module but never the
         // interconnect: the synchronization processor is local.
         memory.serviceAtModule(
@@ -282,6 +335,7 @@ MemorySyncFabric::keyedAccess(ProcId who, SyncVarId key,
     op.threshold = threshold;
     op.started = eventq.now();
     op.onWait = std::move(on_done);
+    trackWaitStart(key);
     // One interconnect transaction delivers the combined request
     // to the module; reuse the read path for its timing.
     memory.read(who, addrOf(key),
@@ -380,6 +434,11 @@ RegisterSyncFabric::commit(SyncVarId var, SyncWord value)
     for (auto &w : wait_list) {
         if (values[var] >= w.threshold) {
             ++wakeupsStat;
+            if (tracer) {
+                auto it = activeWaiters.find(var);
+                if (it != activeWaiters.end() && --it->second == 0)
+                    activeWaiters.erase(it);
+            }
             Tick waited = eventq.now() - w.started;
             if (waited > 0) {
                 PSYNC_TRACE(tracer, waitEdge(var, w.who, w.started,
@@ -417,9 +476,20 @@ RegisterSyncFabric::waitGE(ProcId who, SyncVarId var, SyncWord threshold,
         eventq.scheduleIn(0, [this]() { runReady(); });
         return;
     }
+    if (tracer)
+        ++activeWaiters[var];
     waiters[var].push_back(Waiter{who, threshold, eventq.now(),
                                   nextWaiterSeq++,
                                   std::move(on_done)});
+}
+
+void
+RegisterSyncFabric::sampleTimeline(Tracer &t, Tick at) const
+{
+    for (const auto &entry : activeWaiters) {
+        t.sample(SampleStream::syncVarWaiters, entry.first, at,
+                 static_cast<double>(entry.second));
+    }
 }
 
 void

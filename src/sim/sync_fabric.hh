@@ -24,6 +24,7 @@
 #include <ostream>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/bus.hh"
@@ -114,6 +115,32 @@ class SyncFabric
     /** Processor-side cycles to issue one fabric operation. */
     virtual Tick issueCost() const = 0;
 
+    /**
+     * Emit per-variable timeline samples (blocked-waiter counts) to
+     * `t` at tick `at`. Only variables with at least one blocked
+     * waiter are reported, so a missing sample means zero. Default
+     * reports nothing.
+     */
+    virtual void
+    sampleTimeline(Tracer &t, Tick at) const
+    {
+        (void)t; (void)at;
+    }
+
+    /**
+     * True if `who` is blocked on a parked (non-polling) wait right
+     * now — a cached-spin waiter waiting for an invalidation, or a
+     * keyed request parked at its module. Register-fabric waiters
+     * spin on free local images and are never parked. Maintained
+     * only while a tracer is attached (timeline sampling).
+     */
+    virtual bool
+    isParked(ProcId who) const
+    {
+        (void)who;
+        return false;
+    }
+
     virtual void dumpStats(std::ostream &os) const = 0;
 
     /** Register the fabric's statistics with a walker group. */
@@ -195,6 +222,9 @@ class MemorySyncFabric : public SyncFabric
         return static_cast<std::uint64_t>(keyedRetriesStat.value());
     }
 
+    void sampleTimeline(Tracer &t, Tick at) const override;
+    bool isParked(ProcId who) const override;
+
     void dumpStats(std::ostream &os) const override;
     void registerStats(stats::Group &group) const override;
 
@@ -251,10 +281,26 @@ class MemorySyncFabric : public SyncFabric
     std::uint32_t freeOps = noOp;
     std::uint64_t nextParkSeq = 0;
 
+    /** Count a wait (poll loop or keyed) becoming blocked on var. */
+    void trackWaitStart(SyncVarId var);
+    /** A blocked wait on `var` was satisfied. */
+    void trackWaitEnd(SyncVarId var);
+    /** `who` parked (cached-spin or keyed) / resumed polling. */
+    void trackPark(ProcId who);
+    void trackUnpark(ProcId who);
+
     /** Parked waiter slots per variable, FIFO by parkSeq. */
     std::unordered_map<SyncVarId, std::vector<std::uint32_t>> parked;
     std::unordered_map<SyncVarId, std::vector<std::uint32_t>>
         parkedKeyed;
+
+    /**
+     * Timeline-sampling shadow state, maintained only while a
+     * tracer is attached: blocked waiters per variable and the set
+     * of processors currently parked (as opposed to polling).
+     */
+    std::unordered_map<SyncVarId, unsigned> activeWaiters;
+    std::unordered_set<ProcId> parkedProcs;
 
     stats::Scalar pollsStat;
     stats::Scalar writesStat;
@@ -317,6 +363,8 @@ class RegisterSyncFabric : public SyncFabric
         return static_cast<std::uint64_t>(coalescedStat.value());
     }
 
+    void sampleTimeline(Tracer &t, Tick at) const override;
+
     void dumpStats(std::ostream &os) const override;
     void registerStats(stats::Group &group) const override;
 
@@ -377,6 +425,13 @@ class RegisterSyncFabric : public SyncFabric
 
     std::vector<SyncWord> values;
     std::vector<std::vector<Waiter>> waiters;
+    /**
+     * Blocked waiters per variable, maintained only while a tracer
+     * is attached (timeline sampling): a sparse mirror of the
+     * non-empty `waiters` lists, so a sample never scans the full
+     * register file.
+     */
+    std::unordered_map<SyncVarId, unsigned> activeWaiters;
     /** Pending (not yet granted) write per (proc, var). */
     std::unordered_map<std::uint64_t, PendingWrite> pendingWrites;
     std::deque<ReadyOp> readyOps;

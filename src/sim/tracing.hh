@@ -48,6 +48,84 @@ enum class TracePhase
 const char *tracePhaseName(TracePhase phase);
 
 /**
+ * A fixed-interval timeline counter stream. The machine samples
+ * every stream at each interval boundary (plus once before the run
+ * and once at drain), so a timeline consumer can difference
+ * cumulative streams and read instantaneous ones directly. The
+ * `index` parameter of Tracer::sample selects the entity within a
+ * stream (bus number, memory module, sync variable, processor);
+ * streams describing a single global quantity use index 0.
+ */
+enum class SampleStream : std::uint8_t
+{
+    /** Cumulative busy cycles; index = bus (0 data, 1 sync). */
+    busBusyCycles,
+    /** Queued + in-flight transactions now; index = bus. */
+    busQueueDepth,
+    /** Cumulative serviced requests; index = memory module. */
+    moduleAccesses,
+    /** Requests queued at the module now; index = module. */
+    moduleBacklog,
+    /** Processors blocked on the variable now; index = sync var. */
+    syncVarWaiters,
+    /** Instantaneous ProcActivity code; index = processor. */
+    procActivity,
+    /** Cumulative events executed by the event core. */
+    eventsExecuted,
+    /** Events pending in the queue now. */
+    pendingEvents,
+    /** Occupied calendar-ring buckets now (0 on the heap core). */
+    ringBuckets,
+    /** Events parked in the far-future heap now. */
+    farHeapEvents,
+    /** Cumulative handler captures spilled to the heap. */
+    heapFallbacks,
+};
+
+/** Short printable stream name ("bus_busy_cycles", ...). */
+const char *sampleStreamName(SampleStream stream);
+
+/**
+ * True for streams whose samples are running totals (difference
+ * consecutive samples to get a per-interval rate); false for
+ * instantaneous state snapshots.
+ */
+bool sampleStreamCumulative(SampleStream stream);
+
+/** True for streams indexed by an entity id rather than global. */
+bool sampleStreamIndexed(SampleStream stream);
+
+/**
+ * What a processor is doing at one sampling instant. Unlike
+ * TracePhase intervals (which are emitted retroactively at op
+ * completion), this is live state, so a processor blocked across
+ * many sampling boundaries shows up in every one of them.
+ */
+enum class ProcActivity : std::uint8_t
+{
+    /** Fetching the next program from the scheduler. */
+    dispatch,
+    /** Executing statement-body work. */
+    compute,
+    /** Waiting for a data access. */
+    stall,
+    /** Issuing or finishing a synchronization operation. */
+    sync,
+    /** Busy-waiting on a synchronization variable. */
+    spin,
+    /** Blocked on a parked (non-polling) wait. */
+    parked,
+    /** Out of work. */
+    halted,
+};
+
+/** Number of ProcActivity states (for state-mix tabulation). */
+constexpr unsigned numProcActivities = 7;
+
+/** Short printable activity name ("compute", "parked", ...). */
+const char *procActivityName(ProcActivity activity);
+
+/**
  * Abstract event consumer. All hooks are passive: a tracer must not
  * schedule events or otherwise perturb the simulation, so a traced
  * run and an untraced run of the same configuration produce
@@ -136,6 +214,24 @@ class Tracer
     {
         (void)who; (void)iter; (void)op_id; (void)kind; (void)var;
         (void)start; (void)end;
+    }
+
+    /**
+     * Timeline sample: `stream[index]` had `value` at tick `at`.
+     * Emitted by the machine at fixed interval boundaries when
+     * MachineConfig::timelineInterval is nonzero (plus one baseline
+     * sample before the run and one at drain). Cumulative streams
+     * (sampleStreamCumulative) carry running totals; instantaneous
+     * streams carry state snapshots. Sparse streams (per-sync-var
+     * waiter counts) only report entities with nonzero values, so a
+     * missing sample means zero. Default is a no-op so existing
+     * tracers need no change.
+     */
+    virtual void
+    sample(SampleStream stream, std::uint32_t index, Tick at,
+           double value)
+    {
+        (void)stream; (void)index; (void)at; (void)value;
     }
 
     /**

@@ -92,3 +92,76 @@ TEST(RegistryTest, TracedRunRecordsWaitEdges)
     EXPECT_TRUE(record.result.run.completed);
     EXPECT_FALSE(rec.waitEdges().empty());
 }
+
+TEST(RegistryTest, GlobMatchSemantics)
+{
+    EXPECT_TRUE(bench::globMatch("fig32-*", "fig32-jitter/statement"));
+    EXPECT_TRUE(bench::globMatch("*statement", "fig32-jitter/statement"));
+    EXPECT_TRUE(bench::globMatch("*/statement", "fig21-n64/statement"));
+    EXPECT_TRUE(bench::globMatch("fig21-n6?/*", "fig21-n64/reference"));
+    EXPECT_TRUE(bench::globMatch("*", "anything/at-all"));
+    EXPECT_TRUE(bench::globMatch("", ""));
+
+    // Whole-string match, not substring.
+    EXPECT_FALSE(bench::globMatch("fig32", "fig32-jitter/statement"));
+    EXPECT_FALSE(bench::globMatch("?", "ab"));
+    EXPECT_FALSE(bench::globMatch("a*c", "abd"));
+
+    // '*' crosses '/' (scenario ids are flat strings).
+    EXPECT_TRUE(bench::globMatch("fig21*reference",
+                                 "fig21-n64/reference"));
+}
+
+TEST(RegistryTest, MatchScenariosGlobSelectsGroups)
+{
+    auto group = bench::matchScenariosGlob("fig21-n64/*");
+    EXPECT_EQ(group.size(), 3u);
+    for (const auto *s : group)
+        EXPECT_EQ(s->id.rfind("fig21-n64/", 0), 0u) << s->id;
+
+    auto schemes = bench::matchScenariosGlob("*/statement");
+    EXPECT_GE(schemes.size(), 2u);
+    for (const auto *s : schemes)
+        EXPECT_NE(s->id.find("/statement"), std::string::npos)
+            << s->id;
+
+    // Without metacharacters, globs degrade to substring matching
+    // so --scenarios accepts the same patterns --run does.
+    EXPECT_EQ(bench::matchScenariosGlob("fig21-n64").size(), 3u);
+    EXPECT_TRUE(bench::matchScenariosGlob("zzz-*").empty());
+}
+
+TEST(RegistryTest, SampledRunAttachesSchemaV6TimelineSummary)
+{
+    const bench::Scenario *s =
+        bench::findScenario("fig21-n64/statement");
+    ASSERT_NE(s, nullptr);
+
+    // Unsampled record: no timeline field (byte-comparable with
+    // v5 output apart from the version stamp).
+    bench::ScenarioRecord plain = bench::runScenario(*s);
+    EXPECT_EQ(plain.timeline, nullptr);
+    EXPECT_FALSE(plain.toJson().has("timeline"));
+
+    core::TraceRecorder rec;
+    bench::ScenarioRecord sampled = bench::runScenario(
+        *s, &rec, nullptr, /*profile=*/false,
+        bench::kTimelineAutoInterval);
+
+    // Sampling is passive: identical cycles.
+    EXPECT_EQ(sampled.result.run.cycles, plain.result.run.cycles);
+
+    ASSERT_NE(sampled.timeline, nullptr);
+    EXPECT_FALSE(sampled.timeline->empty());
+    EXPECT_EQ(sampled.timeline->boundaries.back(),
+              sampled.result.run.cycles);
+
+    core::json::Value j = sampled.toJson();
+    EXPECT_EQ(j.find("schema_version")->asNumber(), 6);
+    const core::json::Value *tl = j.find("timeline");
+    ASSERT_NE(tl, nullptr);
+    ASSERT_TRUE(tl->isObject());
+    EXPECT_GT(tl->find("samples")->asNumber(), 1);
+    EXPECT_NE(tl->find("peak_bus_occupancy"), nullptr);
+    EXPECT_NE(tl->find("hotspots"), nullptr);
+}

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/json.hh"
 
 using namespace psync::core::json;
@@ -130,4 +133,37 @@ TEST(JsonTest, PrettyPrintParsesBack)
     auto r = parse(pretty);
     ASSERT_TRUE(r.ok) << r.error;
     EXPECT_DOUBLE_EQ(r.value.find("a")->asNumber(), 1.0);
+}
+
+TEST(JsonTest, NonFiniteNumbersEmitNullAndRoundTrip)
+{
+    // JSON has no NaN/Infinity literals; rates over empty or
+    // zero-cycle runs produce them. The dumper must emit null so
+    // the document stays parseable by any strict reader —
+    // including our own.
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    double inf = std::numeric_limits<double>::infinity();
+
+    EXPECT_EQ(Value(nan).dump(), "null");
+    EXPECT_EQ(Value(inf).dump(), "null");
+    EXPECT_EQ(Value(-inf).dump(), "null");
+
+    Value obj = object();
+    obj.set("rate", nan);
+    obj.set("peak", inf);
+    obj.set("fine", 2.5);
+    Value arr = array();
+    arr.push(nan);
+    arr.push(1);
+    obj.set("mixed", std::move(arr));
+
+    auto r = parse(obj.dump());
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_TRUE(r.value.find("rate")->isNull());
+    EXPECT_TRUE(r.value.find("peak")->isNull());
+    EXPECT_DOUBLE_EQ(r.value.find("fine")->asNumber(), 2.5);
+    const auto &mixed = r.value.find("mixed")->asArray();
+    ASSERT_EQ(mixed.size(), 2u);
+    EXPECT_TRUE(mixed[0].isNull());
+    EXPECT_DOUBLE_EQ(mixed[1].asNumber(), 1.0);
 }
