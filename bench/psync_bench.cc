@@ -40,6 +40,7 @@
 
 #include "bench/common.hh"
 #include "bench/compare.hh"
+#include "bench/fuzz.hh"
 #include "bench/registry.hh"
 #include "core/blame.hh"
 #include "core/profile.hh"
@@ -61,6 +62,13 @@ struct Options
     bool timeline = false;
     sim::Tick timelineInterval = 0;
     unsigned jobs = 1;
+    bool fuzz = false;
+    bool fuzzNoShrink = false;
+    std::uint64_t fuzzCount = 0;
+    std::uint64_t fuzzSeed = 1;
+    std::string fuzzJsonPath;
+    std::string reproDir;
+    std::string fuzzReplayPath;
     std::vector<unsigned> threadCounts;
     std::vector<std::string> patterns;
     std::vector<std::string> globs;
@@ -91,6 +99,20 @@ usage(std::FILE *to)
         "                   [--timeline-json FILE]\n"
         "                   [--report [PATTERN]] "
         "[--report-json FILE]\n"
+        "                   [--fuzz N] [--seed S] "
+        "[--fuzz-json FILE]\n"
+        "                   [--repro-dir DIR] [--no-shrink]\n"
+        "                   [--fuzz-replay FILE]\n"
+        "\n"
+        "--fuzz N generates N seeded random Doacross loops and\n"
+        "differentially tests each one: every scheme x both\n"
+        "backends x the pass pipeline off/on must agree with a\n"
+        "functional sequential replay (and, on small DAGs, with\n"
+        "the closed-form critical-path oracle). Divergent cases\n"
+        "are shrunk and written as repro bundles to --repro-dir;\n"
+        "--fuzz-json writes the deterministic campaign record\n"
+        "(byte-identical across --jobs); --fuzz-replay re-runs a\n"
+        "bundle. Exit 1 on any divergence.\n"
         "\n"
         "--native runs the selected scenarios on the real-thread\n"
         "backend (default --threads 2,4) and records host wall-time\n"
@@ -168,6 +190,40 @@ parseArgs(int argc, char **argv, Options &opts)
                 return false;
             }
             opts.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--fuzz") {
+            const char *p = next("--fuzz");
+            if (!p)
+                return false;
+            long long n = std::atoll(p);
+            if (n < 1) {
+                std::fprintf(stderr,
+                             "--fuzz needs a positive count\n");
+                return false;
+            }
+            opts.fuzz = true;
+            opts.fuzzCount = static_cast<std::uint64_t>(n);
+        } else if (arg == "--seed") {
+            const char *p = next("--seed");
+            if (!p)
+                return false;
+            opts.fuzzSeed = std::strtoull(p, nullptr, 0);
+        } else if (arg == "--fuzz-json") {
+            const char *p = next("--fuzz-json");
+            if (!p)
+                return false;
+            opts.fuzzJsonPath = p;
+        } else if (arg == "--repro-dir") {
+            const char *p = next("--repro-dir");
+            if (!p)
+                return false;
+            opts.reproDir = p;
+        } else if (arg == "--no-shrink") {
+            opts.fuzzNoShrink = true;
+        } else if (arg == "--fuzz-replay") {
+            const char *p = next("--fuzz-replay");
+            if (!p)
+                return false;
+            opts.fuzzReplayPath = p;
         } else if (arg == "--native") {
             opts.native = true;
         } else if (arg == "--forbid-heap-fallback") {
@@ -464,6 +520,100 @@ runNative(const Options &opts,
     return 0;
 }
 
+/**
+ * --fuzz: run a differential fuzz campaign, print divergences with
+ * their shrunk canonical programs, write the deterministic campaign
+ * record (--fuzz-json, and merged into --json when given). Exit 1
+ * on any divergence.
+ */
+int
+runFuzz(const Options &opts)
+{
+    bench::FuzzOptions fopts;
+    fopts.count = opts.fuzzCount;
+    fopts.seed = opts.fuzzSeed;
+    fopts.jobs = opts.jobs;
+    fopts.reproDir = opts.reproDir;
+    fopts.shrink = !opts.fuzzNoShrink;
+
+    bench::FuzzCampaignResult result =
+        bench::runFuzzCampaign(fopts);
+
+    std::printf(
+        "fuzz: seed %llu: %llu programs, %llu scheme runs "
+        "(%llu depth-2, %llu guarded, %llu analytical-gated), "
+        "%zu divergences\n",
+        static_cast<unsigned long long>(result.seed),
+        static_cast<unsigned long long>(result.programs),
+        static_cast<unsigned long long>(result.schemeRuns),
+        static_cast<unsigned long long>(result.depth2),
+        static_cast<unsigned long long>(result.guarded),
+        static_cast<unsigned long long>(result.analyticalGated),
+        result.divergences.size());
+
+    for (const auto &div : result.divergences) {
+        std::printf("\n== divergent case %llu ==\n",
+                    static_cast<unsigned long long>(div.index));
+        for (const std::string &f : div.failures)
+            std::printf("  %s\n", f.c_str());
+        if (!div.bundlePath.empty())
+            std::printf("  bundle: %s\n", div.bundlePath.c_str());
+        std::printf("  shrunk program:\n%s",
+                    div.canonical.c_str());
+    }
+
+    if (!opts.fuzzJsonPath.empty()) {
+        core::json::Value doc = core::json::object();
+        doc.set("schema_version", bench::kTrajectorySchemaVersion);
+        doc.set("campaign", result.toJson());
+        if (!writeJsonFile(opts.fuzzJsonPath, doc))
+            return 2;
+    }
+
+    if (!opts.jsonPath.empty()) {
+        core::json::Value doc = bench::makeTrajectoryDoc();
+        std::ifstream exists(opts.jsonPath);
+        if (exists) {
+            core::json::Value existing;
+            if (readJsonFile(opts.jsonPath, existing) &&
+                bench::loadTrajectory(existing).ok) {
+                doc = std::move(existing);
+                doc.set("schema_version",
+                        bench::kTrajectorySchemaVersion);
+            }
+        }
+        bench::mergeRecord(doc, result.toJson());
+        if (!writeJsonFile(opts.jsonPath, doc))
+            return 2;
+    }
+    return result.ok() ? 0 : 1;
+}
+
+/** --fuzz-replay: re-run one repro bundle. */
+int
+runFuzzReplay(const Options &opts)
+{
+    core::json::Value bundle;
+    if (!readJsonFile(opts.fuzzReplayPath, bundle))
+        return 2;
+    std::vector<std::string> failures;
+    if (!bench::replayFuzzBundle(bundle, failures)) {
+        for (const std::string &f : failures)
+            std::fprintf(stderr, "%s\n", f.c_str());
+        return 2;
+    }
+    if (failures.empty()) {
+        std::printf("replay clean: %s no longer diverges\n",
+                    opts.fuzzReplayPath.c_str());
+        return 0;
+    }
+    std::printf("replay of %s still diverges:\n",
+                opts.fuzzReplayPath.c_str());
+    for (const std::string &f : failures)
+        std::printf("  %s\n", f.c_str());
+    return 1;
+}
+
 /** The Fig. 3.2 scenario --report defaults to. */
 const char *const kDefaultReportScenario = "fig32-jitter/statement";
 
@@ -541,6 +691,12 @@ main(int argc, char **argv)
         bench::printCompare(std::cout, result, opts.compare);
         return result.ok() ? 0 : 1;
     }
+
+    if (!opts.fuzzReplayPath.empty())
+        return runFuzzReplay(opts);
+
+    if (opts.fuzz)
+        return runFuzz(opts);
 
     if (opts.report)
         return runReports(opts);

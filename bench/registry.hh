@@ -52,11 +52,15 @@ namespace bench {
  * interval, peak bus occupancy and queue depth, peak module
  * backlog, peak waiter count, peak event rate, heap-fallback total
  * and the detected hot-spot records) — absent on unsampled runs,
- * so those records differ from v5 only in the version stamp.
- * Loaders accept all versions and ignore non-"sim" records when
- * comparing cycles.
+ * so those records differ from v5 only in the version stamp; v7
+ * introduces kind:"fuzz" campaign-coverage records (programs run,
+ * shapes drawn, scheme x backend x passes runs, analytical-oracle
+ * gates, divergence count and a deterministic case digest) written
+ * by `psync_bench --fuzz` — sim and native records are unchanged
+ * from v6. Loaders accept all versions and ignore non-"sim"
+ * records when comparing cycles.
  */
-constexpr int kTrajectorySchemaVersion = 6;
+constexpr int kTrajectorySchemaVersion = 7;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;

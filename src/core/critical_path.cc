@@ -82,5 +82,107 @@ criticalPath(const dep::DepGraph &graph,
     return result;
 }
 
+CriticalPath
+analyticalCriticalPath(const dep::Loop &loop,
+                       const CriticalPathCosts &costs)
+{
+    const long m = loop.innerTrip();
+    const std::uint64_t total = loop.iterations();
+    const size_t num_stmts = loop.body.size();
+
+    // Straight from the analyzer: duplicates and covered arcs are
+    // all kept (max is idempotent), so this shares no arc plumbing
+    // with DepGraph. Non-constant pairs carry no distance and are
+    // outside the bound either way.
+    dep::DepAnalysis analysis = dep::analyze(loop);
+    std::vector<std::vector<dep::Dep>> incoming(num_stmts);
+    for (const dep::Dep &d : analysis.deps)
+        incoming[d.dst].push_back(d);
+
+    std::vector<sim::Tick> duration(num_stmts, 0);
+    for (size_t s = 0; s < num_stmts; ++s)
+        duration[s] = loop.body[s].cost +
+                      loop.body[s].refs.size() * costs.accessCycles;
+
+    CriticalPath result;
+
+    // F(v) per instance node, solved lazily by an explicit-stack
+    // DFS (chains can be as long as the whole instance space, so no
+    // native recursion).
+    auto idOf = [num_stmts](size_t s, std::uint64_t lpid) {
+        return (lpid - 1) * num_stmts + s;
+    };
+    std::vector<sim::Tick> finish(total * num_stmts, 0);
+    std::vector<char> solved(total * num_stmts, 0);
+
+    // Predecessors of (s, lpid) under F's recurrence: serial
+    // program order within the iteration, plus — for active
+    // instances only — every semantically real incoming arc.
+    auto eachPred = [&](size_t s, std::uint64_t lpid, auto &&fn) {
+        if (s > 0)
+            fn(s - 1, lpid, static_cast<sim::Tick>(0));
+        if (!dep::stmtActive(loop, loop.body[s], lpid))
+            return;
+        for (const dep::Dep &d : incoming[s]) {
+            long dist = d.linearDistance(m);
+            if (dist <= 0 ||
+                static_cast<std::uint64_t>(dist) >= lpid)
+                continue;
+            if (!dep::sinkHasSource(loop, d, lpid))
+                continue;
+            fn(d.src, lpid - dist, costs.syncHopCycles);
+        }
+    };
+
+    std::vector<std::uint64_t> stack;
+    for (std::uint64_t lpid = 1; lpid <= total; ++lpid) {
+        for (size_t s = 0; s < num_stmts; ++s) {
+            if (solved[idOf(s, lpid)])
+                continue;
+            stack.push_back(idOf(s, lpid));
+            while (!stack.empty()) {
+                std::uint64_t node = stack.back();
+                if (solved[node]) {
+                    stack.pop_back();
+                    continue;
+                }
+                size_t ns = node % num_stmts;
+                std::uint64_t np = node / num_stmts + 1;
+                bool ready = true;
+                eachPred(ns, np,
+                         [&](size_t ps, std::uint64_t pp,
+                             sim::Tick) {
+                             if (!solved[idOf(ps, pp)]) {
+                                 stack.push_back(idOf(ps, pp));
+                                 ready = false;
+                             }
+                         });
+                if (!ready)
+                    continue;
+                stack.pop_back();
+                bool active =
+                    dep::stmtActive(loop, loop.body[ns], np);
+                sim::Tick start = 0;
+                eachPred(ns, np,
+                         [&](size_t ps, std::uint64_t pp,
+                             sim::Tick hop) {
+                             start = std::max(
+                                 start,
+                                 finish[idOf(ps, pp)] + hop);
+                         });
+                // Inactive instances take no time; program order
+                // flows through unchanged — identical to the DP.
+                finish[node] = active ? start + duration[ns] : start;
+                solved[node] = 1;
+            }
+            if (dep::stmtActive(loop, loop.body[s], lpid))
+                result.totalWork += duration[s];
+            result.cycles =
+                std::max(result.cycles, finish[idOf(s, lpid)]);
+        }
+    }
+    return result;
+}
+
 } // namespace core
 } // namespace psync

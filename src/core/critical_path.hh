@@ -92,6 +92,26 @@ struct CriticalPath
 CriticalPath criticalPath(const dep::DepGraph &graph,
                           const CriticalPathCosts &costs);
 
+/**
+ * Independent analytical recomputation of the critical path, in the
+ * closed-form style of the barrier-combinatorics analysis: the
+ * expected completion time of a synchronization DAG is the maximum
+ * over sink instances of the recurrence
+ *
+ *   F(v) = d(v) + max over predecessors u of (F(u) + hop(u, v))
+ *
+ * evaluated here by memoized top-down recursion straight over the
+ * raw dependence set of `dep::analyze` (duplicates, covered arcs
+ * and all) rather than the DepGraph arc lists and forward DP that
+ * `criticalPath` uses. Costs are deterministic (jittered statement
+ * costs are already resolved in the loop), so expectation equals
+ * value and the two computations must agree exactly — the fuzzer
+ * gates `analytical == criticalPath().cycles` and
+ * `analytical <= achieved <= simulated cycles` on every small DAG.
+ */
+CriticalPath analyticalCriticalPath(const dep::Loop &loop,
+                                    const CriticalPathCosts &costs);
+
 } // namespace core
 } // namespace psync
 

@@ -1,9 +1,11 @@
 #include "core/json.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <system_error>
 
 namespace psync {
 namespace core {
@@ -77,9 +79,12 @@ dumpNumber(std::ostream &os, double d)
         os << static_cast<long long>(d);
         return;
     }
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", d);
-    os << buf;
+    // to_chars: shortest round-tripping form, and immune to the
+    // process locale ("%.17g" under a comma-decimal locale would
+    // write "0,5", which no JSON parser accepts).
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    os.write(buf, res.ptr - buf);
 }
 
 } // namespace
@@ -336,17 +341,18 @@ class Parser
                 text_[pos_] == 'E' || text_[pos_] == '+' ||
                 text_[pos_] == '-'))
             ++pos_;
-        try {
-            size_t used = 0;
-            std::string tok = text_.substr(start, pos_ - start);
-            double d = std::stod(tok, &used);
-            if (used != tok.size())
-                return fail("bad number");
-            out = Value(d);
-            return true;
-        } catch (...) {
+        // from_chars always parses the C locale's "1.5" form;
+        // std::stod honors the process locale and would reject the
+        // dot (expecting a comma) under e.g. de_DE, corrupting every
+        // reloaded trajectory record.
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        double d = 0.0;
+        auto res = std::from_chars(first, last, d);
+        if (res.ec != std::errc() || res.ptr != last)
             return fail("bad number");
-        }
+        out = Value(d);
+        return true;
     }
 
     bool

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 
+#include "dep/loop_ir.hh"
 #include "sim/program.hh"
 
 namespace psync {
@@ -122,6 +123,28 @@ class ValueTrace : public sim::TraceSink
     std::uint64_t writesApplied_ = 0;
     std::uint64_t readsRecorded_ = 0;
 };
+
+/** Memory image and read values of a sequential execution. */
+struct SequentialImage
+{
+    /** Address -> last value written, value-rule semantics. */
+    std::map<sim::Addr, std::uint64_t> memory;
+    /** accessKey -> value each read observed (0 = never written). */
+    std::map<std::uint64_t, std::uint64_t> reads;
+};
+
+/**
+ * Replay `loop` in strict sequential order (iterations ascending;
+ * within an active statement all reads observe memory before any of
+ * the statement's own writes land, matching the schemes' emission
+ * order) and apply the value rule. No simulator, scheme, or trace
+ * is involved, so the result is a backend-independent reference
+ * oracle: every synchronization scheme on every backend must
+ * reproduce these read values, and every scheme that writes arrays
+ * in place must reproduce this memory image bit for bit.
+ */
+SequentialImage sequentialImage(const dep::Loop &loop,
+                                sim::Addr word_bytes = 8);
 
 } // namespace core
 } // namespace psync

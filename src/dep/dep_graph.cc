@@ -83,6 +83,19 @@ DepGraph::pathOfDistance(unsigned src, unsigned dst, long dist,
         if (!visited.insert({node, acc, hops}).second)
             return false;
 
+        // A branch-guarded statement only executes its waits when
+        // the branch is taken, so it can carry a chain link only as
+        // the chain's final destination — entering it anywhere the
+        // path would continue (including an intermediate visit to
+        // `dst` itself, one period early) is unsound.
+        auto can_enter = [&](unsigned v, long acc_v) {
+            if (!loop_->body[v].guard.conditional())
+                return true;
+            if (v != dst)
+                return false;
+            return at_most ? acc_v <= target : acc_v == target;
+        };
+
         // Dependence arcs out of `node`.
         for (size_t k = 0; k < deps_.size(); ++k) {
             if (k == skip || deps_[k].covered || deps_[k].redundant)
@@ -90,17 +103,23 @@ DepGraph::pathOfDistance(unsigned src, unsigned dst, long dist,
             const Dep &d = deps_[k];
             if (d.src != node || !d.crossIteration())
                 continue;
-            // Don't route through a branch-guarded intermediate.
-            if (d.dst != dst &&
-                loop_->body[d.dst].guard.conditional())
+            // Arcs whose 2-D distance folds to a non-positive
+            // linearized distance never have an in-bounds source,
+            // so no scheme enforces them; letting one into a chain
+            // would fabricate coverings (e.g. -4 + 5 == 1) that
+            // nothing orders at run time.
+            if (d.linearDistance(m) <= 0)
                 continue;
-            if (dfs(d.dst, acc + d.linearDistance(m), hops + 1, true))
+            long next = acc + d.linearDistance(m);
+            if (!can_enter(d.dst, next))
+                continue;
+            if (dfs(d.dst, next, hops + 1, true))
                 return true;
         }
         // Program order within an iteration: zero-distance edges to
         // every later statement.
         for (unsigned v = node + 1; v < loop_->body.size(); ++v) {
-            if (v != dst && loop_->body[v].guard.conditional())
+            if (!can_enter(v, acc))
                 continue;
             if (dfs(v, acc, hops + 1, used_arc))
                 return true;

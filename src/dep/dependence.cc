@@ -1,6 +1,8 @@
 #include "dep/dependence.hh"
 
+#include <algorithm>
 #include <limits>
+#include <map>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -98,26 +100,44 @@ DepAnalysis
 analyze(const Loop &loop)
 {
     DepAnalysis result;
-    std::set<std::tuple<unsigned, unsigned, int, long, long,
-                        std::string>> seen;
+    std::map<std::tuple<unsigned, unsigned, unsigned, int, long,
+                        long, std::string>, size_t> seen;
 
     auto add = [&](unsigned src, unsigned dst, DepType type, long d1,
                    long d2, const std::string &array, unsigned src_ref,
                    unsigned dst_ref) {
-        auto key = std::make_tuple(src, dst, static_cast<int>(type),
-                                   d1, d2, array);
-        if (seen.insert(key).second) {
-            Dep dep;
-            dep.src = src;
-            dep.dst = dst;
-            dep.type = type;
-            dep.d1 = d1;
-            dep.d2 = d2;
-            dep.array = array;
-            dep.srcRef = src_ref;
-            dep.dstRef = dst_ref;
-            result.deps.push_back(dep);
+        // The sink reference is part of a dependence's identity: a
+        // statement that reads the same element through two
+        // references owes a value to each of them (renaming schemes
+        // resolve reads per reference). Source references with the
+        // same everything-else are collapsed below instead.
+        auto key = std::make_tuple(src, dst, dst_ref,
+                                   static_cast<int>(type), d1, d2,
+                                   array);
+        auto it = seen.find(key);
+        if (it != seen.end()) {
+            // Same sink through another source reference. Keep the
+            // highest source reference index: within a statement
+            // instance writes execute in reference order, so for a
+            // flow dependence the textually last write of the
+            // element is the one whose value actually reaches the
+            // sink (statement-granularity schemes are indifferent
+            // to the choice).
+            Dep &existing = result.deps[it->second];
+            existing.srcRef = std::max(existing.srcRef, src_ref);
+            return;
         }
+        seen.emplace(key, result.deps.size());
+        Dep dep;
+        dep.src = src;
+        dep.dst = dst;
+        dep.type = type;
+        dep.d1 = d1;
+        dep.d2 = d2;
+        dep.array = array;
+        dep.srcRef = src_ref;
+        dep.dstRef = dst_ref;
+        result.deps.push_back(dep);
     };
 
     const auto &body = loop.body;

@@ -1,0 +1,273 @@
+#include "dep/loop_text.hh"
+
+#include <charconv>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+namespace psync {
+namespace dep {
+
+namespace {
+
+/**
+ * Locale-independent double rendering: shortest form that parses
+ * back exactly, so printed branch probabilities round-trip.
+ */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general);
+    return std::string(buf, res.ptr);
+}
+
+std::vector<std::string>
+splitWords(const std::string &line)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (c == ' ' || c == '\t' || c == '\r') {
+            if (!cur.empty()) {
+                words.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    return words;
+}
+
+bool
+parseI64(const std::string &w, long long &out)
+{
+    auto res = std::from_chars(w.data(), w.data() + w.size(), out);
+    return res.ec == std::errc{} && res.ptr == w.data() + w.size();
+}
+
+bool
+parseU64(const std::string &w, std::uint64_t &out)
+{
+    auto res = std::from_chars(w.data(), w.data() + w.size(), out);
+    return res.ec == std::errc{} && res.ptr == w.data() + w.size();
+}
+
+bool
+parseF64(const std::string &w, double &out)
+{
+    auto res = std::from_chars(w.data(), w.data() + w.size(), out);
+    return res.ec == std::errc{} && res.ptr == w.data() + w.size();
+}
+
+} // namespace
+
+std::string
+printLoop(const Loop &loop)
+{
+    std::ostringstream out;
+    out << "psync-loop v1\n";
+    out << "name " << (loop.name.empty() ? "anon" : loop.name) << "\n";
+    out << "depth " << loop.depth << "\n";
+    out << "outer " << loop.outer.lo << " " << loop.outer.hi << "\n";
+    if (loop.depth == 2)
+        out << "inner " << loop.inner.lo << " " << loop.inner.hi
+            << "\n";
+    out << "seed " << loop.seed << "\n";
+    for (double p : loop.branchProb)
+        out << "branch " << formatDouble(p) << "\n";
+    for (const Statement &stmt : loop.body) {
+        out << "stmt " << stmt.label << " cost " << stmt.cost;
+        if (stmt.guard.conditional())
+            out << " guard " << stmt.guard.branchId << " "
+                << (stmt.guard.onTaken ? "taken" : "untaken");
+        out << "\n";
+        for (const ArrayRef &ref : stmt.refs) {
+            out << "ref " << (ref.isWrite ? "write" : "read") << " "
+                << ref.array;
+            for (const Subscript &sub : ref.subs)
+                out << " sub " << sub.coeffI << " " << sub.coeffJ
+                    << " " << sub.offset;
+            out << "\n";
+        }
+    }
+    out << "end\n";
+    return out.str();
+}
+
+ParsedLoop
+parseLoop(const std::string &text)
+{
+    ParsedLoop result;
+    Loop &loop = result.loop;
+
+    auto fail = [&](int line_no, const std::string &what) {
+        result.ok = false;
+        result.error =
+            "line " + std::to_string(line_no) + ": " + what;
+        return result;
+    };
+
+    std::istringstream in(text);
+    std::string line;
+    int line_no = 0;
+    bool saw_header = false;
+    bool saw_end = false;
+    bool saw_inner = false;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::vector<std::string> w = splitWords(line);
+        if (w.empty())
+            continue;
+        if (saw_end)
+            return fail(line_no, "content after 'end'");
+        if (!saw_header) {
+            if (w.size() != 2 || w[0] != "psync-loop" || w[1] != "v1")
+                return fail(line_no,
+                            "expected header 'psync-loop v1'");
+            saw_header = true;
+            continue;
+        }
+
+        const std::string &kw = w[0];
+        if (kw == "name") {
+            if (w.size() != 2)
+                return fail(line_no, "name takes one identifier");
+            loop.name = w[1];
+        } else if (kw == "depth") {
+            long long d;
+            if (w.size() != 2 || !parseI64(w[1], d) ||
+                (d != 1 && d != 2))
+                return fail(line_no, "depth must be 1 or 2");
+            loop.depth = static_cast<int>(d);
+        } else if (kw == "outer" || kw == "inner") {
+            long long lo, hi;
+            if (w.size() != 3 || !parseI64(w[1], lo) ||
+                !parseI64(w[2], hi))
+                return fail(line_no, kw + " takes '<lo> <hi>'");
+            Bounds b{static_cast<long>(lo), static_cast<long>(hi)};
+            if (b.count() <= 0)
+                return fail(line_no, kw + " bounds are empty");
+            if (kw == "outer") {
+                loop.outer = b;
+            } else {
+                loop.inner = b;
+                saw_inner = true;
+            }
+        } else if (kw == "seed") {
+            std::uint64_t s;
+            if (w.size() != 2 || !parseU64(w[1], s))
+                return fail(line_no, "seed takes a u64");
+            loop.seed = s;
+        } else if (kw == "branch") {
+            double p;
+            if (w.size() != 2 || !parseF64(w[1], p) || p < 0.0 ||
+                p > 1.0)
+                return fail(line_no,
+                            "branch takes a probability in [0,1]");
+            loop.branchProb.push_back(p);
+        } else if (kw == "stmt") {
+            // stmt LABEL cost C [guard ID taken|untaken]
+            if (w.size() != 4 && w.size() != 7)
+                return fail(line_no,
+                            "stmt takes '<label> cost <ticks> "
+                            "[guard <id> taken|untaken]'");
+            if (w[2] != "cost")
+                return fail(line_no, "expected 'cost'");
+            std::uint64_t cost;
+            if (!parseU64(w[3], cost) || cost == 0)
+                return fail(line_no, "cost must be a positive u64");
+            Statement stmt;
+            stmt.label = w[1];
+            stmt.cost = static_cast<sim::Tick>(cost);
+            if (w.size() == 7) {
+                long long id;
+                if (w[4] != "guard" || !parseI64(w[5], id) || id < 0)
+                    return fail(line_no,
+                                "expected 'guard <id> "
+                                "taken|untaken'");
+                if (w[6] != "taken" && w[6] != "untaken")
+                    return fail(line_no,
+                                "guard arm must be taken|untaken");
+                stmt.guard =
+                    Guard{static_cast<int>(id), w[6] == "taken"};
+            }
+            loop.body.push_back(stmt);
+        } else if (kw == "ref") {
+            // ref read|write ARRAY sub CI CJ OFF [sub CI CJ OFF]
+            if (loop.body.empty())
+                return fail(line_no, "ref before any stmt");
+            if (w.size() != 7 && w.size() != 11)
+                return fail(line_no,
+                            "ref takes '<read|write> <array> sub "
+                            "<ci> <cj> <off> [sub <ci> <cj> <off>]'");
+            if (w[1] != "read" && w[1] != "write")
+                return fail(line_no, "ref kind must be read|write");
+            ArrayRef ref;
+            ref.isWrite = w[1] == "write";
+            ref.array = w[2];
+            for (size_t base = 3; base < w.size(); base += 4) {
+                if (w[base] != "sub")
+                    return fail(line_no, "expected 'sub'");
+                long long ci, cj, off;
+                if (!parseI64(w[base + 1], ci) ||
+                    !parseI64(w[base + 2], cj) ||
+                    !parseI64(w[base + 3], off))
+                    return fail(line_no,
+                                "sub takes three integers");
+                ref.subs.push_back(
+                    Subscript{static_cast<int>(ci),
+                              static_cast<int>(cj),
+                              static_cast<long>(off)});
+            }
+            loop.body.back().refs.push_back(ref);
+        } else if (kw == "end") {
+            if (w.size() != 1)
+                return fail(line_no, "end takes no arguments");
+            saw_end = true;
+        } else {
+            return fail(line_no, "unknown directive '" + kw + "'");
+        }
+    }
+
+    if (!saw_header)
+        return fail(line_no, "missing 'psync-loop v1' header");
+    if (!saw_end)
+        return fail(line_no, "missing 'end'");
+    if (loop.depth == 2 && !saw_inner)
+        return fail(line_no, "depth 2 loop is missing 'inner'");
+    if (loop.depth == 1 && saw_inner)
+        return fail(line_no, "depth 1 loop must not declare 'inner'");
+    if (loop.body.empty())
+        return fail(line_no, "loop body is empty");
+    for (const Statement &stmt : loop.body) {
+        if (stmt.guard.conditional() &&
+            static_cast<size_t>(stmt.guard.branchId) >=
+                loop.branchProb.size())
+            return fail(line_no, "guard id " +
+                                     std::to_string(
+                                         stmt.guard.branchId) +
+                                     " has no 'branch' declaration");
+        for (const ArrayRef &ref : stmt.refs)
+            if (ref.subs.size() != static_cast<size_t>(loop.depth))
+                return fail(
+                    line_no,
+                    "ref on '" + ref.array + "' has " +
+                        std::to_string(ref.subs.size()) +
+                        " subscripts but loop depth is " +
+                        std::to_string(loop.depth));
+    }
+
+    result.ok = true;
+    return result;
+}
+
+} // namespace dep
+} // namespace psync

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Canonical printable form for dep::Loop.
+ *
+ * The fuzzer draws loops from a size-bounded grammar; this module
+ * is that grammar's concrete syntax. Every loop the generator can
+ * produce prints to a line-oriented text form, and every printed
+ * form parses back to an identical loop — so a fuzzer-found
+ * divergence can be checked in as a self-contained regression file
+ * (tests/fuzz/corpus) or shipped inside a repro bundle without
+ * having to replay the generator that produced it.
+ *
+ * Grammar (one declaration per line, '#' starts a comment):
+ *
+ *   psync-loop v1
+ *   name <ident>
+ *   depth <1|2>
+ *   outer <lo> <hi>
+ *   inner <lo> <hi>            # depth-2 only
+ *   seed <u64>
+ *   branch <taken-prob>        # one per branch id, in order
+ *   stmt <label> cost <ticks> [guard <id> taken|untaken]
+ *   ref <read|write> <array> sub <ci> <cj> <off> [sub <ci> <cj> <off>]
+ *   end
+ *
+ * `ref` lines attach to the most recent `stmt`. Printing is
+ * deterministic (fixed field order, locale-independent numerals),
+ * so print(parse(print(L))) == print(L) byte for byte.
+ */
+
+#ifndef PSYNC_DEP_LOOP_TEXT_HH
+#define PSYNC_DEP_LOOP_TEXT_HH
+
+#include <string>
+
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace dep {
+
+/** Render `loop` in the canonical text form. */
+std::string printLoop(const Loop &loop);
+
+/** Outcome of parsing a canonical loop text. */
+struct ParsedLoop
+{
+    bool ok = false;
+    /** "line N: what went wrong" when !ok. */
+    std::string error;
+    Loop loop;
+};
+
+/**
+ * Parse the canonical text form. Strict: unknown directives,
+ * missing header/end, out-of-range guard ids or subscript counts
+ * inconsistent with `depth` are all errors, never guesses.
+ */
+ParsedLoop parseLoop(const std::string &text);
+
+} // namespace dep
+} // namespace psync
+
+#endif // PSYNC_DEP_LOOP_TEXT_HH

@@ -1,7 +1,9 @@
 #include "sync/instance_based.hh"
 
 #include <algorithm>
+#include <array>
 
+#include "dep/transform.hh"
 #include "sim/logging.hh"
 
 namespace psync {
@@ -34,7 +36,7 @@ InstanceBasedScheme::plan(const dep::DepGraph &graph,
     readSrc_.assign(loop.body.size(), {});
     for (unsigned s = 0; s < loop.body.size(); ++s) {
         slotOf_[s].assign(loop.body[s].refs.size(), -1);
-        readSrc_[s].assign(loop.body[s].refs.size(), ReadSource{});
+        readSrc_[s].assign(loop.body[s].refs.size(), {});
         for (unsigned r = 0; r < loop.body[s].refs.size(); ++r) {
             if (loop.body[s].refs[r].isWrite) {
                 slotOf_[s][r] = static_cast<int>(writeSlots_.size());
@@ -48,39 +50,100 @@ InstanceBasedScheme::plan(const dep::DepGraph &graph,
 
     // Flow dependences (covered ones included: renaming gives each
     // value its own key, there is no transitive covering here).
-    // Attach each to its producing write slot and consuming read.
-    for (const dep::Dep &d : graph.crossIteration()) {
+    // Collect every candidate producer per read — including the
+    // loop-independent (same-iteration) writes, which never appear
+    // in crossIteration() but still reach reads only through the
+    // renamed copies once every write is renamed.
+    for (const dep::Dep &d : graph.deps()) {
         if (d.type != dep::DepType::flow)
             continue;
+        bool same_iter = (d.d1 == 0 && d.d2 == 0);
+        long dist = d.linearDistance(m);
+        if (!same_iter && dist <= 0) {
+            // Non-positive linearized distance with a non-zero
+            // distance vector: the source indices fall outside the
+            // iteration space for every sink, so no instance of
+            // this arc ever reaches a read.
+            continue;
+        }
         int slot = slotOf_[d.src][d.srcRef];
         if (slot < 0)
             sim::panic("flow dep source ref is not a write");
-        ReadSource &rs = readSrc_[d.dst][d.dstRef];
-        long dist = d.linearDistance(m);
-        if (rs.hasDep && rs.distance <= dist) {
-            // Keep the nearest preceding writer: it is the one
-            // whose value actually reaches this read. Farther flow
-            // arcs to the same read are artifacts of the
-            // conservative pairwise analysis and need no ordering
-            // once the value is renamed.
-            continue;
-        }
-        rs.hasDep = true;
+        ReadSource rs;
         rs.distance = dist;
         rs.slot = static_cast<unsigned>(slot);
         rs.dep = d;
+        readSrc_[d.dst][d.dstRef].push_back(rs);
     }
 
-    // Second pass: register each resolved read with its slot.
+    // Order each read's candidates by reaching-definition priority:
+    // nearest distance first (the latest preceding write), ties to
+    // the textually later statement and reference (the one executed
+    // last within the instance). A same-iteration candidate always
+    // has in-bounds source indices, so anything behind it can never
+    // be selected — drop it. Then register each surviving candidate
+    // with its slot so it gets a key and a copy.
     for (unsigned s = 0; s < loop.body.size(); ++s) {
         for (unsigned r = 0; r < loop.body[s].refs.size(); ++r) {
-            ReadSource &rs = readSrc_[s][r];
-            if (!rs.hasDep)
-                continue;
-            WriteSlot &slot = writeSlots_[rs.slot];
-            rs.readerIndex =
-                static_cast<unsigned>(slot.readers.size());
-            slot.readers.push_back(rs.dep);
+            std::vector<ReadSource> &cands = readSrc_[s][r];
+            std::stable_sort(
+                cands.begin(), cands.end(),
+                [](const ReadSource &a, const ReadSource &b) {
+                    if (a.distance != b.distance)
+                        return a.distance < b.distance;
+                    if (a.dep.src != b.dep.src)
+                        return a.dep.src > b.dep.src;
+                    return a.dep.srcRef > b.dep.srcRef;
+                });
+            for (size_t k = 0; k < cands.size(); ++k) {
+                if (cands[k].dep.d1 == 0 && cands[k].dep.d2 == 0) {
+                    cands.resize(k + 1);
+                    break;
+                }
+            }
+            // Drop dominated candidates: emit picks the first
+            // candidate whose source indices are in bounds, so one
+            // whose in-bounds region is contained in an earlier
+            // candidate's region is never selected and must not cost
+            // a key and a copy. (In a singly nested loop the regions
+            // are nested suffixes, leaving only the nearest
+            // producer — Fig. 3.1b's copy counts; in a doubly nested
+            // loop the inner-index windows can be disjoint, which is
+            // what keeps genuine boundary fallbacks alive.)
+            auto region = [&](const dep::Dep &d) {
+                std::array<long, 4> rg;
+                rg[0] = loop.outer.lo + std::max(0L, d.d1);
+                rg[1] = loop.outer.hi + std::min(0L, d.d1);
+                if (loop.depth == 2) {
+                    rg[2] = loop.inner.lo + std::max(0L, d.d2);
+                    rg[3] = loop.inner.hi + std::min(0L, d.d2);
+                } else {
+                    rg[2] = rg[3] = 0;
+                }
+                return rg;
+            };
+            std::vector<ReadSource> kept;
+            for (const ReadSource &cand : cands) {
+                std::array<long, 4> rc = region(cand.dep);
+                bool dominated = false;
+                for (const ReadSource &prev : kept) {
+                    std::array<long, 4> rp = region(prev.dep);
+                    if (rp[0] <= rc[0] && rp[1] >= rc[1] &&
+                        rp[2] <= rc[2] && rp[3] >= rc[3]) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (!dominated)
+                    kept.push_back(cand);
+            }
+            cands = std::move(kept);
+            for (ReadSource &rs : cands) {
+                WriteSlot &slot = writeSlots_[rs.slot];
+                rs.readerIndex =
+                    static_cast<unsigned>(slot.readers.size());
+                slot.readers.push_back(rs.dep);
+            }
         }
     }
 
@@ -113,13 +176,18 @@ InstanceBasedScheme::plan(const dep::DepGraph &graph,
     result.syncStorageBytes = (num_keys + 7) / 8;
     result.renamedStorageBytes = copiesPerIter_ * iterations * 8;
     result.initWrites = num_keys;
-    // Only the resolved flow dependences are guaranteed; farther
-    // flow arcs to an already-resolved read carry no value and no
-    // ordering after renaming.
+    // Only each read's top-priority candidate is guaranteed at
+    // every instance where its source is in bounds (whenever it is
+    // in bounds, it is the one selected). Farther candidates are
+    // enforced only at the boundary instances that select them, so
+    // advertising them would make the trace checker demand
+    // orderings renaming never promises.
     std::vector<dep::Dep> verified;
-    for (const WriteSlot &slot : writeSlots_) {
-        for (const dep::Dep &d : slot.readers)
-            verified.push_back(d);
+    for (const auto &per_stmt : readSrc_) {
+        for (const auto &cands : per_stmt) {
+            if (!cands.empty())
+                verified.push_back(cands.front().dep);
+        }
     }
     result.depsVerified = std::move(verified);
     return result;
@@ -160,22 +228,34 @@ InstanceBasedScheme::emit(std::uint64_t lpid) const
         const dep::Statement &stmt = loop.body[s];
         b.stmtStart(s);
 
-        // Reads: wait full on the renamed copy, or read the
-        // original element when no in-bounds producer exists
-        // (loop boundaries come out naturally).
+        // Reads: wait full on the reaching producer's renamed copy,
+        // or read the original element when no candidate has
+        // in-bounds source indices here. The linearized distance
+        // alone cannot decide this: at linearization boundaries
+        // (Fig. 5.2) a nearer arc's source leaves the iteration
+        // space while a farther arc's source is still inside it, so
+        // each instance re-selects the first in-bounds candidate.
         for (unsigned r = 0; r < stmt.refs.size(); ++r) {
             const dep::ArrayRef &ref = stmt.refs[r];
             if (ref.isWrite)
                 continue;
-            const ReadSource &rs = readSrc_[s][r];
-            bool has_producer =
-                rs.hasDep &&
-                static_cast<std::uint64_t>(rs.distance) < lpid;
-            if (has_producer) {
-                std::uint64_t w = lpid - rs.distance;
-                b.waitGE(keyVarOf(w, rs.slot, rs.readerIndex), 1);
+            const ReadSource *rs = nullptr;
+            for (const ReadSource &cand : readSrc_[s][r]) {
+                if (dep::sinkHasSource(loop, cand.dep, lpid)) {
+                    rs = &cand;
+                    break;
+                }
+            }
+            if (rs != nullptr) {
+                // In-bounds source indices imply a valid source
+                // instance, so w >= 1; a same-iteration producer
+                // (distance 0) has already set its key earlier in
+                // this very program.
+                std::uint64_t w =
+                    lpid - static_cast<std::uint64_t>(rs->distance);
+                b.waitGE(keyVarOf(w, rs->slot, rs->readerIndex), 1);
                 b.data(false,
-                       copyAddrOf(w, rs.slot, rs.readerIndex), s,
+                       copyAddrOf(w, rs->slot, rs->readerIndex), s,
                        static_cast<std::uint16_t>(r));
             } else {
                 b.data(false, layout_->addrOf(ref, i, j), s,

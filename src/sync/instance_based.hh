@@ -71,14 +71,21 @@ class InstanceBasedScheme : public Scheme
         unsigned copyOffset = 0;
     };
 
-    /** Reader-side resolution: where a read gets its value. */
+    /**
+     * One candidate producer of a read, in reaching-definition
+     * priority order (nearest distance first; on ties the textually
+     * later write). The producer that actually reaches a given
+     * instance is the first candidate whose source indices are in
+     * bounds there (dep::sinkHasSource) — at loop boundaries the
+     * nearest arc can fall outside the iteration space while a
+     * farther one still lands inside it.
+     */
     struct ReadSource
     {
-        bool hasDep = false;
         long distance = 0;       ///< linearized
         unsigned slot = 0;       ///< producing write slot
         unsigned readerIndex = 0;///< which key/copy of the slot
-        dep::Dep dep;            ///< the resolved flow dependence
+        dep::Dep dep;            ///< the candidate flow dependence
     };
 
     sim::SyncVarId keyVarOf(std::uint64_t writer_lpid, unsigned slot,
@@ -93,8 +100,8 @@ class InstanceBasedScheme : public Scheme
     std::vector<WriteSlot> writeSlots_;
     /** Write slot of (stmt, ref); -1 when not a write. */
     std::vector<std::vector<int>> slotOf_;
-    /** Read resolution of (stmt, ref). */
-    std::vector<std::vector<ReadSource>> readSrc_;
+    /** Producer candidates of read (stmt, ref), priority order. */
+    std::vector<std::vector<std::vector<ReadSource>>> readSrc_;
 
     sim::SyncVarId keyBase_ = 0;
     unsigned keysPerIter_ = 0;

@@ -102,6 +102,14 @@ ProcessOrientedScheme::emit(std::uint64_t lpid) const
             // Sink first: wait for every enforced source instance.
             for (const dep::Dep &d : sinkDeps_[s]) {
                 long dist = d.linearDistance(m);
+                if (dist <= 0) {
+                    // Folded to <= 0 by linearization: no instance
+                    // of this arc has an in-bounds source, and a
+                    // zero distance would make this process wait
+                    // on its own PC reaching a later source's step
+                    // — a same-program deadlock.
+                    continue;
+                }
                 if (static_cast<std::uint64_t>(dist) >= lpid)
                     continue; // source before the first iteration
                 if (cfg_.exactBoundaries &&

@@ -92,6 +92,16 @@ StatementOrientedScheme::emit(std::uint64_t lpid) const
         if (active) {
             for (const dep::Dep &d : sinkDeps_[s]) {
                 long dist = d.linearDistance(m);
+                if (dist <= 0) {
+                    // A 2-D distance folded to <= 0 by
+                    // linearization never has an in-bounds source
+                    // (in-bounds implies lex order, which the
+                    // linearization preserves, i.e. dist >= 1).
+                    // Waiting would target this very iteration's
+                    // SC — against a textually later source that
+                    // is a same-program deadlock.
+                    continue;
+                }
                 if (static_cast<std::uint64_t>(dist) >= lpid)
                     continue;
                 if (cfg_.exactBoundaries &&

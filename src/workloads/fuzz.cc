@@ -1,0 +1,108 @@
+#include "workloads/fuzz.hh"
+
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace psync {
+namespace workloads {
+
+namespace {
+
+/** Decorrelate campaign seed and case index into one Rng stream. */
+std::uint64_t
+caseStream(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t z = seed ^ (index * 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+dep::Loop
+makeFuzzLoop(std::uint64_t seed, std::uint64_t index,
+             const FuzzLimits &limits)
+{
+    sim::Rng rng(caseStream(seed, index));
+
+    dep::Loop loop;
+    loop.name = "fuzz-s" + std::to_string(seed) + "-c" +
+                std::to_string(index);
+    loop.depth = rng.chance(limits.depth2Prob) ? 2 : 1;
+    loop.outer = {1, static_cast<long>(rng.range(
+                         2, static_cast<std::uint64_t>(
+                                limits.maxOuterTrip)))};
+    if (loop.depth == 2)
+        loop.inner = {1, static_cast<long>(rng.range(
+                             2, static_cast<std::uint64_t>(
+                                    limits.maxInnerTrip)))};
+    loop.seed = rng.next() | 1;
+
+    unsigned num_stmts = static_cast<unsigned>(
+        rng.range(1, limits.maxStatements));
+    unsigned num_arrays = static_cast<unsigned>(
+        rng.range(1, limits.maxArrays));
+
+    auto draw_offset = [&]() {
+        return static_cast<long>(
+                   rng.below(2 * limits.maxOffset + 1)) -
+               limits.maxOffset;
+    };
+
+    bool any_plain_write = false;
+    for (unsigned s = 0; s < num_stmts; ++s) {
+        dep::Statement stmt;
+        stmt.label = "S" + std::to_string(s + 1);
+        stmt.cost = static_cast<sim::Tick>(
+            rng.range(limits.minCost, limits.maxCost));
+
+        unsigned num_refs = static_cast<unsigned>(
+            rng.range(1, limits.maxRefsPerStmt));
+        for (unsigned r = 0; r < num_refs; ++r) {
+            dep::ArrayRef ref;
+            ref.array = "X" + std::to_string(rng.below(num_arrays));
+            ref.isWrite = rng.chance(limits.writeProb);
+            // Unit coefficients per dimension keep every reference
+            // pair at a constant dependence distance, so the
+            // analyzer never bails to nonConstantPairs and every
+            // scheme can cover the loop.
+            ref.subs.push_back(dep::Subscript{1, 0, draw_offset()});
+            if (loop.depth == 2)
+                ref.subs.push_back(
+                    dep::Subscript{0, 1, draw_offset()});
+            stmt.refs.push_back(ref);
+        }
+
+        if (rng.chance(limits.guardProb)) {
+            stmt.guard = dep::Guard{
+                static_cast<int>(loop.branchProb.size()),
+                rng.chance(0.5)};
+            loop.branchProb.push_back(
+                static_cast<double>(1 + rng.below(9)) / 10.0);
+        } else {
+            any_plain_write =
+                any_plain_write ||
+                [&] {
+                    for (const dep::ArrayRef &ref : stmt.refs)
+                        if (ref.isWrite)
+                            return true;
+                    return false;
+                }();
+        }
+        loop.body.push_back(stmt);
+    }
+
+    // Guarantee at least one unconditional write so the loop always
+    // has a cross-iteration dependence source and a genuine memory
+    // image (and instance-based renaming has something to rename).
+    if (!any_plain_write) {
+        loop.body.front().refs.front().isWrite = true;
+        loop.body.front().guard = dep::Guard{};
+    }
+    return loop;
+}
+
+} // namespace workloads
+} // namespace psync

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Seeded random Doacross generator for the differential fuzzer.
+ *
+ * Unlike workloads/synthetic (depth-1 only, tuned for scaling
+ * benches), this generator draws from the full size-bounded grammar
+ * of dep/loop_text: depth 1 or 2 nests, mixed read/write affine
+ * references with random constant dependence distances, branch
+ * guards with random taken probabilities, and jittered statement
+ * costs. Every loop is a pure function of (campaignSeed, caseIndex),
+ * so a fuzz campaign replays identically on any host, and every
+ * generated loop prints through dep::printLoop for repro bundles.
+ *
+ * Generated subscripts always use unit coefficients (i, or i and j
+ * separately per dimension), so dep::analyze sees only
+ * constant-distance pairs and every scheme can synchronize the loop
+ * exactly — divergence between backends is then always a bug, never
+ * an artifact of non-constant distances.
+ */
+
+#ifndef PSYNC_WORKLOADS_FUZZ_HH
+#define PSYNC_WORKLOADS_FUZZ_HH
+
+#include <cstdint>
+
+#include "dep/loop_ir.hh"
+
+namespace psync {
+namespace workloads {
+
+/** Size bounds on the grammar the fuzzer draws from. */
+struct FuzzLimits
+{
+    long maxOuterTrip = 16;
+    long maxInnerTrip = 6;
+    /** Probability the nest is depth 2. */
+    double depth2Prob = 0.4;
+    unsigned maxStatements = 6;
+    unsigned maxArrays = 3;
+    unsigned maxRefsPerStmt = 3;
+    /** Subscript offsets drawn from [-maxOffset, +maxOffset]. */
+    int maxOffset = 3;
+    double writeProb = 0.45;
+    /** Probability a statement sits under a branch guard. */
+    double guardProb = 0.3;
+    sim::Tick minCost = 1;
+    sim::Tick maxCost = 12;
+};
+
+/**
+ * Generate fuzz case `index` of the campaign `seed`. The same
+ * (seed, index, limits) always yields the same loop.
+ */
+dep::Loop makeFuzzLoop(std::uint64_t seed, std::uint64_t index,
+                       const FuzzLimits &limits = FuzzLimits{});
+
+} // namespace workloads
+} // namespace psync
+
+#endif // PSYNC_WORKLOADS_FUZZ_HH

@@ -131,7 +131,7 @@ TEST(RegistryTest, MatchScenariosGlobSelectsGroups)
     EXPECT_TRUE(bench::matchScenariosGlob("zzz-*").empty());
 }
 
-TEST(RegistryTest, SampledRunAttachesSchemaV6TimelineSummary)
+TEST(RegistryTest, SampledRunAttachesTimelineSummary)
 {
     const bench::Scenario *s =
         bench::findScenario("fig21-n64/statement");
@@ -157,7 +157,8 @@ TEST(RegistryTest, SampledRunAttachesSchemaV6TimelineSummary)
               sampled.result.run.cycles);
 
     core::json::Value j = sampled.toJson();
-    EXPECT_EQ(j.find("schema_version")->asNumber(), 6);
+    EXPECT_EQ(j.find("schema_version")->asNumber(),
+              bench::kTrajectorySchemaVersion);
     const core::json::Value *tl = j.find("timeline");
     ASSERT_NE(tl, nullptr);
     ASSERT_TRUE(tl->isObject());

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <limits>
 
@@ -166,4 +167,50 @@ TEST(JsonTest, NonFiniteNumbersEmitNullAndRoundTrip)
     ASSERT_EQ(mixed.size(), 2u);
     EXPECT_TRUE(mixed[0].isNull());
     EXPECT_DOUBLE_EQ(mixed[1].asNumber(), 1.0);
+}
+
+TEST(JsonTest, NumbersAreLocaleIndependent)
+{
+    // Under a comma-decimal locale, "%.17g" prints "0,5" and
+    // std::stod refuses "0.5" — either corrupts every persisted
+    // trajectory record. The dumper and parser must speak JSON's
+    // dot form no matter what the process locale says.
+    const char *old = std::setlocale(LC_ALL, nullptr);
+    std::string saved = old ? old : "C";
+    static const char *commaLocales[] = {
+        "de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+        "da_DK.UTF-8",
+    };
+    bool switched = false;
+    for (const char *name : commaLocales) {
+        if (std::setlocale(LC_ALL, name) != nullptr) {
+            switched = true;
+            break;
+        }
+    }
+
+    EXPECT_EQ(Value(0.5).dump(), "0.5");
+    EXPECT_EQ(Value(-12.25).dump(), "-12.25");
+    EXPECT_EQ(Value(0.5).dump().find(','), std::string::npos);
+
+    auto r = parse("{\"rate\": 0.5, \"big\": 1.5e300}");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_DOUBLE_EQ(r.value.find("rate")->asNumber(), 0.5);
+    EXPECT_DOUBLE_EQ(r.value.find("big")->asNumber(), 1.5e300);
+
+    // Full round trip of a non-integral value.
+    Value obj = object();
+    obj.set("pi", 3.141592653589793);
+    auto rt = parse(obj.dump());
+    ASSERT_TRUE(rt.ok) << rt.error;
+    EXPECT_DOUBLE_EQ(rt.value.find("pi")->asNumber(),
+                     3.141592653589793);
+
+    std::setlocale(LC_ALL, saved.c_str());
+    if (!switched) {
+        // No comma-decimal locale installed here; the assertions
+        // above still pin the dot form, they just could not watch
+        // it survive a hostile locale.
+        SUCCEED() << "no comma-decimal locale available";
+    }
 }

@@ -122,3 +122,33 @@ TEST(SchedulingTest, GuidedClaimsShrink)
     EXPECT_LT(guided.run.memAccesses, fine.run.memAccesses);
     EXPECT_EQ(guided.run.programsRun, 200u);
 }
+
+TEST(SchedulingTest, GuidedHandlesFewerIterationsThanProcs)
+{
+    // remaining / (2 * p) is 0 for every claim when total < procs;
+    // the claim-size clamp to 1 is what keeps dispatch moving. Each
+    // of the 3 iterations must still run exactly once on 8 procs.
+    dep::Loop loop = workloads::makeFig21Loop(3);
+    core::RunConfig cfg =
+        config(core::SchedulePolicy::guidedSelfScheduling);
+    cfg.machine.numProcs = 8;
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_EQ(r.run.programsRun, 3u);
+    EXPECT_TRUE(r.correct())
+        << (r.violations.empty() ? "" : r.violations.front());
+}
+
+TEST(SchedulingTest, GuidedHandlesSingleIteration)
+{
+    dep::Loop loop = workloads::makeFig21Loop(1);
+    core::RunConfig cfg =
+        config(core::SchedulePolicy::guidedSelfScheduling);
+    cfg.machine.numProcs = 4;
+    auto r = core::runDoacross(
+        loop, sync::SchemeKind::processImproved, cfg);
+    ASSERT_TRUE(r.run.completed);
+    EXPECT_EQ(r.run.programsRun, 1u);
+    EXPECT_TRUE(r.correct());
+}

@@ -222,3 +222,24 @@ TEST(NativeExecutorTest, ReplayFeedsEveryRecordToSink)
     exec.replayAccesses(sink);
     EXPECT_EQ(sink.accesses, 9u);
 }
+
+TEST(NativeExecutorTest, GuidedHandlesFewerProgramsThanThreads)
+{
+    // (total - old) / (2 * num_threads) rounds to 0 whenever the
+    // pool is smaller than the thread count; the std::max clamp to
+    // a one-iteration claim is what guarantees progress. Run with
+    // far more threads than programs and demand exactly-once.
+    native::NativeSyncFabric fabric;
+    auto programs = independent(3);
+    native::NativeDataMemory data(programs);
+    native::NativeConfig cfg;
+    cfg.numThreads = 8;
+    cfg.schedule = core::SchedulePolicy::guidedSelfScheduling;
+    native::NativeExecutor exec(fabric, data, cfg);
+    auto result = exec.runPool(programs);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.programsRun, 3u);
+    auto image = data.snapshot();
+    EXPECT_EQ(image.size(), 3u);
+    EXPECT_TRUE(exec.verifyValues().empty());
+}

@@ -162,3 +162,41 @@ TEST(NativeFabricTest, FetchAddChainWakesThresholdWaiter)
     EXPECT_TRUE(outcome.satisfied);
     EXPECT_EQ(fabric.load(v), 6u);
 }
+
+TEST(NativeFabricTest, AbortWakesParkedWaitersOnEveryShard)
+{
+    // Waiters park on mutex+condvar shards keyed by variable id;
+    // abortAll must sweep every shard, not just the one the
+    // deadline-hitting thread was parked on. Park one waiter per
+    // distinct shard (consecutive ids map to consecutive shards)
+    // and require that a single abort releases them all promptly —
+    // a missed shard would hold its waiter until the 5 s deadline.
+    constexpr unsigned kWaiters = 16;
+    native::NativeSyncFabric fabric(0); // no spin: park immediately
+    sim::SyncVarId base = fabric.allocate(kWaiters, 0);
+
+    std::vector<std::thread> waiters;
+    std::vector<native::WaitOutcome> outcomes(kWaiters);
+    std::atomic<unsigned> parked{0};
+    for (unsigned i = 0; i < kWaiters; ++i) {
+        waiters.emplace_back([&, i] {
+            parked.fetch_add(1);
+            outcomes[i] = fabric.waitGE(base + i, 1, soon());
+        });
+    }
+    while (parked.load() < kWaiters)
+        std::this_thread::yield();
+    std::this_thread::sleep_for(20ms); // let the last ones park
+
+    auto t0 = std::chrono::steady_clock::now();
+    fabric.abortAll();
+    for (auto &t : waiters)
+        t.join();
+    auto woke = std::chrono::steady_clock::now() - t0;
+
+    for (unsigned i = 0; i < kWaiters; ++i)
+        EXPECT_FALSE(outcomes[i].satisfied) << i;
+    // Generous for a loaded CI host, but far below the deadline a
+    // missed shard would burn.
+    EXPECT_LT(woke, 2s);
+}
