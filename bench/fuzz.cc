@@ -17,6 +17,7 @@
 #include "dep/loop_text.hh"
 #include "ir/passes.hh"
 #include "native/runner.hh"
+#include "serve/service.hh"
 #include "sim/machine.hh"
 #include "sim/rng.hh"
 
@@ -244,6 +245,20 @@ runFuzzCase(const dep::Loop &loop, const FuzzCaseConfig &ccfg,
     if (gate_kind == sync::SchemeKind::instanceBased)
         gate_kind = sync::SchemeKind::processImproved;
 
+    // Service-mode leg: one persistent service per case, shared
+    // across schemes (the plan cache keys on scheme + config).
+    std::unique_ptr<serve::DoacrossService> service;
+    if (opts.serveMode) {
+        serve::ServeConfig scfg;
+        scfg.gangs = 1;
+        scfg.gangSize = ccfg.nativeThreads;
+        scfg.native.timingSeed = ccfg.timingSeed;
+        scfg.verifySampleEvery = 1; // verify every served request
+        scfg.requestTimeoutMs = opts.nativeTimeoutMs;
+        service =
+            std::make_unique<serve::DoacrossService>(scfg);
+    }
+
     for (sync::SchemeKind kind : kinds) {
         const char *name = sync::schemeKindName(kind);
         bool is_instance =
@@ -253,6 +268,7 @@ runFuzzCase(const dep::Loop &loop, const FuzzCaseConfig &ccfg,
             out.instanceSkipped = true;
             continue;
         }
+        std::size_t scheme_failures = out.failures.size();
 
         Image sim_memory[2];
         bool sim_deadlocked[2] = {false, false};
@@ -386,11 +402,7 @@ runFuzzCase(const dep::Loop &loop, const FuzzCaseConfig &ccfg,
             ncfg.numThreads = ccfg.nativeThreads;
             ncfg.timingSeed =
                 ccfg.timingSeed ^ static_cast<std::uint64_t>(p);
-            // Fuzz programs are tiny (hundreds of iterations); a
-            // healthy native run finishes in milliseconds, so a
-            // short deadline keeps backend-deadlock cases from
-            // stalling the campaign for 20s each.
-            ncfg.timeoutMs = 2000;
+            ncfg.timeoutMs = opts.nativeTimeoutMs;
             native::NativeDoacrossResult nat =
                 native::runDoacrossNative(loop, kind, cfg, ncfg);
             ++out.schemeRuns;
@@ -425,6 +437,46 @@ runFuzzCase(const dep::Loop &loop, const FuzzCaseConfig &ccfg,
                      (is_instance ? "simulated renamed image: "
                                   : "sequential replay: ") +
                      firstDelta(nat.memory, want_memory));
+        }
+
+        // Serve leg: plan through the service's cache, tie the
+        // cached reference image to the sequential oracle, then
+        // submit the same plan three times so epoch reuse (not
+        // just the first fresh epoch) is what gets verified.
+        // Skipped when the scheme already diverged or deadlocked
+        // above — the service would only rediscover that by
+        // burning its watchdog deadline.
+        if (service && out.failures.size() == scheme_failures &&
+            !sim_deadlocked[0] && !sim_deadlocked[1]) {
+            std::string tag = std::string(name) + "[serve]";
+            core::RunConfig cfg = runConfigFor(ccfg, kind, true);
+            std::shared_ptr<const core::CachedPlan> plan =
+                service->plan(loop, kind, cfg);
+            if (plan->hasReference) {
+                if (plan->refReads != seq.reads)
+                    fail(tag + ": reference read values diverge "
+                               "from sequential replay: " +
+                         firstDelta(plan->refReads, seq.reads));
+                if (!is_instance && plan->refMemory != seq.memory)
+                    fail(tag + ": reference memory image diverges "
+                               "from sequential replay: " +
+                         firstDelta(plan->refMemory, seq.memory));
+            }
+            for (int r = 0; r < 3; ++r)
+                service->submitPlan(plan);
+            service->waitIdle();
+            for (const serve::Completion &c :
+                 service->takeCompletions()) {
+                ++out.schemeRuns;
+                if (!c.completed) {
+                    fail(tag + ": " +
+                         (c.problems.empty()
+                              ? std::string("did not complete")
+                              : c.problems.front()));
+                } else if (!c.verifyOk) {
+                    fail(tag + ": " + c.problems.front());
+                }
+            }
         }
     }
     return out;

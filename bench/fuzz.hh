@@ -65,6 +65,20 @@ struct FuzzOptions
     std::uint64_t smallDagMaxInstances = 600;
     /** Max predicate evaluations while shrinking one case. */
     std::uint64_t shrinkBudget = 160;
+    /**
+     * Watchdog deadline for each native-backend leg, threaded into
+     * native::NativeConfig::timeoutMs. Fuzz programs are tiny
+     * (hundreds of iterations); a healthy native run finishes in
+     * milliseconds, so a short deadline keeps backend-deadlock
+     * cases from stalling the campaign for the default 20s each.
+     */
+    std::uint64_t nativeTimeoutMs = 2000;
+    /**
+     * Also run each case through the persistent runtime service
+     * (serve::DoacrossService, epoch-reused fabric) and compare its
+     * image against the same oracles as the direct native leg.
+     */
+    bool serveMode = false;
 };
 
 /**

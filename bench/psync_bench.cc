@@ -64,8 +64,10 @@ struct Options
     unsigned jobs = 1;
     bool fuzz = false;
     bool fuzzNoShrink = false;
+    bool fuzzServe = false;
     std::uint64_t fuzzCount = 0;
     std::uint64_t fuzzSeed = 1;
+    std::uint64_t fuzzNativeTimeoutMs = 2000;
     std::string fuzzJsonPath;
     std::string reproDir;
     std::string fuzzReplayPath;
@@ -102,7 +104,8 @@ usage(std::FILE *to)
         "                   [--fuzz N] [--seed S] "
         "[--fuzz-json FILE]\n"
         "                   [--repro-dir DIR] [--no-shrink]\n"
-        "                   [--fuzz-replay FILE]\n"
+        "                   [--fuzz-replay FILE] [--fuzz-serve]\n"
+        "                   [--fuzz-timeout-ms MS]\n"
         "\n"
         "--fuzz N generates N seeded random Doacross loops and\n"
         "differentially tests each one: every scheme x both\n"
@@ -112,7 +115,11 @@ usage(std::FILE *to)
         "are shrunk and written as repro bundles to --repro-dir;\n"
         "--fuzz-json writes the deterministic campaign record\n"
         "(byte-identical across --jobs); --fuzz-replay re-runs a\n"
-        "bundle. Exit 1 on any divergence.\n"
+        "bundle. Exit 1 on any divergence. --fuzz-serve adds a\n"
+        "runtime-service leg per scheme (plan cache + epoch-reused\n"
+        "fabric, every served request verified); --fuzz-timeout-ms\n"
+        "sets the native watchdog deadline per backend leg\n"
+        "(default 2000).\n"
         "\n"
         "--native runs the selected scenarios on the real-thread\n"
         "backend (default --threads 2,4) and records host wall-time\n"
@@ -219,6 +226,21 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.reproDir = p;
         } else if (arg == "--no-shrink") {
             opts.fuzzNoShrink = true;
+        } else if (arg == "--fuzz-serve") {
+            opts.fuzzServe = true;
+        } else if (arg == "--fuzz-timeout-ms") {
+            const char *p = next("--fuzz-timeout-ms");
+            if (!p)
+                return false;
+            long long n = std::atoll(p);
+            if (n < 1) {
+                std::fprintf(
+                    stderr,
+                    "--fuzz-timeout-ms needs a positive count\n");
+                return false;
+            }
+            opts.fuzzNativeTimeoutMs =
+                static_cast<std::uint64_t>(n);
         } else if (arg == "--fuzz-replay") {
             const char *p = next("--fuzz-replay");
             if (!p)
@@ -535,6 +557,8 @@ runFuzz(const Options &opts)
     fopts.jobs = opts.jobs;
     fopts.reproDir = opts.reproDir;
     fopts.shrink = !opts.fuzzNoShrink;
+    fopts.serveMode = opts.fuzzServe;
+    fopts.nativeTimeoutMs = opts.fuzzNativeTimeoutMs;
 
     bench::FuzzCampaignResult result =
         bench::runFuzzCampaign(fopts);

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * psync_serve — drive the persistent Doacross runtime service with
+ * sustained mixed traffic and record schema-v8 kind:"serve"
+ * trajectory records.
+ *
+ * The default campaign races both fabric wake policies (sharded
+ * mutex+condvar vs flat combining) across three traffic mixes
+ * (uniform, hotkey, bursty) drawn from the bench registry, with
+ * sampled full verification. Exit status is non-zero when any
+ * request failed or any verification sample diverged, so CI can
+ * gate on it directly.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/compare.hh"
+#include "bench/registry.hh"
+#include "bench/serve_bench.hh"
+
+namespace {
+
+using namespace psync;
+
+struct Options
+{
+    bench::ServeCampaignOptions campaign;
+    std::string jsonPath;
+    bool smoke = false;
+};
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: psync_serve [--requests N] [--gangs G]\n"
+        "                   [--gang-size S] [--scenarios GLOB]\n"
+        "                   [--verify-every N] [--seed S]\n"
+        "                   [--timeout-ms MS] [--burst N]\n"
+        "                   [--mix uniform|hotkey|bursty]\n"
+        "                   [--policy sharded|flat-combining]\n"
+        "                   [--json FILE] [--smoke]\n"
+        "\n"
+        "Runs a mix x wake-policy campaign grid against the\n"
+        "persistent runtime service. --mix/--policy (repeatable)\n"
+        "restrict the grid. --json merges the cell records and the\n"
+        "campaign summary into a trajectory file (schema v8).\n"
+        "--smoke shrinks the campaign for CI (few requests, tight\n"
+        "verification sampling).\n");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opts)
+{
+    auto need = [&](int &i, const char *what) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s needs a value\n", what);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        const char *v = nullptr;
+        if (arg == "--requests") {
+            if (!(v = need(i, "--requests")))
+                return false;
+            opts.campaign.requests = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--gangs") {
+            if (!(v = need(i, "--gangs")))
+                return false;
+            opts.campaign.gangs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--gang-size") {
+            if (!(v = need(i, "--gang-size")))
+                return false;
+            opts.campaign.gangSize =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--scenarios") {
+            if (!(v = need(i, "--scenarios")))
+                return false;
+            opts.campaign.scenarioGlob = v;
+        } else if (arg == "--verify-every") {
+            if (!(v = need(i, "--verify-every")))
+                return false;
+            opts.campaign.verifySampleEvery =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (arg == "--seed") {
+            if (!(v = need(i, "--seed")))
+                return false;
+            opts.campaign.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--timeout-ms") {
+            if (!(v = need(i, "--timeout-ms")))
+                return false;
+            opts.campaign.requestTimeoutMs =
+                std::strtoull(v, nullptr, 10);
+        } else if (arg == "--burst") {
+            if (!(v = need(i, "--burst")))
+                return false;
+            opts.campaign.burstSize =
+                std::strtoull(v, nullptr, 10);
+        } else if (arg == "--mix") {
+            if (!(v = need(i, "--mix")))
+                return false;
+            opts.campaign.mixes.emplace_back(v);
+        } else if (arg == "--policy") {
+            if (!(v = need(i, "--policy")))
+                return false;
+            if (std::strcmp(v, "sharded") == 0) {
+                opts.campaign.policies.push_back(
+                    native::WakePolicy::sharded);
+            } else if (std::strcmp(v, "flat-combining") == 0 ||
+                       std::strcmp(v, "fc") == 0) {
+                opts.campaign.policies.push_back(
+                    native::WakePolicy::flatCombining);
+            } else {
+                std::fprintf(stderr, "unknown policy '%s'\n", v);
+                return false;
+            }
+        } else if (arg == "--json") {
+            if (!(v = need(i, "--json")))
+                return false;
+            opts.jsonPath = v;
+        } else if (arg == "--smoke") {
+            opts.smoke = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    if (opts.smoke) {
+        // CI shape: small but still crossing every code path —
+        // both policies, all mixes, tight verification sampling.
+        opts.campaign.requests = 60;
+        opts.campaign.verifySampleEvery = 4;
+        opts.campaign.burstSize = 16;
+        if (opts.campaign.scenarioGlob == "fig21-n256/*")
+            opts.campaign.scenarioGlob = "fig21-n64/*";
+    }
+    return true;
+}
+
+bool
+readJsonFile(const std::string &path, core::json::Value &out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::ostringstream text;
+    text << is.rdbuf();
+    auto parsed = core::json::parse(text.str());
+    if (!parsed.ok) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     parsed.error.c_str());
+        return false;
+    }
+    out = std::move(parsed.value);
+    return true;
+}
+
+bool
+writeJsonFile(const std::string &path,
+              const core::json::Value &doc)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    doc.dump(os, 2);
+    os << "\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseArgs(argc, argv, opts)) {
+        usage();
+        return 2;
+    }
+
+    bench::ServeCampaignResult result =
+        bench::runServeCampaign(opts.campaign);
+
+    std::printf(
+        "campaign: %llu requests, %llu program executions, "
+        "%llu failed, %llu verify failures\n",
+        static_cast<unsigned long long>(result.totalRequests),
+        static_cast<unsigned long long>(result.totalPrograms),
+        static_cast<unsigned long long>(result.totalFailed),
+        static_cast<unsigned long long>(
+            result.totalVerifyFailures));
+
+    if (!opts.jsonPath.empty()) {
+        core::json::Value doc = bench::makeTrajectoryDoc();
+        core::json::Value existing;
+        if (readJsonFile(opts.jsonPath, existing) &&
+            bench::loadTrajectory(existing).ok) {
+            doc = std::move(existing);
+            doc.set("schema_version",
+                    bench::kTrajectorySchemaVersion);
+        }
+        for (const auto &cell : result.cells)
+            bench::mergeRecord(doc, cell.toJson());
+        bench::mergeRecord(doc, result.toJson());
+        if (!writeJsonFile(opts.jsonPath, doc))
+            return 2;
+    }
+
+    return result.ok() ? 0 : 1;
+}

@@ -57,10 +57,18 @@ namespace bench {
  * shapes drawn, scheme x backend x passes runs, analytical-oracle
  * gates, divergence count and a deterministic case digest) written
  * by `psync_bench --fuzz` — sim and native records are unchanged
- * from v6. Loaders accept all versions and ignore non-"sim"
- * records when comparing cycles.
+ * from v6; v8 introduces kind:"serve" records written by
+ * `psync_serve`, the persistent runtime-service campaigns: each
+ * carries the traffic mix, wake policy, gang shape, requests
+ * served, programs_per_sec, plan-cache hit rate,
+ * submit-to-publish latency percentiles (p50/p95/p99 ns), epochs
+ * begun, verification samples/failures, and per-mix winner
+ * marking for the sharded-vs-flat-combining fabric race — sim,
+ * native and fuzz records are unchanged from v7. Loaders accept
+ * all versions and ignore non-"sim" records when comparing
+ * cycles.
  */
-constexpr int kTrajectorySchemaVersion = 7;
+constexpr int kTrajectorySchemaVersion = 8;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Plan cache: planDoacross once, execute millions of times.
+ *
+ * The runtime service's traffic is dominated by resubmissions of
+ * the same loops: planning (dependence analysis, scheme planning,
+ * lowering, the IR pass pipeline, verification) costs orders of
+ * magnitude more than one native execution of the resulting
+ * programs. The cache keys a fully planned-and-verified program set
+ * on exactly the inputs planning consumes — the canonical loop text
+ * plus every planning-relevant RunConfig field — so a hit is
+ * guaranteed to be the byte-identical plan a fresh planDoacross
+ * would produce, and execution-time knobs (schedule policy, chunk
+ * size, tick limit, tracers) deliberately stay out of the key.
+ *
+ * A cached entry also carries what a long-lived executor needs to
+ * rerun the plan without replanning:
+ *  - the planning fabric's initialized sync-variable image (the
+ *    seed for NativeSyncFabric epoch reuse), and
+ *  - a reference memory/read image for sampled verification
+ *    (the sequential oracle for in-place schemes; a finisher
+ *    callback supplies it for renamed-storage schemes, keeping
+ *    core free of a dependency on the native backend).
+ *
+ * Entries are immutable after insertion and handed out as
+ * shared_ptr<const CachedPlan>, so eviction never invalidates a
+ * plan some gang is still executing. Eviction is LRU.
+ */
+
+#ifndef PSYNC_CORE_PLAN_CACHE_HH
+#define PSYNC_CORE_PLAN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/runtime.hh"
+#include "dep/loop_ir.hh"
+#include "sim/program.hh"
+#include "sim/types.hh"
+
+namespace psync {
+namespace core {
+
+/** One planned, verified, immutable program set. */
+struct CachedPlan
+{
+    /** Full cache key this entry was planned under. */
+    std::string key;
+    /** Canonical loop text (dep::printLoop round-trip form). */
+    std::string loopText;
+    dep::Loop loop;
+    sync::SchemeKind kind = sync::SchemeKind::none;
+    sync::SchemePlan plan;
+    std::vector<sim::Program> programs;
+    ir::PassStats passStats;
+
+    /**
+     * The planning fabric's sync-variable values after the scheme's
+     * init writes — the image every execution must (logically)
+     * start from; NativeSyncFabric's epoch protocol restores it
+     * in O(1) per run.
+     */
+    std::vector<sim::SyncWord> initWords;
+
+    /**
+     * Expected functional memory image / read values for sampled
+     * verification. In-place schemes must reproduce the sequential
+     * oracle; renamed-storage (instance-based) plans get theirs
+     * from the finisher, and hasReference stays false if no one
+     * supplied one (verification then skips image comparison).
+     */
+    bool hasReference = false;
+    std::map<sim::Addr, std::uint64_t> refMemory;
+    std::map<std::uint64_t, std::uint64_t> refReads;
+};
+
+/**
+ * Called once per cache miss with the freshly planned entry, before
+ * insertion: the hook that lets a caller attach backend-specific
+ * reference data (e.g. run the plan natively once to capture the
+ * renamed-storage image) without core linking that backend.
+ */
+using PlanFinisher = std::function<void(CachedPlan &)>;
+
+/** Thread-safe LRU cache of planned Doacross programs. */
+class PlanCache
+{
+  public:
+    explicit PlanCache(std::size_t capacity = 64);
+
+    /**
+     * The canonical key: printLoop(loop) round-trip text plus every
+     * planning-relevant field of (kind, cfg). Two configs that can
+     * produce different plans always produce different keys.
+     */
+    static std::string makeKey(const dep::Loop &loop,
+                               sync::SchemeKind kind,
+                               const RunConfig &cfg);
+
+    /**
+     * Look up or plan-and-insert. On a miss this plans under the
+     * cache lock (a concurrent second requester of the same key
+     * waits and then hits). An IR verifier failure in planDoacross
+     * is fatal, exactly as on the uncached path, so every entry
+     * that exists is verified.
+     */
+    std::shared_ptr<const CachedPlan>
+    get(const dep::Loop &loop, sync::SchemeKind kind,
+        const RunConfig &cfg, const PlanFinisher &finisher = {});
+
+    /** Non-inserting probe (tests / introspection). */
+    bool contains(const std::string &key) const;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const;
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t evictions() const { return evictions_.load(); }
+
+    double
+    hitRate() const
+    {
+        std::uint64_t h = hits(), m = misses();
+        return h + m ? static_cast<double>(h) / (h + m) : 0.0;
+    }
+
+  private:
+    using Entry = std::shared_ptr<const CachedPlan>;
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    /** Most-recently-used at the front. */
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        index_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace core
+} // namespace psync
+
+#endif // PSYNC_CORE_PLAN_CACHE_HH

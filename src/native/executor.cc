@@ -71,10 +71,18 @@ NativeDataMemory::snapshot() const
     return image;
 }
 
+void
+NativeDataMemory::clearAll()
+{
+    for (auto &word : words_)
+        word.store(0, std::memory_order_relaxed);
+}
+
 NativeExecutor::NativeExecutor(NativeSyncFabric &fabric,
                                NativeDataMemory &data,
                                const NativeConfig &cfg)
-    : fabric_(fabric), data_(data), cfg_(cfg)
+    : fabric_(fabric), data_(data), cfg_(cfg),
+      recordAccesses_(cfg.recordAccesses)
 {
 }
 
@@ -160,7 +168,7 @@ NativeExecutor::runProgram(const sim::Program &program,
                 value = word.load(std::memory_order_relaxed);
             }
             std::uint64_t end = ticket();
-            if (cfg_.recordAccesses) {
+            if (recordAccesses_) {
                 ts.accessLog.push_back({start, end, op.addr, iter,
                                         value, op.stmt, op.ref,
                                         is_write});
@@ -247,7 +255,7 @@ NativeExecutor::runProgram(const sim::Program &program,
                 value = word.load(std::memory_order_relaxed);
             }
             std::uint64_t end = ticket();
-            if (cfg_.recordAccesses) {
+            if (recordAccesses_) {
                 ts.accessLog.push_back({start, end, op.addr, iter,
                                         value, op.stmt, op.ref,
                                         is_write});
@@ -260,86 +268,109 @@ NativeExecutor::runProgram(const sim::Program &program,
     return true;
 }
 
+void
+NativeExecutor::beginRun(unsigned lanes, bool record_accesses)
+{
+    laneCount_ = std::max(1u, lanes);
+    recordAccesses_ = record_accesses;
+    states_.clear();
+    states_.resize(laneCount_);
+    errors_.clear();
+    log_.clear();
+    nextClaim_.store(0, std::memory_order_relaxed);
+    clock_.store(1, std::memory_order_relaxed);
+    anyFailed_.store(false, std::memory_order_relaxed);
+}
+
+bool
+NativeExecutor::claimRange(std::uint64_t total, std::uint64_t &begin,
+                           std::uint64_t &end)
+{
+    switch (cfg_.schedule) {
+      case core::SchedulePolicy::chunkedSelfScheduling: {
+        std::uint64_t chunk =
+            std::max<std::uint64_t>(1, cfg_.chunkSize);
+        std::uint64_t old =
+            nextClaim_.fetch_add(chunk, std::memory_order_relaxed);
+        begin = old;
+        end = std::min(total, old + chunk);
+        return old < total;
+      }
+      case core::SchedulePolicy::guidedSelfScheduling: {
+        std::uint64_t old =
+            nextClaim_.load(std::memory_order_relaxed);
+        for (;;) {
+            if (old >= total)
+                return false;
+            std::uint64_t size = std::max<std::uint64_t>(
+                1, (total - old) / (2 * laneCount_));
+            if (nextClaim_.compare_exchange_weak(
+                    old, old + size, std::memory_order_relaxed)) {
+                begin = old;
+                end = std::min(total, old + size);
+                return true;
+            }
+        }
+      }
+      default: {
+        std::uint64_t old =
+            nextClaim_.fetch_add(1, std::memory_order_relaxed);
+        begin = old;
+        end = old + 1;
+        return old < total;
+      }
+    }
+}
+
+bool
+NativeExecutor::runLane(const std::vector<sim::Program> &programs,
+                        unsigned lane, Deadline deadline)
+{
+    const std::uint64_t total = programs.size();
+    ThreadState &ts = states_[lane];
+    ts.id = lane;
+    ts.jitterState =
+        cfg_.timingSeed ? core::mix64(cfg_.timingSeed + lane) : 0;
+    bool ok = true;
+    if (cfg_.schedule == core::SchedulePolicy::staticCyclic) {
+        for (std::uint64_t i = lane; ok && i < total;
+             i += laneCount_)
+            ok = runProgram(programs[i], ts, deadline);
+    } else {
+        std::uint64_t begin = 0, end = 0;
+        while (ok && claimRange(total, begin, end)) {
+            for (std::uint64_t i = begin; ok && i < end; ++i)
+                ok = runProgram(programs[i], ts, deadline);
+        }
+    }
+    if (!ok)
+        anyFailed_.store(true, std::memory_order_release);
+    return ok;
+}
+
+NativeRunResult
+NativeExecutor::finishRun(std::uint64_t wall_nanos)
+{
+    return collect(states_, wall_nanos,
+                   !anyFailed_.load(std::memory_order_acquire));
+}
+
 NativeRunResult
 NativeExecutor::runPool(const std::vector<sim::Program> &programs)
 {
-    const std::uint64_t total = programs.size();
     const unsigned num_threads = std::max(1u, cfg_.numThreads);
     const Deadline deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(cfg_.timeoutMs);
 
-    std::vector<ThreadState> states(num_threads);
-    std::atomic<bool> any_failed{false};
-
-    auto claim = [this, total,
-                  num_threads](std::uint64_t &begin,
-                               std::uint64_t &end) {
-        switch (cfg_.schedule) {
-          case core::SchedulePolicy::chunkedSelfScheduling: {
-            std::uint64_t chunk = std::max<std::uint64_t>(
-                1, cfg_.chunkSize);
-            std::uint64_t old = nextClaim_.fetch_add(
-                chunk, std::memory_order_relaxed);
-            begin = old;
-            end = std::min(total, old + chunk);
-            return old < total;
-          }
-          case core::SchedulePolicy::guidedSelfScheduling: {
-            std::uint64_t old =
-                nextClaim_.load(std::memory_order_relaxed);
-            for (;;) {
-                if (old >= total)
-                    return false;
-                std::uint64_t size = std::max<std::uint64_t>(
-                    1, (total - old) / (2 * num_threads));
-                if (nextClaim_.compare_exchange_weak(
-                        old, old + size,
-                        std::memory_order_relaxed)) {
-                    begin = old;
-                    end = std::min(total, old + size);
-                    return true;
-                }
-            }
-          }
-          default: {
-            std::uint64_t old = nextClaim_.fetch_add(
-                1, std::memory_order_relaxed);
-            begin = old;
-            end = old + 1;
-            return old < total;
-          }
-        }
-    };
-
-    auto worker = [&](unsigned tid) {
-        ThreadState &ts = states[tid];
-        ts.id = tid;
-        ts.jitterState =
-            cfg_.timingSeed
-                ? core::mix64(cfg_.timingSeed + tid)
-                : 0;
-        bool ok = true;
-        if (cfg_.schedule == core::SchedulePolicy::staticCyclic) {
-            for (std::uint64_t i = tid; ok && i < total;
-                 i += num_threads)
-                ok = runProgram(programs[i], ts, deadline);
-        } else {
-            std::uint64_t begin = 0, end = 0;
-            while (ok && claim(begin, end)) {
-                for (std::uint64_t i = begin; ok && i < end; ++i)
-                    ok = runProgram(programs[i], ts, deadline);
-            }
-        }
-        if (!ok)
-            any_failed.store(true, std::memory_order_release);
-    };
+    beginRun(num_threads, cfg_.recordAccesses);
 
     auto wall_start = std::chrono::steady_clock::now();
     std::vector<std::thread> pool;
     pool.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t)
-        pool.emplace_back(worker, t);
+        pool.emplace_back(
+            [&, t] { runLane(programs, t, deadline); });
     for (auto &thread : pool)
         thread.join();
     auto wall_nanos = static_cast<std::uint64_t>(
@@ -347,8 +378,7 @@ NativeExecutor::runPool(const std::vector<sim::Program> &programs)
             std::chrono::steady_clock::now() - wall_start)
             .count());
 
-    return collect(states, wall_nanos,
-                   !any_failed.load(std::memory_order_acquire));
+    return finishRun(wall_nanos);
 }
 
 NativeRunResult
@@ -361,11 +391,10 @@ NativeExecutor::runPerProcessor(
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(cfg_.timeoutMs);
 
-    std::vector<ThreadState> states(num_threads);
-    std::atomic<bool> any_failed{false};
+    beginRun(num_threads, cfg_.recordAccesses);
 
     auto worker = [&](unsigned tid) {
-        ThreadState &ts = states[tid];
+        ThreadState &ts = states_[tid];
         ts.id = tid;
         ts.jitterState =
             cfg_.timingSeed
@@ -378,7 +407,7 @@ NativeExecutor::runPerProcessor(
                 break;
         }
         if (!ok)
-            any_failed.store(true, std::memory_order_release);
+            anyFailed_.store(true, std::memory_order_release);
     };
 
     auto wall_start = std::chrono::steady_clock::now();
@@ -393,8 +422,7 @@ NativeExecutor::runPerProcessor(
             std::chrono::steady_clock::now() - wall_start)
             .count());
 
-    return collect(states, wall_nanos,
-                   !any_failed.load(std::memory_order_acquire));
+    return finishRun(wall_nanos);
 }
 
 NativeRunResult
@@ -453,7 +481,7 @@ std::vector<std::string>
 NativeExecutor::verifyValues(size_t max_messages)
 {
     std::vector<std::string> mismatches;
-    if (!cfg_.recordAccesses)
+    if (!recordAccesses_)
         return mismatches; // nothing logged to check against
     auto report = [&](std::string msg) {
         if (mismatches.size() < max_messages)

@@ -156,6 +156,15 @@ class NativeDataMemory
      */
     std::map<sim::Addr, std::uint64_t> snapshot() const;
 
+    /**
+     * Zero every word, restoring the never-written state. Data
+     * words are per-request payload in the runtime service (only
+     * sync variables are epoch-reused), so each resubmission of a
+     * cached plan starts from the same blank image a fresh
+     * NativeDataMemory would. Quiescent only.
+     */
+    void clearAll();
+
   private:
     void scan(const sim::Program &program);
 
@@ -182,6 +191,40 @@ class NativeExecutor
      */
     NativeRunResult
     runPerProcessor(const std::vector<std::vector<sim::Program>> &per_proc);
+
+    /**
+     * Gang mode — the runtime service's spawn-free path. The
+     * convenience run*() entry points above spawn threads per call;
+     * a service instead keeps a persistent gang and drives the same
+     * machinery directly:
+     *
+     *   executor.beginRun(lanes, record);     // leader, quiescent
+     *   ok[t] = executor.runLane(programs, t, deadline); // each lane
+     *   result = executor.finishRun(wall);    // leader, after all
+     *                                         // lanes returned
+     *
+     * beginRun resets all per-run state (claim counter, ticket
+     * clock, lane states, errors) and fixes the lane count the
+     * schedule policy partitions over; `record` overrides
+     * cfg.recordAccesses for this run, letting a service sample
+     * verification every Nth request without paying for logging on
+     * the rest. One executor can host any number of sequential
+     * begin/lanes/finish rounds. The begin and finish calls must be
+     * quiescent (no lane still running); lanes synchronize with
+     * beginRun through the caller's dispatch handshake.
+     */
+    void beginRun(unsigned lanes, bool record_accesses);
+
+    /**
+     * Execute lane `lane`'s share of the program pool under the
+     * configured schedule policy. Thread-safe across lanes of one
+     * round. @return false when this lane failed or aborted.
+     */
+    bool runLane(const std::vector<sim::Program> &programs,
+                 unsigned lane, Deadline deadline);
+
+    /** Merge lane states into the round's result. */
+    NativeRunResult finishRun(std::uint64_t wall_nanos);
 
     /**
      * The merged access log, sorted by end ticket (unique). Valid
@@ -231,6 +274,8 @@ class NativeExecutor
     void maybeJitter(ThreadState &ts);
     bool runProgram(const sim::Program &program, ThreadState &ts,
                     Deadline deadline);
+    bool claimRange(std::uint64_t total, std::uint64_t &begin,
+                    std::uint64_t &end);
     NativeRunResult
     collect(std::vector<ThreadState> &states,
             std::uint64_t wall_nanos, bool all_ran);
@@ -244,6 +289,12 @@ class NativeExecutor
     std::mutex errorsMutex_;
     std::vector<std::string> errors_;
     std::vector<AccessRecord> log_;
+
+    /** Per-round gang state (beginRun .. finishRun). */
+    std::vector<ThreadState> states_;
+    unsigned laneCount_ = 0;
+    bool recordAccesses_ = true;
+    std::atomic<bool> anyFailed_{false};
 };
 
 } // namespace native

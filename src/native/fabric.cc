@@ -1,5 +1,6 @@
 #include "native/fabric.hh"
 
+#include <algorithm>
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -29,32 +30,127 @@ constexpr auto kParkSlice = std::chrono::microseconds(500);
 
 } // namespace
 
-NativeSyncFabric::NativeSyncFabric(unsigned spin_limit)
-    : spinLimit_(spin_limit)
+const char *
+wakePolicyName(WakePolicy policy)
+{
+    switch (policy) {
+      case WakePolicy::sharded:
+        return "sharded";
+      case WakePolicy::flatCombining:
+        return "flat-combining";
+    }
+    return "?";
+}
+
+NativeSyncFabric::NativeSyncFabric(unsigned spin_limit,
+                                   WakePolicy policy)
+    : spinLimit_(spin_limit), policy_(policy)
 {
 }
 
 NativeSyncFabric::NativeSyncFabric(const sim::SyncFabric &planned,
-                                   unsigned spin_limit)
-    : spinLimit_(spin_limit)
+                                   unsigned spin_limit,
+                                   WakePolicy policy)
+    : spinLimit_(spin_limit), policy_(policy)
 {
     unsigned count = planned.allocated();
     for (unsigned v = 0; v < count; ++v)
         words_.emplace_back(planned.peek(v));
 }
 
+NativeSyncFabric::NativeSyncFabric(
+    const std::vector<sim::SyncWord> &init_words, unsigned spin_limit,
+    WakePolicy policy)
+    : spinLimit_(spin_limit), policy_(policy)
+{
+    for (sim::SyncWord w : init_words)
+        words_.emplace_back(w);
+}
+
 sim::SyncVarId
 NativeSyncFabric::allocate(unsigned count, sim::SyncWord init)
 {
     auto first = static_cast<sim::SyncVarId>(words_.size());
-    for (unsigned i = 0; i < count; ++i)
+    for (unsigned i = 0; i < count; ++i) {
         words_.emplace_back(init);
+        if (epochEnabled_) {
+            // A zero tag is stale for every epoch (epochs start at
+            // 1), so reads of the new word resolve to its init
+            // value — which is also what the word itself holds.
+            init_.push_back(init);
+            tags_.emplace_back(0);
+        }
+    }
     return first;
+}
+
+void
+NativeSyncFabric::enableEpochReuse()
+{
+    init_.resize(words_.size());
+    for (std::size_t v = 0; v < words_.size(); ++v)
+        init_[v] = words_[v].load(std::memory_order_relaxed);
+    while (tags_.size() < words_.size())
+        tags_.emplace_back(0);
+    epochEnabled_ = true;
+}
+
+void
+NativeSyncFabric::beginEpoch()
+{
+    // Quiescent by contract: no concurrent accessors, and the
+    // caller publishes the bump with its own happens-before edge
+    // (the service's gang-dispatch handshake), so relaxed is enough.
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    aborted_.store(false, std::memory_order_release);
+}
+
+bool
+NativeSyncFabric::claimWord(sim::SyncVarId var, std::uint64_t epoch)
+{
+    std::atomic<std::uint64_t> &tag = tags_[var];
+    std::uint64_t cur = tag.load(std::memory_order_acquire);
+    for (;;) {
+        if (cur == epoch)
+            return false;
+        if (cur == (epoch | kClaimBit)) {
+            // Another writer is initializing right now; wait for
+            // the tag to land, then the word is current.
+            cpuRelax();
+            cur = tag.load(std::memory_order_acquire);
+            continue;
+        }
+        if (tag.compare_exchange_weak(cur, epoch | kClaimBit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+            return true;
+    }
+}
+
+/**
+ * Make `var`'s word physically current for this epoch before a
+ * write touches it: the claim winner rewrites the init value and
+ * publishes the epoch tag; everyone else returns once the tag is
+ * current. No-op when epoch reuse is off.
+ */
+void
+NativeSyncFabric::ensureCurrent(sim::SyncVarId var)
+{
+    if (!epochEnabled_)
+        return;
+    std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+    if (tags_[var].load(std::memory_order_acquire) == e)
+        return;
+    if (claimWord(var, e)) {
+        words_[var].store(init_[var], std::memory_order_relaxed);
+        publishTag(var, e);
+    }
 }
 
 void
 NativeSyncFabric::store(sim::SyncVarId var, sim::SyncWord value)
 {
+    ensureCurrent(var);
     words_[var].store(value, std::memory_order_release);
     wake(var);
 }
@@ -62,6 +158,7 @@ NativeSyncFabric::store(sim::SyncVarId var, sim::SyncWord value)
 sim::SyncWord
 NativeSyncFabric::fetchAdd(sim::SyncVarId var, sim::SyncWord delta)
 {
+    ensureCurrent(var);
     sim::SyncWord old =
         words_[var].fetch_add(delta, std::memory_order_acq_rel);
     wake(var);
@@ -73,6 +170,7 @@ NativeSyncFabric::fetchAddCounted(sim::SyncVarId var,
                                   sim::SyncWord delta,
                                   std::uint64_t &retries)
 {
+    ensureCurrent(var);
     std::atomic<sim::SyncWord> &word = words_[var];
     sim::SyncWord cur = word.load(std::memory_order_relaxed);
     while (!word.compare_exchange_weak(cur, cur + delta,
@@ -87,6 +185,15 @@ NativeSyncFabric::fetchAddCounted(sim::SyncVarId var,
 
 void
 NativeSyncFabric::wake(sim::SyncVarId var)
+{
+    if (policy_ == WakePolicy::flatCombining)
+        wakeFlatCombining();
+    else
+        wakeSharded(var);
+}
+
+void
+NativeSyncFabric::wakeSharded(sim::SyncVarId var)
 {
     Shard &shard = shardOf(var);
     // seq_cst pairs with the parker's seq_cst increment: either we
@@ -104,12 +211,65 @@ NativeSyncFabric::wake(sim::SyncVarId var)
     totalWakeups_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void
+NativeSyncFabric::wakeFlatCombining()
+{
+    // seq_cst pairs with the parker's seq_cst registration count,
+    // exactly like the sharded waiter-count handshake.
+    if (fcRegistered_.load(std::memory_order_seq_cst) == 0)
+        return;
+    // Publish the combining request *before* trying the lock: a
+    // holder that is about to release must observe it and drain on
+    // our behalf.
+    fcDirty_.store(true, std::memory_order_seq_cst);
+    if (fcMutex_.try_lock()) {
+        fcDrainLocked();
+        fcMutex_.unlock();
+    }
+    // try_lock failed: the current holder drains while fcDirty_ is
+    // set before unlocking, so our wake is delivered without this
+    // writer ever blocking. The bounded park slice covers the
+    // razor-thin window where the holder cleared dirty just before
+    // our store yet its final value scan predates our write.
+}
+
+void
+NativeSyncFabric::fcDrainLocked()
+{
+    while (fcDirty_.exchange(false, std::memory_order_seq_cst)) {
+        bool abort_all = aborted();
+        for (auto it = fcWaiters_.begin(); it != fcWaiters_.end();) {
+            FcNode *node = *it;
+            bool fire =
+                abort_all ||
+                loadValue(node->var, std::memory_order_seq_cst) >=
+                    node->threshold;
+            if (!fire) {
+                ++it;
+                continue;
+            }
+            if (!abort_all)
+                node->satisfied.store(true,
+                                      std::memory_order_release);
+            {
+                // Same empty-bracket discipline as the sharded
+                // wake: a parker between its satisfied check and
+                // cv.wait() holds the node mutex.
+                std::lock_guard<std::mutex> g(node->m);
+            }
+            node->cv.notify_one();
+            it = fcWaiters_.erase(it);
+            fcRegistered_.fetch_sub(1, std::memory_order_seq_cst);
+            totalWakeups_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
 WaitOutcome
 NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
                          Deadline deadline, bool timed)
 {
     WaitOutcome out;
-    const std::atomic<sim::SyncWord> &word = words_[var];
     using Clock = std::chrono::steady_clock;
     using std::chrono::nanoseconds;
     Clock::time_point t0;
@@ -123,7 +283,7 @@ NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
     };
 
     for (unsigned i = 0; i < spinLimit_; ++i) {
-        if (word.load(std::memory_order_acquire) >= threshold) {
+        if (loadValue(var, std::memory_order_acquire) >= threshold) {
             out.satisfied = true;
             if (timed && out.spins) {
                 out.waitNanos = nanos_since(t0);
@@ -142,13 +302,38 @@ NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
     if (timed)
         out.spinNanos = nanos_since(t0);
 
+    if (policy_ == WakePolicy::flatCombining)
+        out = waitParkFlatCombining(var, threshold, deadline, timed,
+                                    out);
+    else
+        out = waitParkSharded(var, threshold, deadline, timed, out);
+    if (timed)
+        out.waitNanos = nanos_since(t0);
+    return out;
+}
+
+WaitOutcome
+NativeSyncFabric::waitParkSharded(sim::SyncVarId var,
+                                  sim::SyncWord threshold,
+                                  Deadline deadline, bool timed,
+                                  WaitOutcome out)
+{
+    using Clock = std::chrono::steady_clock;
+    using std::chrono::nanoseconds;
+    auto nanos_since = [](Clock::time_point from) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<nanoseconds>(Clock::now() -
+                                                    from)
+                .count());
+    };
+
     Shard &shard = shardOf(var);
     std::unique_lock<std::mutex> lk(shard.m);
     shard.waiters.fetch_add(1, std::memory_order_seq_cst);
     Clock::time_point slice_start;
     bool slept = false;
     for (;;) {
-        if (word.load(std::memory_order_seq_cst) >= threshold) {
+        if (loadValue(var, std::memory_order_seq_cst) >= threshold) {
             out.satisfied = true;
             if (timed && slept)
                 out.parkWakeNanos = nanos_since(slice_start);
@@ -171,8 +356,92 @@ NativeSyncFabric::waitGE(sim::SyncVarId var, sim::SyncWord threshold,
         shard.cv.wait_for(lk, kParkSlice);
     }
     shard.waiters.fetch_sub(1, std::memory_order_seq_cst);
-    if (timed)
-        out.waitNanos = nanos_since(t0);
+    return out;
+}
+
+WaitOutcome
+NativeSyncFabric::waitParkFlatCombining(sim::SyncVarId var,
+                                        sim::SyncWord threshold,
+                                        Deadline deadline, bool timed,
+                                        WaitOutcome out)
+{
+    using Clock = std::chrono::steady_clock;
+    using std::chrono::nanoseconds;
+    auto nanos_since = [](Clock::time_point from) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<nanoseconds>(Clock::now() -
+                                                    from)
+                .count());
+    };
+
+    FcNode node;
+    node.var = var;
+    node.threshold = threshold;
+
+    // Register under the combiner lock. Re-checking the value while
+    // holding it closes the publication race: any writer that
+    // committed before we appear on the list is visible here, and
+    // any later writer either drains us or hands its dirty flag to
+    // the holder that will.
+    {
+        std::lock_guard<std::mutex> lk(fcMutex_);
+        if (loadValue(var, std::memory_order_seq_cst) >= threshold) {
+            out.satisfied = true;
+            return out;
+        }
+        if (aborted())
+            return out;
+        fcWaiters_.push_back(&node);
+        fcRegistered_.fetch_add(1, std::memory_order_seq_cst);
+        // While we hold the lock anyway, honor pending requests —
+        // the combining role falls to whoever has the lock.
+        fcDrainLocked();
+    }
+
+    Clock::time_point slice_start;
+    bool slept = false;
+    {
+        std::unique_lock<std::mutex> nlk(node.m);
+        for (;;) {
+            if (node.satisfied.load(std::memory_order_acquire) ||
+                loadValue(var, std::memory_order_seq_cst) >=
+                    threshold) {
+                out.satisfied = true;
+                if (timed && slept)
+                    out.parkWakeNanos = nanos_since(slice_start);
+                break;
+            }
+            if (aborted())
+                break;
+            if (Clock::now() >= deadline) {
+                nlk.unlock();
+                abortAll();
+                nlk.lock();
+                break;
+            }
+            ++out.parks;
+            totalParks_.fetch_add(1, std::memory_order_relaxed);
+            if (timed) {
+                slice_start = Clock::now();
+                slept = true;
+            }
+            node.cv.wait_for(nlk, kParkSlice);
+        }
+    }
+
+    // Deregister. The node is stack-local: it must leave the list
+    // before this frame unwinds, and combiners only touch nodes
+    // while holding fcMutex_, so after the erase (or after finding
+    // a combiner already erased us) nobody can reach it.
+    {
+        std::lock_guard<std::mutex> lk(fcMutex_);
+        auto it =
+            std::find(fcWaiters_.begin(), fcWaiters_.end(), &node);
+        if (it != fcWaiters_.end()) {
+            fcWaiters_.erase(it);
+            fcRegistered_.fetch_sub(1, std::memory_order_seq_cst);
+        }
+    }
     return out;
 }
 
@@ -185,6 +454,11 @@ NativeSyncFabric::abortAll()
             std::lock_guard<std::mutex> lk(shards_[s].m);
         }
         shards_[s].cv.notify_all();
+    }
+    if (policy_ == WakePolicy::flatCombining) {
+        fcDirty_.store(true, std::memory_order_seq_cst);
+        std::lock_guard<std::mutex> lk(fcMutex_);
+        fcDrainLocked();
     }
 }
 

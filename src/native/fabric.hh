@@ -23,16 +23,40 @@
  * chained barrier arrivals stay ordered through the RMW release
  * sequence.
  *
- * Waiting is spin-then-park: a bounded spin of acquire loads (with
- * a CPU relax hint), then parking on one of a small set of sharded
- * mutex+condvar pairs keyed by variable id. Writers wake a shard
- * only when its waiter count says someone may be parked; the
- * waiter count handshake uses seq_cst so a parker that checked the
- * old value cannot miss the notify (Dekker-style store/load pairs),
- * and parked waits additionally time-bound each sleep so even a
- * lost race costs microseconds, not a hang. waitGE takes a deadline
- * past which the whole fabric aborts — a deadlocked scheme turns
- * into completed=false instead of a stuck process.
+ * Waiting is spin-then-park. After a bounded spin of acquire loads
+ * (with a CPU relax hint) the waiter parks under one of two
+ * interchangeable wake policies:
+ *
+ *  - WakePolicy::sharded (default): 64 mutex+condvar shards keyed
+ *    by variable id. Writers wake a shard only when its waiter
+ *    count says someone may be parked; the count handshake uses
+ *    seq_cst so a parker that checked the old value cannot miss
+ *    the notify (Dekker-style store/load pairs).
+ *
+ *  - WakePolicy::flatCombining: waiters publish (var, threshold)
+ *    nodes on one combiner-locked list and park on a private
+ *    condvar each. Writers never block on the wake path: they set
+ *    a dirty flag and try-lock the combiner; whoever holds the
+ *    lock drains all pending wakes before releasing it (HSynch-
+ *    style delegation). One writer's lock acquisition thus batches
+ *    the wakeups every concurrent writer requested.
+ *
+ * Both policies time-bound each parked sleep, so even a lost
+ * notify race costs microseconds, not a hang. waitGE takes a
+ * deadline past which the whole fabric aborts — a deadlocked
+ * scheme turns into completed=false instead of a stuck process.
+ *
+ * Epoch-based reuse (the runtime service's init-cost amortization,
+ * paper section 4): enableEpochReuse() snapshots the current
+ * variable values as the fabric's *init image*; beginEpoch() then
+ * logically restores that image in O(1) by bumping an epoch
+ * counter instead of rewriting every word. Each word carries an
+ * epoch tag; an access whose tag is stale sees the init value, and
+ * the first write of an epoch claims the tag before publishing.
+ * beginEpoch() must be called at a quiescent point (no concurrent
+ * accessors) and also clears a pending abort, which is what makes
+ * timeout -> abortAll -> resubmit-clean possible on a long-lived
+ * fabric.
  */
 
 #ifndef PSYNC_NATIVE_FABRIC_HH
@@ -44,6 +68,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "sim/sync_fabric.hh"
 #include "sim/types.hh"
@@ -53,6 +78,18 @@ namespace native {
 
 /** Host-time point used for wait deadlines. */
 using Deadline = std::chrono::steady_clock::time_point;
+
+/** How writers wake parked waitGE callers. */
+enum class WakePolicy
+{
+    /** 64 mutex+condvar shards keyed by variable id. */
+    sharded,
+    /** One combiner-locked waiter list; writers delegate wakes. */
+    flatCombining,
+};
+
+/** Printable wake-policy name ("sharded" / "flat-combining"). */
+const char *wakePolicyName(WakePolicy policy);
 
 /** Spin/park counters of one waitGE call. */
 struct WaitOutcome
@@ -86,7 +123,8 @@ struct WaitOutcome
 class NativeSyncFabric
 {
   public:
-    explicit NativeSyncFabric(unsigned spin_limit = 64);
+    explicit NativeSyncFabric(unsigned spin_limit = 64,
+                              WakePolicy policy = WakePolicy::sharded);
 
     /**
      * Mirror a planned simulator fabric: allocate the same number
@@ -95,7 +133,16 @@ class NativeSyncFabric
      * unchanged.
      */
     NativeSyncFabric(const sim::SyncFabric &planned,
-                     unsigned spin_limit = 64);
+                     unsigned spin_limit = 64,
+                     WakePolicy policy = WakePolicy::sharded);
+
+    /**
+     * Build from a saved init image (a cached plan's snapshot of
+     * the planning fabric), ready for enableEpochReuse().
+     */
+    NativeSyncFabric(const std::vector<sim::SyncWord> &init_words,
+                     unsigned spin_limit = 64,
+                     WakePolicy policy = WakePolicy::sharded);
 
     NativeSyncFabric(const NativeSyncFabric &) = delete;
     NativeSyncFabric &operator=(const NativeSyncFabric &) = delete;
@@ -109,11 +156,13 @@ class NativeSyncFabric
         return static_cast<unsigned>(words_.size());
     }
 
+    WakePolicy wakePolicy() const { return policy_; }
+
     /** Acquire-load the current value. */
     sim::SyncWord
     load(sim::SyncVarId var) const
     {
-        return words_[var].load(std::memory_order_acquire);
+        return loadValue(var, std::memory_order_acquire);
     }
 
     /** Release-store a value and wake parked waiters. */
@@ -158,6 +207,33 @@ class NativeSyncFabric
         words_[var].store(value, std::memory_order_release);
     }
 
+    /**
+     * Snapshot the current values as the fabric's init image and
+     * switch every accessor to the epoch-tag protocol. Setup only
+     * (no concurrent accessors); call once, after allocation and
+     * any poke() overrides.
+     */
+    void enableEpochReuse();
+
+    bool epochReuseEnabled() const { return epochEnabled_; }
+
+    /**
+     * Start a fresh execution epoch: every variable logically
+     * reverts to its init-image value without any per-word write,
+     * and a pending abort is cleared so an aborted (timed-out)
+     * fabric is clean for the next submission. Quiescent only: the
+     * caller must guarantee no concurrent accessors, and must
+     * publish the bump to the next epoch's threads with a
+     * happens-before edge (the service's dispatch handshake does).
+     */
+    void beginEpoch();
+
+    /** Epochs started since enableEpochReuse(). */
+    std::uint64_t epoch() const
+    {
+        return epoch_.load(std::memory_order_relaxed) - 1;
+    }
+
     std::uint64_t
     totalParks() const
     {
@@ -183,7 +259,20 @@ class NativeSyncFabric
         std::atomic<unsigned> waiters{0};
     };
 
+    /** One parked flat-combining waiter (stack-allocated). */
+    struct FcNode
+    {
+        sim::SyncVarId var = 0;
+        sim::SyncWord threshold = 0;
+        std::atomic<bool> satisfied{false};
+        std::mutex m;
+        std::condition_variable cv;
+    };
+
     static constexpr unsigned kNumShards = 64;
+
+    /** Tag bit marking a word mid-claim by its epoch's first writer. */
+    static constexpr std::uint64_t kClaimBit = 1ull << 63;
 
     Shard &
     shardOf(sim::SyncVarId var) const
@@ -191,18 +280,82 @@ class NativeSyncFabric
         return shards_[var % kNumShards];
     }
 
+    /**
+     * Epoch-aware value read: a stale (or mid-claim) tag means the
+     * word has not been written this epoch yet, so its logical
+     * value is the init image's.
+     */
+    sim::SyncWord
+    loadValue(sim::SyncVarId var, std::memory_order order) const
+    {
+        if (!epochEnabled_)
+            return words_[var].load(order);
+        std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+        if (tags_[var].load(std::memory_order_acquire) != e)
+            return init_[var];
+        return words_[var].load(order);
+    }
+
+    /**
+     * Claim a stale word for the current epoch before its first
+     * write: CAS the tag to the claim sentinel, making this thread
+     * the word's exclusive initializer; everyone else spins on the
+     * tag (or reads the init value) until the epoch tag lands.
+     * Returns true when this caller won the claim (and must publish
+     * the tag after writing); false when the tag is already current.
+     */
+    bool claimWord(sim::SyncVarId var, std::uint64_t epoch);
+
+    /** Pre-write hook: lazily reinit a stale word for this epoch. */
+    void ensureCurrent(sim::SyncVarId var);
+
+    void publishTag(sim::SyncVarId var, std::uint64_t epoch)
+    {
+        tags_[var].store(epoch, std::memory_order_release);
+    }
+
     void wake(sim::SyncVarId var);
+    void wakeSharded(sim::SyncVarId var);
+    void wakeFlatCombining();
+
+    /** Drain pending FC wakes; call with fcMutex_ held. Every
+     * holder of fcMutex_ drains before unlocking, so a writer whose
+     * try_lock failed still gets its wake delivered. */
+    void fcDrainLocked();
+
+    WaitOutcome waitParkSharded(sim::SyncVarId var,
+                                sim::SyncWord threshold,
+                                Deadline deadline, bool timed,
+                                WaitOutcome out);
+    WaitOutcome waitParkFlatCombining(sim::SyncVarId var,
+                                      sim::SyncWord threshold,
+                                      Deadline deadline, bool timed,
+                                      WaitOutcome out);
 
     /**
      * deque keeps element addresses stable across setup-time
      * allocate() growth (atomics are neither movable nor copyable).
      */
     std::deque<std::atomic<sim::SyncWord>> words_;
+    /** Per-word epoch tags (epoch reuse only; parallel to words_). */
+    std::deque<std::atomic<std::uint64_t>> tags_;
+    /** Init image restored (logically) by each beginEpoch(). */
+    std::vector<sim::SyncWord> init_;
     mutable Shard shards_[kNumShards];
     unsigned spinLimit_;
+    WakePolicy policy_;
+    bool epochEnabled_ = false;
+    /** Current epoch number; tags start stale at 0, epochs at 1. */
+    std::atomic<std::uint64_t> epoch_{1};
     std::atomic<bool> aborted_{false};
     std::atomic<std::uint64_t> totalParks_{0};
     std::atomic<std::uint64_t> totalWakeups_{0};
+
+    /** Flat-combining state (policy_ == flatCombining). */
+    std::mutex fcMutex_;
+    std::vector<FcNode *> fcWaiters_;
+    std::atomic<bool> fcDirty_{false};
+    std::atomic<unsigned> fcRegistered_{0};
 };
 
 } // namespace native

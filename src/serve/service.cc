@@ -1,0 +1,407 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+
+#include "core/trace_check.hh"
+#include "core/value_trace.hh"
+#include "sim/logging.hh"
+
+namespace psync {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nanosSince(Clock::time_point from, Clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to -
+                                                             from)
+            .count());
+}
+
+/** Executor config of one gang: lanes fixed by the gang size. */
+native::NativeConfig
+executorConfig(const ServeConfig &cfg)
+{
+    native::NativeConfig ncfg = cfg.native;
+    ncfg.numThreads = std::max(1u, cfg.gangSize);
+    ncfg.timeoutMs = cfg.requestTimeoutMs;
+    return ncfg;
+}
+
+} // namespace
+
+DoacrossService::Arena::Arena(
+    const std::shared_ptr<const core::CachedPlan> &p,
+    const ServeConfig &cfg)
+    : plan(p),
+      fabric(p->initWords, cfg.native.spinLimit, cfg.wakePolicy),
+      data(p->programs),
+      executor(fabric, data, executorConfig(cfg))
+{
+    // From here on, every request restores the plan's init image
+    // with one epoch bump instead of |initWords| writes.
+    fabric.enableEpochReuse();
+}
+
+DoacrossService::DoacrossService(const ServeConfig &cfg)
+    : cfg_(cfg), cache_(cfg.planCacheCapacity),
+      queue_(cfg.queueCapacity)
+{
+    cfg_.gangs = std::max(1u, cfg_.gangs);
+    cfg_.gangSize = std::max(1u, cfg_.gangSize);
+    gangs_.reserve(cfg_.gangs);
+    for (unsigned g = 0; g < cfg_.gangs; ++g) {
+        gangs_.push_back(std::make_unique<Gang>());
+        gangs_.back()->index = g;
+    }
+    for (auto &gang : gangs_) {
+        Gang *gp = gang.get();
+        threads_.emplace_back([this, gp] { leaderLoop(*gp); });
+        for (unsigned lane = 1; lane < cfg_.gangSize; ++lane)
+            threads_.emplace_back(
+                [this, gp, lane] { memberLoop(*gp, lane); });
+    }
+}
+
+DoacrossService::~DoacrossService()
+{
+    stop();
+}
+
+std::shared_ptr<const core::CachedPlan>
+DoacrossService::plan(const dep::Loop &loop, sync::SchemeKind kind,
+                      const core::RunConfig &rcfg)
+{
+    return cache_.get(
+        loop, kind, rcfg, [this](core::CachedPlan &entry) {
+            if (entry.hasReference ||
+                entry.kind == sync::SchemeKind::none)
+                return;
+            // Renamed-storage plans have no sequential oracle; one
+            // fresh-init native run (deterministic across backends,
+            // per the cross-validation suite) supplies the
+            // reference image the sampled verifier compares epochs
+            // against.
+            native::NativeConfig ncfg = executorConfig(cfg_);
+            ncfg.recordAccesses = true;
+            native::NativeSyncFabric fabric(
+                entry.initWords, ncfg.spinLimit, cfg_.wakePolicy);
+            native::NativeDataMemory data(entry.programs);
+            native::NativeExecutor executor(fabric, data, ncfg);
+            native::NativeRunResult run =
+                executor.runPool(entry.programs);
+            if (!run.completed)
+                return; // leave hasReference false; skip comparisons
+            core::ValueTrace values;
+            executor.replayAccesses(values);
+            entry.refMemory = values.memory();
+            entry.refReads = values.reads();
+            entry.hasReference = true;
+        });
+}
+
+std::uint64_t
+DoacrossService::submit(const dep::Loop &loop,
+                        sync::SchemeKind kind,
+                        const core::RunConfig &rcfg)
+{
+    if (stopped_.load(std::memory_order_acquire))
+        return 0;
+    return submitPlan(plan(loop, kind, rcfg));
+}
+
+std::uint64_t
+DoacrossService::submitPlan(
+    std::shared_ptr<const core::CachedPlan> plan)
+{
+    if (!plan || stopped_.load(std::memory_order_acquire))
+        return 0;
+    Request req;
+    req.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    req.plan = std::move(plan);
+    req.submitTime = Clock::now();
+    submitted_.fetch_add(1, std::memory_order_seq_cst);
+    if (!queue_.push(std::move(req))) {
+        submitted_.fetch_sub(1, std::memory_order_seq_cst);
+        return 0;
+    }
+    return req.id;
+}
+
+DoacrossService::Arena &
+DoacrossService::arenaFor(
+    Gang &gang, const std::shared_ptr<const core::CachedPlan> &plan)
+{
+    auto it = gang.arenas.find(plan->key);
+    if (it != gang.arenas.end())
+        return *it->second;
+    // Arenas are cheap to rebuild from a cached plan (no replan);
+    // cap gang-local retention so plans long evicted from the cache
+    // do not pin fabrics forever.
+    std::size_t cap =
+        std::max<std::size_t>(8, cfg_.planCacheCapacity);
+    if (gang.arenas.size() >= cap)
+        gang.arenas.clear();
+    auto arena = std::make_unique<Arena>(plan, cfg_);
+    Arena &ref = *arena;
+    gang.arenas.emplace(plan->key, std::move(arena));
+    return ref;
+}
+
+void
+DoacrossService::serveRequest(Gang &gang, Request &req)
+{
+    Arena &arena = arenaFor(gang, req.plan);
+    ++gang.requestsSeen;
+    bool record =
+        cfg_.verifySampleEvery != 0 &&
+        gang.requestsSeen % cfg_.verifySampleEvery == 0;
+
+    arena.fabric.beginEpoch();
+    epochsBegun_.fetch_add(1, std::memory_order_relaxed);
+    arena.data.clearAll();
+    arena.executor.beginRun(cfg_.gangSize, record);
+
+    const auto wall_start = Clock::now();
+    const native::Deadline deadline =
+        wall_start +
+        std::chrono::milliseconds(cfg_.requestTimeoutMs);
+
+    if (cfg_.gangSize > 1) {
+        {
+            std::lock_guard<std::mutex> lk(gang.m);
+            gang.work = &arena;
+            gang.deadline = deadline;
+            gang.lanesDone = 0;
+            // The mutex publishes the epoch bump, data clear and
+            // beginRun state to the member lanes.
+            ++gang.generation;
+        }
+        gang.cv.notify_all();
+    }
+    arena.executor.runLane(arena.plan->programs, 0, deadline);
+    if (cfg_.gangSize > 1) {
+        std::unique_lock<std::mutex> lk(gang.m);
+        gang.doneCv.wait(lk, [&] {
+            return gang.lanesDone == cfg_.gangSize - 1;
+        });
+    }
+
+    native::NativeRunResult result = arena.executor.finishRun(
+        nanosSince(wall_start, Clock::now()));
+    ++arena.uses;
+
+    Completion completion;
+    completion.requestId = req.id;
+    completion.gang = gang.index;
+    completion.completed = result.completed;
+    completion.programsRun = result.programsRun;
+    completion.problems = std::move(result.errors);
+    programsRun_.fetch_add(result.programsRun,
+                           std::memory_order_relaxed);
+    if (result.completed) {
+        completedOk_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        if (completion.problems.empty())
+            completion.problems.push_back(
+                "run aborted (watchdog deadline or fabric abort)");
+    }
+
+    if (record && result.completed) {
+        completion.verified = true;
+        verifySamples_.fetch_add(1, std::memory_order_relaxed);
+        verifyRun(arena, completion);
+        if (!completion.verifyOk)
+            verifyFailures_.fetch_add(1,
+                                      std::memory_order_relaxed);
+    }
+
+    gang.batch.push_back(std::move(completion));
+    gang.batchTimes.push_back(req.submitTime);
+}
+
+void
+DoacrossService::verifyRun(const Arena &arena,
+                           Completion &completion)
+{
+    // Non-const access for the executor's value audit; gang-local,
+    // so this is still single-threaded per arena.
+    auto &executor = const_cast<Arena &>(arena).executor;
+    const auto &plan = *arena.plan;
+
+    core::TraceChecker checker;
+    executor.replayAccesses(checker);
+    std::vector<std::string> violations =
+        checker.verify(plan.loop, plan.plan.depsVerified);
+    for (auto &v : violations)
+        completion.problems.push_back("dependence: " +
+                                      std::move(v));
+
+    std::vector<std::string> mismatches = executor.verifyValues();
+    for (auto &m : mismatches)
+        completion.problems.push_back("value: " + std::move(m));
+
+    bool image_ok = true;
+    if (plan.hasReference) {
+        core::ValueTrace values;
+        executor.replayAccesses(values);
+        if (values.memory() != plan.refMemory) {
+            image_ok = false;
+            completion.problems.push_back(sim::csprintf(
+                "image: epoch %llu memory image differs from "
+                "fresh-init reference (%zu vs %zu written words)",
+                static_cast<unsigned long long>(
+                    arena.fabric.epoch()),
+                values.memory().size(), plan.refMemory.size()));
+        }
+        if (values.reads() != plan.refReads) {
+            image_ok = false;
+            completion.problems.push_back(
+                "image: read values differ from fresh-init "
+                "reference");
+        }
+    }
+    completion.verifyOk =
+        violations.empty() && mismatches.empty() && image_ok;
+}
+
+void
+DoacrossService::flushBatch(Gang &gang)
+{
+    if (gang.batch.empty())
+        return;
+    const auto now = Clock::now();
+    {
+        std::lock_guard<std::mutex> lk(completionsMutex_);
+        for (std::size_t i = 0; i < gang.batch.size(); ++i) {
+            gang.batch[i].latencyNanos =
+                nanosSince(gang.batchTimes[i], now);
+            // Guarded by completionsMutex_ so stats() can merge
+            // per-gang histograms without racing the leaders.
+            gang.latencyNs.record(gang.batch[i].latencyNanos);
+            completions_.push_back(std::move(gang.batch[i]));
+        }
+        published_ += gang.batch.size();
+    }
+    idleCv_.notify_all();
+    gang.batch.clear();
+    gang.batchTimes.clear();
+}
+
+void
+DoacrossService::leaderLoop(Gang &gang)
+{
+    Request req;
+    for (;;) {
+        int got =
+            queue_.popFor(req, std::chrono::milliseconds(2));
+        if (got < 0)
+            break; // closed and drained
+        if (got == 0) {
+            // Idle: don't sit on batched completions.
+            flushBatch(gang);
+            continue;
+        }
+        serveRequest(gang, req);
+        req = Request{};
+        if (gang.batch.size() >= cfg_.completionBatch)
+            flushBatch(gang);
+    }
+    flushBatch(gang);
+    {
+        std::lock_guard<std::mutex> lk(gang.m);
+        gang.shutdown = true;
+    }
+    gang.cv.notify_all();
+}
+
+void
+DoacrossService::memberLoop(Gang &gang, unsigned lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Arena *work = nullptr;
+        native::Deadline deadline{};
+        {
+            std::unique_lock<std::mutex> lk(gang.m);
+            gang.cv.wait(lk, [&] {
+                return gang.generation != seen || gang.shutdown;
+            });
+            if (gang.generation == seen && gang.shutdown)
+                break;
+            seen = gang.generation;
+            work = gang.work;
+            deadline = gang.deadline;
+        }
+        work->executor.runLane(work->plan->programs, lane,
+                               deadline);
+        {
+            std::lock_guard<std::mutex> lk(gang.m);
+            ++gang.lanesDone;
+            if (gang.lanesDone == cfg_.gangSize - 1)
+                gang.doneCv.notify_one();
+        }
+    }
+}
+
+void
+DoacrossService::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(completionsMutex_);
+    idleCv_.wait(lk, [&] {
+        return published_ ==
+               submitted_.load(std::memory_order_seq_cst);
+    });
+}
+
+std::vector<Completion>
+DoacrossService::takeCompletions()
+{
+    std::lock_guard<std::mutex> lk(completionsMutex_);
+    std::vector<Completion> out = std::move(completions_);
+    completions_.clear();
+    return out;
+}
+
+void
+DoacrossService::stop()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+    queue_.close();
+    for (auto &thread : threads_)
+        thread.join();
+    threads_.clear();
+}
+
+ServiceStats
+DoacrossService::stats() const
+{
+    ServiceStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completedOk = completedOk_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.programsRun = programsRun_.load(std::memory_order_relaxed);
+    s.verifySamples =
+        verifySamples_.load(std::memory_order_relaxed);
+    s.verifyFailures =
+        verifyFailures_.load(std::memory_order_relaxed);
+    s.epochsBegun = epochsBegun_.load(std::memory_order_relaxed);
+    s.planCacheHits = cache_.hits();
+    s.planCacheMisses = cache_.misses();
+    s.planCacheHitRate = cache_.hitRate();
+    {
+        std::lock_guard<std::mutex> lk(completionsMutex_);
+        for (const auto &gang : gangs_)
+            s.latencyNs.merge(gang->latencyNs);
+    }
+    return s;
+}
+
+} // namespace serve
+} // namespace psync

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * The persistent Doacross runtime service.
+ *
+ * Everything the per-run native backend pays per program —
+ * dependence analysis, scheme planning, IR lowering + passes +
+ * verification, sync-variable initialization, thread spawn/join —
+ * is paid once here and amortized over millions of executions:
+ *
+ *  - submit() resolves the request through a core::PlanCache, so a
+ *    loop seen before costs one key lookup, not a replan;
+ *  - a fixed set of worker *gangs* (gangSize threads each, started
+ *    once) pulls requests from a bounded MPMC queue — the gang
+ *    leader pops, primes an execution arena, and publishes the work
+ *    to its members through a generation handshake; no thread is
+ *    ever spawned per request;
+ *  - each (gang, plan) pair keeps an arena: a NativeSyncFabric in
+ *    epoch-reuse mode (beginEpoch() logically restores the plan's
+ *    init image in O(1) — the paper's §4 initialization cost,
+ *    amortized away), a NativeDataMemory (cleared per request: data
+ *    words are request payload, only sync vars are epoch-reused),
+ *    and a NativeExecutor driven through its gang-mode API;
+ *  - completions are published in batches; each request's
+ *    submit-to-publish latency lands in a per-gang LogHistogram, so
+ *    p50/p95/p99 include the batching cost;
+ *  - every Nth request per gang (verifySampleEvery) runs with
+ *    access recording on and is fully verified after execution:
+ *    trace-checker replay against the plan's dependence arcs, the
+ *    executor's read-value audit, and a bit-exact comparison of the
+ *    functional memory/read image against the cached plan's
+ *    reference oracle;
+ *  - a per-request watchdog deadline turns a deadlocked or wedged
+ *    plan into abortAll + a failed completion; the next request on
+ *    that arena starts from beginEpoch(), which also clears the
+ *    abort, so one poisoned request never poisons the service.
+ */
+
+#ifndef PSYNC_SERVE_SERVICE_HH
+#define PSYNC_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/plan_cache.hh"
+#include "native/executor.hh"
+#include "serve/mpmc_queue.hh"
+
+namespace psync {
+namespace serve {
+
+/** Service-wide configuration, fixed at construction. */
+struct ServeConfig
+{
+    /** Worker gangs; requests are served one per gang at a time. */
+    unsigned gangs = 2;
+    /** Threads per gang = lanes per execution. */
+    unsigned gangSize = 4;
+    /** Execution knobs (schedule, chunk, spin, jitter, profile). */
+    native::NativeConfig native;
+    /** Wait/wake policy of every arena fabric. */
+    native::WakePolicy wakePolicy = native::WakePolicy::sharded;
+    /** Submission queue slots (rounded up to a power of two). */
+    std::size_t queueCapacity = 1024;
+    std::size_t planCacheCapacity = 64;
+    /**
+     * Run full verification on every Nth request per gang
+     * (0 = never). Sampled requests pay for access logging and
+     * replay; the rest run on the lean path.
+     */
+    unsigned verifySampleEvery = 0;
+    /** Completions per batched publish (idle flushes early). */
+    unsigned completionBatch = 32;
+    /** Per-request watchdog: deadline before abortAll. */
+    std::uint64_t requestTimeoutMs = 2000;
+};
+
+/** Outcome of one served request. */
+struct Completion
+{
+    std::uint64_t requestId = 0;
+    unsigned gang = 0;
+    /** All programs ran, no abort, no protocol errors. */
+    bool completed = false;
+    /** This request was a verification sample. */
+    bool verified = false;
+    /** Sample passed all three checks (true when not sampled). */
+    bool verifyOk = true;
+    /** submit() to batched publish, host nanoseconds. */
+    std::uint64_t latencyNanos = 0;
+    std::uint64_t programsRun = 0;
+    /** Human-readable verification/execution problems. */
+    std::vector<std::string> problems;
+};
+
+/** Aggregate service counters (stable snapshot via stats()). */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completedOk = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t programsRun = 0;
+    std::uint64_t verifySamples = 0;
+    std::uint64_t verifyFailures = 0;
+    std::uint64_t epochsBegun = 0;
+    std::uint64_t planCacheHits = 0;
+    std::uint64_t planCacheMisses = 0;
+    double planCacheHitRate = 0.0;
+    /** Submit-to-publish latency across all gangs, nanoseconds. */
+    core::LogHistogram latencyNs;
+};
+
+/**
+ * The long-lived service. Construction starts the gangs; stop()
+ * (or destruction) closes the queue, drains in-flight work and
+ * joins every thread.
+ */
+class DoacrossService
+{
+  public:
+    explicit DoacrossService(const ServeConfig &cfg);
+    ~DoacrossService();
+
+    DoacrossService(const DoacrossService &) = delete;
+    DoacrossService &operator=(const DoacrossService &) = delete;
+
+    /**
+     * Plan (through the cache) and enqueue one execution of `loop`
+     * under `kind`. Blocks while the queue is full (natural
+     * backpressure). @return the request id, or 0 after stop().
+     */
+    std::uint64_t submit(const dep::Loop &loop,
+                         sync::SchemeKind kind,
+                         const core::RunConfig &rcfg);
+
+    /** Enqueue an already-cached plan (hot submission path). */
+    std::uint64_t
+    submitPlan(std::shared_ptr<const core::CachedPlan> plan);
+
+    /**
+     * Resolve a plan through the service's cache without
+     * enqueueing; attaches a native reference image to
+     * renamed-storage plans. Feed the result to submitPlan().
+     */
+    std::shared_ptr<const core::CachedPlan>
+    plan(const dep::Loop &loop, sync::SchemeKind kind,
+         const core::RunConfig &rcfg);
+
+    /** Block until every submitted request has been published. */
+    void waitIdle();
+
+    /** Move out everything published so far (after waitIdle() for
+     * a complete picture). */
+    std::vector<Completion> takeCompletions();
+
+    /** Close the queue, drain, join all gang threads. Idempotent. */
+    void stop();
+
+    ServiceStats stats() const;
+    const core::PlanCache &planCache() const { return cache_; }
+    const ServeConfig &config() const { return cfg_; }
+
+  private:
+    /** One queued execution request. */
+    struct Request
+    {
+        std::uint64_t id = 0;
+        std::shared_ptr<const core::CachedPlan> plan;
+        std::chrono::steady_clock::time_point submitTime{};
+    };
+
+    /**
+     * Everything needed to rerun one plan on one gang without any
+     * per-request construction. Gang-local: only its own gang's
+     * threads ever touch it.
+     */
+    struct Arena
+    {
+        std::shared_ptr<const core::CachedPlan> plan;
+        native::NativeSyncFabric fabric;
+        native::NativeDataMemory data;
+        native::NativeExecutor executor;
+        std::uint64_t uses = 0;
+
+        Arena(const std::shared_ptr<const core::CachedPlan> &p,
+              const ServeConfig &cfg);
+    };
+
+    /** One worker gang: leader (rank 0) + members. */
+    struct Gang
+    {
+        unsigned index = 0;
+        std::mutex m;
+        std::condition_variable cv;
+        std::condition_variable doneCv;
+        /** Bumped by the leader per dispatched request. */
+        std::uint64_t generation = 0;
+        bool shutdown = false;
+        /** Member lanes finished with the current generation. */
+        unsigned lanesDone = 0;
+        /** Work descriptor, valid for the current generation. */
+        Arena *work = nullptr;
+        native::Deadline deadline{};
+
+        /** Leader-local state (no locking needed). */
+        std::unordered_map<std::string, std::unique_ptr<Arena>>
+            arenas;
+        std::vector<Completion> batch;
+        /** Submit times of `batch`, for publish-time latency. */
+        std::vector<std::chrono::steady_clock::time_point>
+            batchTimes;
+        std::uint64_t requestsSeen = 0;
+        core::LogHistogram latencyNs;
+    };
+
+    void leaderLoop(Gang &gang);
+    void memberLoop(Gang &gang, unsigned lane);
+    void serveRequest(Gang &gang, Request &req);
+    void verifyRun(const Arena &arena, Completion &completion);
+    void flushBatch(Gang &gang);
+    Arena &arenaFor(Gang &gang,
+                    const std::shared_ptr<const core::CachedPlan> &plan);
+
+    ServeConfig cfg_;
+    core::PlanCache cache_;
+    MpmcQueue<Request> queue_;
+
+    std::vector<std::unique_ptr<Gang>> gangs_;
+    std::vector<std::thread> threads_;
+
+    std::atomic<std::uint64_t> nextId_{1};
+    std::atomic<bool> stopped_{false};
+
+    /** Published-completion store + idle tracking. */
+    mutable std::mutex completionsMutex_;
+    std::condition_variable idleCv_;
+    std::vector<Completion> completions_;
+    std::uint64_t published_ = 0;
+    std::atomic<std::uint64_t> submitted_{0};
+
+    /** Aggregate counters (relaxed; snapshot via stats()). */
+    std::atomic<std::uint64_t> completedOk_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> programsRun_{0};
+    std::atomic<std::uint64_t> verifySamples_{0};
+    std::atomic<std::uint64_t> verifyFailures_{0};
+    std::atomic<std::uint64_t> epochsBegun_{0};
+};
+
+} // namespace serve
+} // namespace psync
+
+#endif // PSYNC_SERVE_SERVICE_HH

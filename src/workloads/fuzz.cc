@@ -45,10 +45,35 @@ makeFuzzLoop(std::uint64_t seed, std::uint64_t index,
     unsigned num_arrays = static_cast<unsigned>(
         rng.range(1, limits.maxArrays));
 
-    auto draw_offset = [&]() {
-        return static_cast<long>(
-                   rng.below(2 * limits.maxOffset + 1)) -
-               limits.maxOffset;
+    // One coefficient per (array, dimension), shared by every
+    // reference to that array: matching coefficients plus
+    // coefficient-multiple offsets keep every pair at a constant
+    // integer distance (delta / coeff), so non-unit strides never
+    // push the analyzer into nonConstantPairs. Coefficients come
+    // from their own decorrelated stream so nonUnitCoeffProb = 0
+    // regenerates pre-stride campaigns byte-identically (the main
+    // stream never sees the coefficient draws).
+    sim::Rng coeff_rng(
+        caseStream(seed ^ 0xa0761d6478bd642full, index));
+    auto draw_coeff = [&]() {
+        if (limits.maxCoeff < 2 ||
+            !coeff_rng.chance(limits.nonUnitCoeffProb))
+            return 1;
+        return 2 + static_cast<int>(
+                       coeff_rng.below(static_cast<std::uint64_t>(
+                           limits.maxCoeff - 1)));
+    };
+    std::vector<int> coeff_i(num_arrays), coeff_j(num_arrays);
+    for (unsigned a = 0; a < num_arrays; ++a) {
+        coeff_i[a] = draw_coeff();
+        coeff_j[a] = loop.depth == 2 ? draw_coeff() : 1;
+    }
+
+    auto draw_offset = [&](int coeff) {
+        return coeff *
+               (static_cast<long>(
+                    rng.below(2 * limits.maxOffset + 1)) -
+                limits.maxOffset);
     };
 
     bool any_plain_write = false;
@@ -62,16 +87,17 @@ makeFuzzLoop(std::uint64_t seed, std::uint64_t index,
             rng.range(1, limits.maxRefsPerStmt));
         for (unsigned r = 0; r < num_refs; ++r) {
             dep::ArrayRef ref;
-            ref.array = "X" + std::to_string(rng.below(num_arrays));
+            unsigned array = static_cast<unsigned>(
+                rng.below(num_arrays));
+            ref.array = "X" + std::to_string(array);
             ref.isWrite = rng.chance(limits.writeProb);
-            // Unit coefficients per dimension keep every reference
-            // pair at a constant dependence distance, so the
-            // analyzer never bails to nonConstantPairs and every
-            // scheme can cover the loop.
-            ref.subs.push_back(dep::Subscript{1, 0, draw_offset()});
+            ref.subs.push_back(dep::Subscript{
+                coeff_i[array], 0,
+                draw_offset(coeff_i[array])});
             if (loop.depth == 2)
-                ref.subs.push_back(
-                    dep::Subscript{0, 1, draw_offset()});
+                ref.subs.push_back(dep::Subscript{
+                    0, coeff_j[array],
+                    draw_offset(coeff_j[array])});
             stmt.refs.push_back(ref);
         }
 

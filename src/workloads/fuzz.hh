@@ -11,11 +11,18 @@
  * so a fuzz campaign replays identically on any host, and every
  * generated loop prints through dep::printLoop for repro bundles.
  *
- * Generated subscripts always use unit coefficients (i, or i and j
- * separately per dimension), so dep::analyze sees only
- * constant-distance pairs and every scheme can synchronize the loop
+ * Generated subscripts keep every reference pair at a constant
+ * dependence distance, so dep::analyze never bails to
+ * nonConstantPairs and every scheme can synchronize the loop
  * exactly — divergence between backends is then always a bug, never
- * an artifact of non-constant distances.
+ * an artifact of non-constant distances. Coefficients need not be
+ * unit, though: each (array, dimension) draws one coefficient
+ * (non-unit with probability nonUnitCoeffProb) shared by every
+ * reference to that array, and offsets are drawn as multiples of
+ * it, so strided subscripts like X[3i-3] vs X[3i+6] exercise the
+ * analyzer's coefficient division and the strided address paths
+ * while the distance stays the integer constant (offset delta /
+ * coefficient).
  */
 
 #ifndef PSYNC_WORKLOADS_FUZZ_HH
@@ -38,8 +45,19 @@ struct FuzzLimits
     unsigned maxStatements = 6;
     unsigned maxArrays = 3;
     unsigned maxRefsPerStmt = 3;
-    /** Subscript offsets drawn from [-maxOffset, +maxOffset]. */
+    /**
+     * Subscript offsets drawn from [-maxOffset, +maxOffset] scaled
+     * by the dimension's coefficient (so distances stay integral).
+     */
     int maxOffset = 3;
+    /**
+     * Probability a given (array, dimension) uses a non-unit
+     * subscript coefficient; the coefficient is shared by every
+     * reference to that array so distances remain constant.
+     */
+    double nonUnitCoeffProb = 0.35;
+    /** Coefficients drawn from [2, maxCoeff] when non-unit. */
+    int maxCoeff = 3;
     double writeProb = 0.45;
     /** Probability a statement sits under a branch guard. */
     double guardProb = 0.3;

@@ -93,6 +93,45 @@ TEST(CompareTest, LoadAcceptsOlderSchemaVersions)
     EXPECT_EQ(t.cycles[0].second, 100u);
 }
 
+TEST(CompareTest, LoadAcceptsEverySchemaVersionInHistory)
+{
+    // Each schema bump so far only added record kinds/fields; a file
+    // stamped with any version from v1 through the current one must
+    // load with its sim cycles intact.
+    for (int v = bench::kMinTrajectorySchemaVersion;
+         v <= bench::kTrajectorySchemaVersion; ++v) {
+        core::json::Value doc = trajectory({{"a/x", 100}});
+        doc.set("schema_version", v);
+        bench::Trajectory t = bench::loadTrajectory(doc);
+        ASSERT_TRUE(t.ok) << "schema v" << v << ": " << t.error;
+        ASSERT_EQ(t.cycles.size(), 1u) << "schema v" << v;
+        EXPECT_EQ(t.cycles[0].second, 100u) << "schema v" << v;
+    }
+}
+
+TEST(CompareTest, ServeRecordsAreIgnoredByCycleComparison)
+{
+    // v8 serve records carry wall-time throughput, not simulated
+    // cycles — the loader must skip them (like native records), so
+    // mixed files still compare on the sim subset alone.
+    core::json::Value doc = trajectory({{"a/x", 100}});
+    core::json::Value serve = core::json::object();
+    serve.set("scenario", "serve/uniform#sharded-g2x4");
+    serve.set("kind", "serve");
+    serve.set("programs_per_sec", 123456.0);
+    bench::mergeRecord(doc, std::move(serve));
+
+    bench::Trajectory t = bench::loadTrajectory(doc);
+    ASSERT_TRUE(t.ok) << t.error;
+    ASSERT_EQ(t.cycles.size(), 1u);
+    EXPECT_EQ(t.cycles[0].first, "a/x");
+
+    // And the regression detector treats two such files as equal.
+    bench::CompareOptions exact;
+    exact.requireIdentical = true;
+    EXPECT_TRUE(bench::compareTrajectories(doc, doc, exact).ok());
+}
+
 TEST(CompareTest, ExactModeFlagsAnyCycleDifference)
 {
     bench::CompareOptions exact;

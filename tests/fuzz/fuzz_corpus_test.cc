@@ -100,7 +100,9 @@ TEST(FuzzCorpusTest, HistoricalGeneratorCasesRunClean)
     // The original, unshrunk campaign cases the corpus files were
     // minimized from. Regenerated from (seed, index) — the
     // generator is a pure function of both — and replayed under
-    // the exact per-case configuration the campaign used.
+    // the exact per-case configuration the campaign used. These
+    // campaigns predate strided subscripts, so the grammar's
+    // unit-coefficient mode reproduces them byte-identically.
     struct Case { std::uint64_t seed, index; };
     const Case cases[] = {
         {42, 39}, {42, 46}, {42, 49}, // lin<=0 scheme deadlocks
@@ -112,8 +114,10 @@ TEST(FuzzCorpusTest, HistoricalGeneratorCasesRunClean)
     };
     bench::FuzzOptions opts;
     opts.shrink = false;
+    opts.limits.nonUnitCoeffProb = 0.0;
     for (const Case &c : cases) {
-        dep::Loop loop = workloads::makeFuzzLoop(c.seed, c.index);
+        dep::Loop loop = workloads::makeFuzzLoop(c.seed, c.index,
+                                                 opts.limits);
         auto outcome = bench::runFuzzCase(
             loop, bench::fuzzCaseConfig(c.seed, c.index), opts,
             c.index);

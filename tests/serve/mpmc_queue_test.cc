@@ -1,0 +1,164 @@
+/**
+ * @file
+ * MpmcQueue: FIFO under the Vyukov fast path, capacity bounds,
+ * blocking push/pop handshakes, close-then-drain semantics, and a
+ * multi-producer/multi-consumer stress that must deliver every
+ * element exactly once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "serve/mpmc_queue.hh"
+
+using namespace psync;
+using namespace std::chrono_literals;
+
+TEST(MpmcQueueTest, FifoSingleThreaded)
+{
+    serve::MpmcQueue<int> q(4);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_TRUE(q.tryPush(3));
+    int v = 0;
+    EXPECT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_TRUE(q.tryPop(v));
+    EXPECT_EQ(v, 3);
+    EXPECT_FALSE(q.tryPop(v));
+}
+
+TEST(MpmcQueueTest, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(serve::MpmcQueue<int>(1).capacity(), 2u);
+    EXPECT_EQ(serve::MpmcQueue<int>(5).capacity(), 8u);
+    EXPECT_EQ(serve::MpmcQueue<int>(8).capacity(), 8u);
+}
+
+TEST(MpmcQueueTest, TryPushFailsWhenFullThenFreesUp)
+{
+    serve::MpmcQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    int v = 0;
+    EXPECT_TRUE(q.tryPop(v));
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(MpmcQueueTest, PopForTimesOutOnEmpty)
+{
+    serve::MpmcQueue<int> q(4);
+    int v = 0;
+    EXPECT_EQ(q.popFor(v, 2ms), 0);
+}
+
+TEST(MpmcQueueTest, BlockingPopWakesOnPush)
+{
+    serve::MpmcQueue<int> q(4);
+    int got = 0;
+    std::thread consumer([&] {
+        int v = 0;
+        if (q.pop(v))
+            got = v;
+    });
+    std::this_thread::sleep_for(10ms);
+    EXPECT_TRUE(q.tryPush(17));
+    consumer.join();
+    EXPECT_EQ(got, 17);
+}
+
+TEST(MpmcQueueTest, BlockingPushWakesOnPop)
+{
+    serve::MpmcQueue<int> q(2);
+    ASSERT_TRUE(q.tryPush(1));
+    ASSERT_TRUE(q.tryPush(2));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        if (q.push(3))
+            pushed.store(true);
+    });
+    std::this_thread::sleep_for(10ms);
+    int v = 0;
+    EXPECT_TRUE(q.tryPop(v));
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+}
+
+TEST(MpmcQueueTest, CloseDrainsThenStops)
+{
+    serve::MpmcQueue<int> q(8);
+    ASSERT_TRUE(q.tryPush(1));
+    ASSERT_TRUE(q.tryPush(2));
+    q.close();
+    EXPECT_FALSE(q.push(3)); // pushes fail once closed
+    int v = 0;
+    // Remaining elements are still delivered...
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_EQ(q.popFor(v, 1s), 1);
+    EXPECT_EQ(v, 2);
+    // ...then pop reports closed-and-drained.
+    EXPECT_FALSE(q.pop(v));
+    EXPECT_EQ(q.popFor(v, 1s), -1);
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedPop)
+{
+    serve::MpmcQueue<int> q(4);
+    std::atomic<bool> returned{false};
+    std::thread consumer([&] {
+        int v = 0;
+        bool ok = q.pop(v);
+        EXPECT_FALSE(ok);
+        returned.store(true);
+    });
+    std::this_thread::sleep_for(10ms);
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(returned.load());
+}
+
+TEST(MpmcQueueTest, MpmcStressDeliversEachElementOnce)
+{
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kConsumers = 4;
+    constexpr std::uint64_t kPerProducer = 5000;
+    serve::MpmcQueue<std::uint64_t> q(64);
+
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> count{0};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            std::uint64_t v = 0;
+            while (q.pop(v)) {
+                sum.fetch_add(v, std::memory_order_relaxed);
+                count.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i + 1));
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : threads)
+        t.join();
+
+    const std::uint64_t n = kProducers * kPerProducer;
+    EXPECT_EQ(count.load(), n);
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}

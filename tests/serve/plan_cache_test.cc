@@ -1,0 +1,218 @@
+/**
+ * @file
+ * PlanCache keying, hit/miss accounting, LRU eviction, and entry
+ * immutability. The keying property under test: two (loop, scheme,
+ * config) triples that can produce different plans always produce
+ * different keys, and the canonical printLoop round-trip text — not
+ * the loop object's identity — is what the key carries, so a loop
+ * parsed back from its own text hits the cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/plan_cache.hh"
+#include "dep/loop_text.hh"
+#include "workloads/fig21.hh"
+#include "workloads/relaxation.hh"
+
+using namespace psync;
+
+namespace {
+
+core::RunConfig
+baseConfig()
+{
+    core::RunConfig cfg;
+    cfg.machine.numProcs = 4;
+    cfg.machine.fabric = sim::FabricKind::registers;
+    cfg.machine.syncRegisters = 1u << 20;
+    cfg.scheme.numPcs = 16;
+    cfg.scheme.numScs = 1u << 20;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PlanCacheTest, SecondGetOfSameKeyHits)
+{
+    core::PlanCache cache(8);
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    core::RunConfig cfg = baseConfig();
+
+    auto a = cache.get(loop, sync::SchemeKind::processImproved, cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    auto b = cache.get(loop, sync::SchemeKind::processImproved, cfg);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    // Same immutable entry, not a replan.
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(PlanCacheTest, CanonicalLoopTextIsTheKey)
+{
+    // A loop parsed back from its own canonical text is a different
+    // dep::Loop object with the same text — it must hit.
+    core::PlanCache cache(8);
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    dep::ParsedLoop reparsed = dep::parseLoop(dep::printLoop(loop));
+    ASSERT_TRUE(reparsed.ok) << reparsed.error;
+
+    core::RunConfig cfg = baseConfig();
+    auto a = cache.get(loop, sync::SchemeKind::statementOriented,
+                       cfg);
+    auto b = cache.get(reparsed.loop,
+                       sync::SchemeKind::statementOriented, cfg);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(a->loopText, dep::printLoop(reparsed.loop));
+}
+
+TEST(PlanCacheTest, DistinctPlanningInputsNeverCollide)
+{
+    // Every planning-relevant variation must produce a distinct
+    // key. Execution-time knobs (schedule policy, chunk size, tick
+    // limit) deliberately do not.
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    dep::Loop other = workloads::makeRelaxationLoop(12);
+    core::RunConfig cfg = baseConfig();
+
+    const std::string base = core::PlanCache::makeKey(
+        loop, sync::SchemeKind::processImproved, cfg);
+
+    // Different loop text.
+    EXPECT_NE(base,
+              core::PlanCache::makeKey(
+                  other, sync::SchemeKind::processImproved, cfg));
+    // Different scheme.
+    EXPECT_NE(base,
+              core::PlanCache::makeKey(
+                  loop, sync::SchemeKind::statementOriented, cfg));
+
+    // Each planning-relevant config field, varied one at a time.
+    auto keyWith = [&](auto mutate) {
+        core::RunConfig c = baseConfig();
+        mutate(c);
+        return core::PlanCache::makeKey(
+            loop, sync::SchemeKind::processImproved, c);
+    };
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.machine.numProcs = 8;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.machine.fabric = sim::FabricKind::memory;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.scheme.numPcs = 32;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.scheme.exactBoundaries = true;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.scheme.cedarCombining = true;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.eliminateCoveredDeps = !c.eliminateCoveredDeps;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.passes.eliminateRedundantWaits = true;
+              }));
+    EXPECT_NE(base, keyWith([](core::RunConfig &c) {
+                  c.passes.peephole = true;
+              }));
+
+    // Execution-time knobs share the plan.
+    EXPECT_EQ(base, keyWith([](core::RunConfig &c) {
+                  c.schedule =
+                      core::SchedulePolicy::staticCyclic;
+              }));
+    EXPECT_EQ(base, keyWith([](core::RunConfig &c) {
+                  c.chunkSize = 99;
+              }));
+    EXPECT_EQ(base, keyWith([](core::RunConfig &c) {
+                  c.tickLimit = 123456;
+              }));
+}
+
+TEST(PlanCacheTest, DistinctConfigsGetDistinctEntries)
+{
+    core::PlanCache cache(8);
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    core::RunConfig cfg = baseConfig();
+    core::RunConfig wide = baseConfig();
+    wide.machine.numProcs = 8;
+
+    auto a = cache.get(loop, sync::SchemeKind::processImproved, cfg);
+    auto b = cache.get(loop, sync::SchemeKind::processImproved,
+                       wide);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCacheTest, LruEvictionKeepsRecentlyUsed)
+{
+    core::PlanCache cache(2);
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    core::RunConfig cfg = baseConfig();
+
+    auto a = cache.get(loop, sync::SchemeKind::processImproved, cfg);
+    auto b = cache.get(loop, sync::SchemeKind::statementOriented,
+                       cfg);
+    // Touch A so B is the least recently used entry.
+    cache.get(loop, sync::SchemeKind::processImproved, cfg);
+
+    auto c = cache.get(loop, sync::SchemeKind::referenceBased, cfg);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_TRUE(cache.contains(a->key));
+    EXPECT_TRUE(cache.contains(c->key));
+    EXPECT_FALSE(cache.contains(b->key));
+
+    // The evicted entry's shared_ptr stays valid — eviction never
+    // invalidates a plan a gang is still executing.
+    EXPECT_FALSE(b->programs.empty());
+
+    // Re-requesting the evicted key replans (miss, not a hit).
+    std::uint64_t misses = cache.misses();
+    cache.get(loop, sync::SchemeKind::statementOriented, cfg);
+    EXPECT_EQ(cache.misses(), misses + 1);
+}
+
+TEST(PlanCacheTest, FinisherRunsOncePerMiss)
+{
+    core::PlanCache cache(8);
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    core::RunConfig cfg = baseConfig();
+
+    int calls = 0;
+    auto finisher = [&](core::CachedPlan &entry) {
+        ++calls;
+        entry.hasReference = true;
+        entry.refReads[7] = 42;
+    };
+    auto a = cache.get(loop, sync::SchemeKind::processImproved, cfg,
+                       finisher);
+    auto b = cache.get(loop, sync::SchemeKind::processImproved, cfg,
+                       finisher);
+    EXPECT_EQ(calls, 1);
+    EXPECT_TRUE(b->hasReference);
+    EXPECT_EQ(b->refReads.at(7), 42u);
+    EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(PlanCacheTest, EntryCarriesInitImageAndVerifiedPlan)
+{
+    core::PlanCache cache(8);
+    dep::Loop loop = workloads::makeFig21Loop(12);
+    auto plan = cache.get(loop, sync::SchemeKind::processImproved,
+                          baseConfig());
+    EXPECT_FALSE(plan->programs.empty());
+    EXPECT_FALSE(plan->initWords.empty());
+    EXPECT_FALSE(plan->plan.depsVerified.empty());
+    // In-place schemes carry the sequential oracle as reference.
+    EXPECT_TRUE(plan->hasReference);
+    EXPECT_FALSE(plan->refMemory.empty());
+}
