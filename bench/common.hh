@@ -45,6 +45,34 @@ memoryMachine(unsigned procs = 8)
     return cfg;
 }
 
+/**
+ * Combining-fabric machine: sync variables in interleaved modules
+ * behind a combining omega network (Ultracomputer/RP3 style). Same
+ * variable capacity model as the memory machine; the network in
+ * front is what changes.
+ */
+inline core::RunConfig
+combiningMachine(unsigned procs = 8, unsigned num_pcs = 16)
+{
+    core::RunConfig cfg = registerMachine(procs, num_pcs);
+    cfg.machine.fabric = sim::FabricKind::combining;
+    return cfg;
+}
+
+/**
+ * Two-level hierarchical cluster machine: per-cluster register
+ * images and local buses joined by one global stage.
+ */
+inline core::RunConfig
+hierarchicalMachine(unsigned procs = 8, unsigned clusters = 4,
+                    unsigned num_pcs = 16)
+{
+    core::RunConfig cfg = registerMachine(procs, num_pcs);
+    cfg.machine.fabric = sim::FabricKind::hierarchical;
+    cfg.machine.numClusters = clusters;
+    return cfg;
+}
+
 /** Pick the natural fabric for a scheme. */
 inline core::RunConfig
 machineFor(sync::SchemeKind kind, unsigned procs = 8,

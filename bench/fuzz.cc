@@ -375,6 +375,66 @@ runFuzzCase(const dep::Loop &loop, const FuzzCaseConfig &ccfg,
             }
         }
 
+        // Fabric-rotation leg: the same planned Doacross on a
+        // rotated sync fabric must compute the same values (fabrics
+        // change timing, never results). Rotation picks one
+        // alternate fabric per (case, scheme) so a campaign covers
+        // every kind without quadrupling each case. Skipped when
+        // the scheme already diverged above — a fabric leg would
+        // only restate the scheme bug under a different name.
+        if (opts.fabricMode &&
+            out.failures.size() == scheme_failures &&
+            !sim_deadlocked[1]) {
+            const sim::FabricKind rotation[] = {
+                sim::FabricKind::memory,
+                sim::FabricKind::registers,
+                sim::FabricKind::combining,
+                sim::FabricKind::hierarchical,
+            };
+            core::RunConfig cfg = runConfigFor(ccfg, kind, true);
+            std::size_t pick =
+                (index + static_cast<std::size_t>(kind)) % 4;
+            if (rotation[pick] == cfg.machine.fabric)
+                pick = (pick + 1) % 4;
+            cfg.machine.fabric = rotation[pick];
+            cfg.machine.numClusters = 2;
+            std::string tag =
+                std::string(name) + "[fabric=" +
+                sim::fabricKindName(rotation[pick]) + "]";
+
+            core::ValueTrace values;
+            cfg.extraSink = &values;
+            core::DoacrossResult r =
+                core::runDoacross(loop, kind, cfg);
+            ++out.schemeRuns;
+            out.cyclesDigest = fnv1aStr(out.cyclesDigest, tag);
+            out.cyclesDigest =
+                fnv1a(out.cyclesDigest, r.run.cycles);
+
+            if (!r.run.completed) {
+                fail(tag + ": deadlock (tick limit)");
+            } else if (!r.violations.empty()) {
+                fail(tag + ": trace violation: " +
+                     r.violations.front());
+            } else {
+                if (values.reads() != seq.reads)
+                    fail(tag + ": read values diverge from "
+                               "sequential replay: " +
+                         firstDelta(values.reads(), seq.reads));
+                if (!is_instance &&
+                    values.memory() != seq.memory)
+                    fail(tag + ": memory image diverges from "
+                               "sequential replay: " +
+                         firstDelta(values.memory(), seq.memory));
+                if (is_instance &&
+                    values.memory() != sim_memory[1])
+                    fail(tag + ": renamed image differs from "
+                               "default-fabric run: " +
+                         firstDelta(values.memory(),
+                                    sim_memory[1]));
+            }
+        }
+
         // The pass pipeline must not change what is computed.
         if (is_instance && sim_memory[0] != sim_memory[1])
             fail(std::string(name) +
@@ -617,6 +677,10 @@ FuzzCampaignResult::toJson() const
     shapes.set("instance_skipped", instanceSkipped);
     rec.set("shapes", std::move(shapes));
     rec.set("analytical_gated", analyticalGated);
+    // Schema v9, conditional: campaigns without rotation stay
+    // byte-identical to v8 fuzz records.
+    if (fabricMode)
+        rec.set("fabric_rotation", true);
     rec.set("divergences",
             static_cast<std::uint64_t>(divergences.size()));
     rec.set("case_digest", hex64(caseDigest));
@@ -629,6 +693,7 @@ runFuzzCampaign(const FuzzOptions &opts)
     FuzzCampaignResult result;
     result.seed = opts.seed;
     result.programs = opts.count;
+    result.fabricMode = opts.fabricMode;
 
     std::vector<FuzzCaseOutcome> outcomes(opts.count);
     auto run_one = [&](std::uint64_t i) {

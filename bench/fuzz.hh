@@ -79,6 +79,15 @@ struct FuzzOptions
      * image against the same oracles as the direct native leg.
      */
     bool serveMode = false;
+    /**
+     * Fabric-rotation legs (--fuzz-fabric): re-run each clean
+     * (scheme, case) pair on one rotated sync fabric — memory,
+     * registers, combining omega network or hierarchical clusters,
+     * chosen round-robin from (case index, scheme) — and hold the
+     * run to the same sequential-replay oracle. Timing differs
+     * across fabrics by design; values must not.
+     */
+    bool fabricMode = false;
 };
 
 /**
@@ -167,6 +176,8 @@ struct FuzzCampaignResult
     std::uint64_t guarded = 0;
     std::uint64_t instanceSkipped = 0;
     std::uint64_t analyticalGated = 0;
+    /** Campaign ran the fabric-rotation legs (--fuzz-fabric). */
+    bool fabricMode = false;
     /** Fold of every case's digests, in case order. */
     std::uint64_t caseDigest = 0;
     std::vector<FuzzDivergence> divergences;

@@ -65,6 +65,7 @@ struct Options
     bool fuzz = false;
     bool fuzzNoShrink = false;
     bool fuzzServe = false;
+    bool fuzzFabric = false;
     std::uint64_t fuzzCount = 0;
     std::uint64_t fuzzSeed = 1;
     std::uint64_t fuzzNativeTimeoutMs = 2000;
@@ -105,7 +106,7 @@ usage(std::FILE *to)
         "[--fuzz-json FILE]\n"
         "                   [--repro-dir DIR] [--no-shrink]\n"
         "                   [--fuzz-replay FILE] [--fuzz-serve]\n"
-        "                   [--fuzz-timeout-ms MS]\n"
+        "                   [--fuzz-fabric] [--fuzz-timeout-ms MS]\n"
         "\n"
         "--fuzz N generates N seeded random Doacross loops and\n"
         "differentially tests each one: every scheme x both\n"
@@ -117,9 +118,12 @@ usage(std::FILE *to)
         "(byte-identical across --jobs); --fuzz-replay re-runs a\n"
         "bundle. Exit 1 on any divergence. --fuzz-serve adds a\n"
         "runtime-service leg per scheme (plan cache + epoch-reused\n"
-        "fabric, every served request verified); --fuzz-timeout-ms\n"
-        "sets the native watchdog deadline per backend leg\n"
-        "(default 2000).\n"
+        "fabric, every served request verified); --fuzz-fabric\n"
+        "adds a fabric-rotation leg per clean (case, scheme) pair\n"
+        "(memory / registers / combining / hierarchical, rotated\n"
+        "round-robin, held to the sequential-replay oracle);\n"
+        "--fuzz-timeout-ms sets the native watchdog deadline per\n"
+        "backend leg (default 2000).\n"
         "\n"
         "--native runs the selected scenarios on the real-thread\n"
         "backend (default --threads 2,4) and records host wall-time\n"
@@ -228,6 +232,8 @@ parseArgs(int argc, char **argv, Options &opts)
             opts.fuzzNoShrink = true;
         } else if (arg == "--fuzz-serve") {
             opts.fuzzServe = true;
+        } else if (arg == "--fuzz-fabric") {
+            opts.fuzzFabric = true;
         } else if (arg == "--fuzz-timeout-ms") {
             const char *p = next("--fuzz-timeout-ms");
             if (!p)
@@ -558,6 +564,7 @@ runFuzz(const Options &opts)
     fopts.reproDir = opts.reproDir;
     fopts.shrink = !opts.fuzzNoShrink;
     fopts.serveMode = opts.fuzzServe;
+    fopts.fabricMode = opts.fuzzFabric;
     fopts.nativeTimeoutMs = opts.fuzzNativeTimeoutMs;
 
     bench::FuzzCampaignResult result =

@@ -269,6 +269,53 @@ class Registry
                 [] { return workloads::makeRelaxationLoop(32); },
                 machineFor(kind));
         }
+
+        // -- E16: the 1024-processor scale wall. One serialized
+        // statement-counter workload (everyone camps on the same few
+        // counters) at P in {256, 1024}, run flat against the two
+        // composed fabrics. The flat variants concentrate all sync
+        // traffic on one module / one broadcast bus; combining
+        // absorbs the reads in the network and the hierarchy keeps
+        // them on cluster buses. tickLimit doubles as the CI
+        // deadlock watchdog: a fabric bug shows up as an incomplete
+        // run, not a hung job.
+        for (unsigned procs : {256u, 1024u}) {
+            const unsigned n = 2 * procs;
+            const std::string p = "p" + std::to_string(procs);
+            auto loop = [n] {
+                return workloads::makeFig21Loop(n);
+            };
+            auto watchdog = [](core::RunConfig cfg) {
+                cfg.tickLimit = 100000000ull;
+                return cfg;
+            };
+            const std::string workload =
+                "fig2.1 (N=" + std::to_string(n) + ")";
+            add("scale-1024", p + "-flat-mem", workload,
+                "statement",
+                "scale wall: flat memory fabric, hot statement "
+                "counters on one module",
+                sync::SchemeKind::statementOriented, loop,
+                watchdog(memoryMachine(procs)));
+            add("scale-1024", p + "-flat-reg", workload,
+                "statement",
+                "scale wall: flat broadcast registers, every "
+                "update crosses one sync bus",
+                sync::SchemeKind::statementOriented, loop,
+                watchdog(registerMachine(procs)));
+            add("scale-1024", p + "-combining", workload,
+                "statement",
+                "scale relief: omega network combines the camped "
+                "reads switch by switch",
+                sync::SchemeKind::statementOriented, loop,
+                watchdog(combiningMachine(procs)));
+            add("scale-1024", p + "-hier", workload,
+                "statement",
+                "scale relief: per-cluster images keep the spin "
+                "local, one global stage",
+                sync::SchemeKind::statementOriented, loop,
+                watchdog(hierarchicalMachine(procs, procs / 32)));
+        }
     }
 };
 
@@ -453,6 +500,17 @@ ScenarioRecord::toJson() const
     // byte-comparable with v5 output.
     if (timeline)
         rec.set("timeline", timeline->summaryJson());
+
+    // Schema v9: composed-fabric headline numbers at the top level
+    // (the full per-stage / per-cluster arrays live in "result").
+    // Absent on the flat fabrics so those records stay
+    // byte-comparable with v8 output.
+    if (!r.run.netStageConflicts.empty())
+        rec.set("combine_rate", r.run.netCombineRate);
+    if (r.run.numClusters > 0) {
+        rec.set("num_clusters", r.run.numClusters);
+        rec.set("procs_per_cluster", r.run.procsPerCluster);
+    }
 
     rec.set("result", r.run.toJson());
     return rec;

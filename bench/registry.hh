@@ -64,11 +64,22 @@ namespace bench {
  * submit-to-publish latency percentiles (p50/p95/p99 ns), epochs
  * begun, verification samples/failures, and per-mix winner
  * marking for the sharded-vs-flat-combining fabric race — sim,
- * native and fuzz records are unchanged from v7. Loaders accept
- * all versions and ignore non-"sim" records when comparing
- * cycles.
+ * native and fuzz records are unchanged from v7; v9 adds the
+ * fabric-topology fields that ride along with the composed sync
+ * fabrics: sim records on the combining fabric carry a top-level
+ * "combine_rate" plus the per-stage network arrays inside
+ * "result" (net_packets, net_combined, net_stage_conflicts,
+ * net_stage_combines, net_stage_utilization, ...), and records on
+ * the hierarchical fabric carry "num_clusters" /
+ * "procs_per_cluster" plus the broadcast/coalescing counters and
+ * "cluster_bus_utilization" inside "result" — all absent on the
+ * flat fabrics, so memory/register records differ from v8 only in
+ * the version stamp. v9 also introduces the scale-1024 scenario
+ * group and, on fuzz records, a conditional "fabric_rotation"
+ * marker for --fuzz-fabric campaigns. Loaders accept all versions
+ * and ignore non-"sim" records when comparing cycles.
  */
-constexpr int kTrajectorySchemaVersion = 8;
+constexpr int kTrajectorySchemaVersion = 9;
 
 /** Oldest trajectory schema loadTrajectory still accepts. */
 constexpr int kMinTrajectorySchemaVersion = 1;

@@ -97,6 +97,26 @@ buildBlameReport(const TraceRecorder &recorder, const RunResult &run,
     for (auto &entry : by_module)
         report.modules.push_back(entry.second);
 
+    // Topology heat rides on the run's collected aggregates rather
+    // than the trace: the per-stage / per-cluster counters are
+    // whole-run sums the fabric keeps anyway.
+    for (std::size_t s = 0; s < run.netStageConflicts.size(); ++s) {
+        BlameReport::StageHeat heat;
+        heat.stage = static_cast<unsigned>(s);
+        heat.conflicts = run.netStageConflicts[s];
+        heat.conflictCycles = run.netStageConflictCycles[s];
+        heat.combines = run.netStageCombines[s];
+        heat.utilization = run.netStageUtilization[s];
+        report.netStages.push_back(heat);
+    }
+    for (std::size_t c = 0; c < run.clusterBusUtilization.size();
+         ++c) {
+        BlameReport::ClusterHeat heat;
+        heat.cluster = static_cast<unsigned>(c);
+        heat.busUtilization = run.clusterBusUtilization[c];
+        report.clusters.push_back(heat);
+    }
+
     return report;
 }
 
@@ -150,6 +170,32 @@ BlameReport::toJson() const
         modules_json.push(std::move(m));
     }
     doc.set("modules", std::move(modules_json));
+
+    if (!netStages.empty()) {
+        json::Value stages_json = json::array();
+        for (const auto &heat : netStages) {
+            json::Value s = json::object();
+            s.set("stage", heat.stage);
+            s.set("conflicts", heat.conflicts);
+            s.set("conflict_cycles",
+                  static_cast<std::uint64_t>(heat.conflictCycles));
+            s.set("combines", heat.combines);
+            s.set("utilization", heat.utilization);
+            stages_json.push(std::move(s));
+        }
+        doc.set("net_stages", std::move(stages_json));
+    }
+
+    if (!clusters.empty()) {
+        json::Value clusters_json = json::array();
+        for (const auto &heat : clusters) {
+            json::Value c = json::object();
+            c.set("cluster", heat.cluster);
+            c.set("bus_utilization", heat.busUtilization);
+            clusters_json.push(std::move(c));
+        }
+        doc.set("clusters", std::move(clusters_json));
+    }
 
     doc.set("attributed_spin_cycles",
             static_cast<std::uint64_t>(attributedSpinCycles));
@@ -250,6 +296,51 @@ BlameReport::writeText(std::ostream &os) const
                << std::right << std::setw(10) << heat.accesses
                << std::setw(11) << heat.busyCycles << std::setw(8)
                << pct(share) << "  "
+               << std::string(bar, '#') << "\n";
+        }
+    }
+
+    if (!netStages.empty()) {
+        os << "-- combining-network stage heat "
+           << "--------------------------------\n";
+        sim::Tick max_wait = 0;
+        for (const auto &heat : netStages)
+            max_wait = std::max(max_wait, heat.conflictCycles);
+        os << std::left << std::setw(7) << "stage" << std::right
+           << std::setw(11) << "conflicts" << std::setw(13)
+           << "wait-cyc" << std::setw(11) << "combines"
+           << std::setw(8) << "util" << "  \n";
+        for (const auto &heat : netStages) {
+            unsigned bar =
+                max_wait ? static_cast<unsigned>(
+                               (heat.conflictCycles * 24) / max_wait)
+                         : 0;
+            os << std::left << std::setw(7) << heat.stage
+               << std::right << std::setw(11) << heat.conflicts
+               << std::setw(13) << heat.conflictCycles
+               << std::setw(11) << heat.combines << std::setw(8)
+               << pct(heat.utilization) << "  "
+               << std::string(bar, '#') << "\n";
+        }
+    }
+
+    if (!clusters.empty()) {
+        os << "-- cluster-bus heat "
+           << "--------------------------------------------\n";
+        double max_util = 0.0;
+        for (const auto &heat : clusters)
+            max_util = std::max(max_util, heat.busUtilization);
+        os << std::left << std::setw(9) << "cluster" << std::right
+           << std::setw(8) << "util" << "  \n";
+        for (const auto &heat : clusters) {
+            unsigned bar =
+                max_util > 0.0
+                    ? static_cast<unsigned>(heat.busUtilization /
+                                            max_util * 24.0)
+                    : 0;
+            os << std::left << std::setw(9) << heat.cluster
+               << std::right << std::setw(8)
+               << pct(heat.busUtilization) << "  "
                << std::string(bar, '#') << "\n";
         }
     }

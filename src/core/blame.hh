@@ -83,6 +83,28 @@ struct BlameReport
         std::uint64_t accesses = 0;
     };
 
+    /** Contention at one combining-network switch stage. */
+    struct StageHeat
+    {
+        unsigned stage = 0;
+        /** Packets that found their switch busy. */
+        std::uint64_t conflicts = 0;
+        /** Cycles those packets waited for the switch. */
+        sim::Tick conflictCycles = 0;
+        /** Packets absorbed by combining at this stage. */
+        std::uint64_t combines = 0;
+        /** Stage busy fraction of the run. */
+        double utilization = 0.0;
+    };
+
+    /** Activity of one cluster's local synchronization bus. */
+    struct ClusterHeat
+    {
+        unsigned cluster = 0;
+        /** Local-bus busy fraction of the run. */
+        double busUtilization = 0.0;
+    };
+
     /** Sorted by descending blockedCycles. */
     std::vector<VarBlame> vars;
 
@@ -91,6 +113,12 @@ struct BlameReport
 
     /** One entry per module that appears in the trace. */
     std::vector<ModuleHeat> modules;
+
+    /** Per-stage network contention (combining fabric runs only). */
+    std::vector<StageHeat> netStages;
+
+    /** Per-cluster bus heat (hierarchical fabric runs only). */
+    std::vector<ClusterHeat> clusters;
 
     /** Spin cycles covered by wait edges (<= totalSpinCycles). */
     sim::Tick attributedSpinCycles = 0;

@@ -46,8 +46,17 @@ struct CriticalPathCosts
         CriticalPathCosts c;
         c.accessCycles =
             mc.dataBusCycles + mc.memory.serviceCycles;
-        if (mc.fabric == sim::FabricKind::registers)
+        if (mc.fabric == sim::FabricKind::registers) {
             c.syncHopCycles = mc.syncBusCycles;
+        } else if (mc.fabric == sim::FabricKind::hierarchical) {
+            // Even a same-cluster consumer cannot wake before the
+            // producer's local-bus broadcast slot.
+            c.syncHopCycles = mc.clusterBusCycles;
+        } else if (mc.fabric == sim::FabricKind::combining) {
+            // The raising write crosses at least one switch stage
+            // before any parked waiter can be released.
+            c.syncHopCycles = mc.netStageCycles;
+        }
         return c;
     }
 };

@@ -2,6 +2,9 @@
 
 #include <iomanip>
 
+#include "sim/cluster_fabric.hh"
+#include "sim/combining_fabric.hh"
+
 namespace psync {
 namespace core {
 
@@ -104,6 +107,47 @@ collectResult(sim::Machine &machine, bool completed)
             &machine.fabric())) {
         r.syncMemPolls = mem->polls();
     }
+    if (auto *comb = dynamic_cast<sim::CombiningSyncFabric *>(
+            &machine.fabric())) {
+        const sim::CombiningOmegaNetwork &net = comb->net();
+        r.netPackets = net.transactions();
+        r.netCombined = net.combinedTotal();
+        if (r.netPackets > 0) {
+            r.netCombineRate = static_cast<double>(r.netCombined) /
+                               static_cast<double>(r.netPackets);
+        }
+        r.netQueueDelay = net.queueDelay();
+        r.fabricParkedWaits = comb->parkedWaits();
+        r.syncModuleQueueDelay = comb->moduleQueueDelay();
+        r.syncHotSpotRatio = comb->hotSpotRatio();
+        double stage_capacity = static_cast<double>(r.cycles) *
+                                net.switchesPerStage();
+        for (unsigned s = 0; s < net.stages(); ++s) {
+            r.netStageConflicts.push_back(net.stageConflicts(s));
+            r.netStageConflictCycles.push_back(
+                net.stageConflictCycles(s));
+            r.netStageCombines.push_back(net.stageCombines(s));
+            r.netStageUtilization.push_back(
+                stage_capacity > 0
+                    ? static_cast<double>(net.stageBusyCycles(s)) /
+                          stage_capacity
+                    : 0.0);
+        }
+    }
+    if (auto *hier = dynamic_cast<sim::HierarchicalSyncFabric *>(
+            &machine.fabric())) {
+        r.numClusters = hier->numClusters();
+        r.procsPerCluster = hier->procsPerCluster();
+        r.localBroadcasts = hier->localBroadcasts();
+        r.globalBroadcasts = hier->globalBroadcasts();
+        r.coalescedLocal = hier->coalescedLocal();
+        r.coalescedGlobal = hier->coalescedGlobal();
+        r.combinedIncs = hier->combinedIncs();
+        for (const auto &cb : machine.clusterBuses()) {
+            r.clusterBusUtilization.push_back(
+                cb->utilization(r.cycles));
+        }
+    }
 
     r.memAccesses = machine.memory().totalAccesses();
     r.hottestModuleAccesses = machine.memory().hottestModuleAccesses();
@@ -148,6 +192,45 @@ RunResult::toJson() const
     v.set("cache_hits", cacheHits);
     v.set("cache_misses", cacheMisses);
     v.set("cache_invalidations", cacheInvalidations);
+    if (!netStageConflicts.empty()) {
+        v.set("net_packets", netPackets);
+        v.set("net_combined", netCombined);
+        v.set("net_combine_rate", netCombineRate);
+        v.set("net_queue_delay",
+              static_cast<std::uint64_t>(netQueueDelay));
+        v.set("parked_waits", fabricParkedWaits);
+        v.set("sync_module_queue_delay",
+              static_cast<std::uint64_t>(syncModuleQueueDelay));
+        v.set("sync_hot_spot_ratio", syncHotSpotRatio);
+        json::Value conflicts = json::array();
+        json::Value conflict_cycles = json::array();
+        json::Value combines = json::array();
+        json::Value stage_util = json::array();
+        for (std::size_t s = 0; s < netStageConflicts.size(); ++s) {
+            conflicts.push(netStageConflicts[s]);
+            conflict_cycles.push(
+                static_cast<std::uint64_t>(netStageConflictCycles[s]));
+            combines.push(netStageCombines[s]);
+            stage_util.push(netStageUtilization[s]);
+        }
+        v.set("net_stage_conflicts", std::move(conflicts));
+        v.set("net_stage_conflict_cycles", std::move(conflict_cycles));
+        v.set("net_stage_combines", std::move(combines));
+        v.set("net_stage_utilization", std::move(stage_util));
+    }
+    if (numClusters > 0) {
+        v.set("num_clusters", numClusters);
+        v.set("procs_per_cluster", procsPerCluster);
+        v.set("local_broadcasts", localBroadcasts);
+        v.set("global_broadcasts", globalBroadcasts);
+        v.set("coalesced_local", coalescedLocal);
+        v.set("coalesced_global", coalescedGlobal);
+        v.set("combined_incs", combinedIncs);
+        json::Value cluster_util = json::array();
+        for (double u : clusterBusUtilization)
+            cluster_util.push(u);
+        v.set("cluster_bus_utilization", std::move(cluster_util));
+    }
     if (waitLatency.count() > 0)
         v.set("wait_latency", waitLatency.toJson());
     return v;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/json.hh"
 #include "sim/machine.hh"
@@ -164,6 +165,41 @@ struct RunResult
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheInvalidations = 0;
+
+    /**
+     * Combining-network activity (combining fabric only). Empty
+     * vectors elsewhere; toJson omits the whole block then, so
+     * records of the other fabrics are unchanged byte for byte.
+     */
+    std::uint64_t netPackets = 0;
+    std::uint64_t netCombined = 0;
+    /** Fraction of injected packets absorbed in the switches. */
+    double netCombineRate = 0.0;
+    sim::Tick netQueueDelay = 0;
+    std::uint64_t fabricParkedWaits = 0;
+    sim::Tick syncModuleQueueDelay = 0;
+    /** Sync-module skew, busiest over uniform (data memory aside). */
+    double syncHotSpotRatio = 0.0;
+    std::vector<std::uint64_t> netStageConflicts;
+    std::vector<sim::Tick> netStageConflictCycles;
+    std::vector<std::uint64_t> netStageCombines;
+    /** Busy fraction per stage (stage busy / switches * cycles). */
+    std::vector<double> netStageUtilization;
+
+    /**
+     * Cluster shape and hierarchy activity (hierarchical fabric
+     * only; numClusters == 0 elsewhere and the block is omitted
+     * from toJson). The global stage's utilization rides in
+     * syncBusUtilization — the global bus *is* the machine syncBus.
+     */
+    unsigned numClusters = 0;
+    unsigned procsPerCluster = 0;
+    std::uint64_t localBroadcasts = 0;
+    std::uint64_t globalBroadcasts = 0;
+    std::uint64_t coalescedLocal = 0;
+    std::uint64_t coalescedGlobal = 0;
+    std::uint64_t combinedIncs = 0;
+    std::vector<double> clusterBusUtilization;
 
     /**
      * Distribution of satisfied-wait durations in cycles, filled

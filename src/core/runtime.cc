@@ -21,6 +21,15 @@ initCost(const sync::SchemePlan &plan, const sim::MachineConfig &mc)
         return 0;
     if (mc.fabric == sim::FabricKind::registers)
         return plan.initWrites * mc.syncBusCycles;
+    // Hierarchical: init writes serialize on at least their local
+    // cluster bus (worst case all from one cluster is more, so this
+    // stays a lower bound).
+    if (mc.fabric == sim::FabricKind::hierarchical)
+        return plan.initWrites * mc.clusterBusCycles;
+    // Combining fabric: writes from one port serialize at the
+    // injection port and the slowest one still crosses a stage.
+    if (mc.fabric == sim::FabricKind::combining)
+        return plan.initWrites * mc.netPortCycles + mc.netStageCycles;
     // Memory-resident variables: the writes serialize on the data
     // bus; module service overlaps across interleaved modules.
     return plan.initWrites * mc.dataBusCycles + mc.memory.serviceCycles;

@@ -341,6 +341,36 @@ buildTimeline(const TraceRecorder &recorder, const TimelineConfig &cfg)
             "module " + std::to_string(m) + " backlog"));
     }
 
+    // Combining-network stages and cluster buses (absent entirely
+    // on the flat fabrics, so these families stay empty there and
+    // every JSON emission below skips them).
+    for (std::uint32_t s :
+         indicesOf(sim::SampleStream::netStageConflictCycles)) {
+        tl.netStageWait.push_back(diffSeries(
+            rawOf(sim::SampleStream::netStageConflictCycles, s), n,
+            "net stage " + std::to_string(s) + " wait"));
+    }
+    for (std::uint32_t s :
+         indicesOf(sim::SampleStream::netStageCombines)) {
+        tl.netStageCombines.push_back(diffSeries(
+            rawOf(sim::SampleStream::netStageCombines, s), n,
+            "net stage " + std::to_string(s) + " combines"));
+    }
+    for (std::uint32_t c :
+         indicesOf(sim::SampleStream::clusterBusBusyCycles)) {
+        TimelineSeries occ = diffSeries(
+            rawOf(sim::SampleStream::clusterBusBusyCycles, c), n,
+            "cluster_bus" + std::to_string(c) + " occupancy");
+        for (std::size_t k = 1; k < n; ++k) {
+            sim::Tick span = tl.boundaries[k] - tl.boundaries[k - 1];
+            double frac = span
+                ? occ.values[k] / static_cast<double>(span)
+                : 0.0;
+            occ.values[k] = std::max(0.0, std::min(1.0, frac));
+        }
+        tl.clusterBusOccupancy.push_back(std::move(occ));
+    }
+
     // Sync-variable waiter counts (sparse stream).
     const auto &varStats = recorder.syncVars();
     auto labelOf = [&](sim::SyncVarId var) -> std::string {
@@ -467,6 +497,16 @@ Timeline::toJson() const
     series.set("bus_queue", family(busQueue));
     series.set("module_traffic", family(moduleTraffic));
     series.set("module_backlog", family(moduleBacklog));
+    // Topology families only exist on the composed fabrics; keep
+    // flat-fabric documents unchanged by omitting them when empty.
+    if (!netStageWait.empty())
+        series.set("net_stage_wait", family(netStageWait));
+    if (!netStageCombines.empty())
+        series.set("net_stage_combines", family(netStageCombines));
+    if (!clusterBusOccupancy.empty()) {
+        series.set("cluster_bus_occupancy",
+                   family(clusterBusOccupancy));
+    }
     auto varFamily =
         [](const std::vector<std::pair<sim::SyncVarId,
                                        TimelineSeries>> &list) {
@@ -532,6 +572,22 @@ Timeline::summaryJson() const
     for (const auto &entry : varWaiters)
         waiters = std::max(waiters, entry.second.peak());
     sum.set("peak_sync_waiters", waiters);
+    if (!netStageWait.empty()) {
+        double stage_wait = 0;
+        for (const auto &s : netStageWait)
+            stage_wait = std::max(stage_wait, s.peak());
+        sum.set("peak_net_stage_wait", stage_wait);
+        double combines = 0;
+        for (const auto &s : netStageCombines)
+            combines += s.total();
+        sum.set("net_combines", combines);
+    }
+    if (!clusterBusOccupancy.empty()) {
+        double cluster_occ = 0;
+        for (const auto &s : clusterBusOccupancy)
+            cluster_occ = std::max(cluster_occ, s.peak());
+        sum.set("peak_cluster_bus_occupancy", cluster_occ);
+    }
     sum.set("peak_events_per_interval", eventsPerInterval.peak());
     sum.set("far_heap_peak", farHeap.peak());
     sum.set("heap_fallbacks", heapFallbacks.total());
@@ -586,6 +642,25 @@ Timeline::writeText(std::ostream &os, std::size_t width) const
                 worst = &s;
         }
         row(*worst, "%.1f");
+    }
+    if (!netStageWait.empty()) {
+        std::vector<const TimelineSeries *> parts;
+        for (const auto &s : netStageWait)
+            parts.push_back(&s);
+        row(mergeSeries("net stage wait (total)", parts), "%.0f");
+        std::vector<const TimelineSeries *> combine_parts;
+        for (const auto &s : netStageCombines)
+            combine_parts.push_back(&s);
+        row(mergeSeries("net combines (total)", combine_parts),
+            "%.0f");
+    }
+    if (!clusterBusOccupancy.empty()) {
+        const TimelineSeries *busiest = &clusterBusOccupancy[0];
+        for (const auto &s : clusterBusOccupancy) {
+            if (s.peak() > busiest->peak())
+                busiest = &s;
+        }
+        row(*busiest, "%.2f");
     }
     for (std::size_t i = 0; i < varWaiters.size() && i < 3; ++i)
         row(varWaiters[i].second, "%.0f");

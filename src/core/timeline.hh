@@ -123,6 +123,16 @@ struct Timeline
     /** Instantaneous per-module backlog, in requests. */
     std::vector<TimelineSeries> moduleBacklog;
 
+    /**
+     * Combining-network switch-conflict wait cycles per interval,
+     * one series per stage (combining-fabric runs only).
+     */
+    std::vector<TimelineSeries> netStageWait;
+    /** Packets absorbed by combining per interval, per stage. */
+    std::vector<TimelineSeries> netStageCombines;
+    /** Cluster-bus occupancy in [0, 1] per interval, per cluster. */
+    std::vector<TimelineSeries> clusterBusOccupancy;
+
     /** Blocked waiters per sync var (sorted by descending total). */
     std::vector<std::pair<sim::SyncVarId, TimelineSeries>> varWaiters;
     /**

@@ -59,22 +59,11 @@ Machine::Machine(const MachineConfig &cfg, TraceSink *trace,
     caches_ = std::make_unique<CacheSystem>(
         eventq_, *memory_, config_.numProcs, config_.cache);
 
-    switch (config_.fabric) {
-      case FabricKind::memory:
-        fabric_ = std::make_unique<MemorySyncFabric>(
-            eventq_, *memory_, config_.syncVarBase,
-            config_.pollIntervalCycles, config_.cachedSpinning,
-            tracer);
-        break;
-      case FabricKind::registers:
-        syncBus_ = std::make_unique<Bus>(eventq_, "sync_bus",
-                                         config_.syncBusCycles,
-                                         tracer);
-        fabric_ = std::make_unique<RegisterSyncFabric>(
-            eventq_, *syncBus_, config_.syncRegisters,
-            config_.coalesceWrites, tracer);
-        break;
-    }
+    FabricAssembly fab = buildSyncFabric(syncTopologyOf(config_),
+                                         eventq_, *memory_, tracer);
+    syncBus_ = std::move(fab.syncBus);
+    clusterBuses_ = std::move(fab.clusterBuses);
+    fabric_ = std::move(fab.fabric);
 
     processors_.reserve(config_.numProcs);
     for (ProcId id = 0; id < config_.numProcs; ++id) {
@@ -193,6 +182,8 @@ Machine::dumpStats(std::ostream &os) const
     dataNet_->dumpStats(os);
     if (syncBus_)
         syncBus_->dumpStats(os);
+    for (const auto &cb : clusterBuses_)
+        cb->dumpStats(os);
     memory_->dumpStats(os);
     if (caches_->enabled())
         caches_->dumpStats(os);
@@ -207,6 +198,8 @@ Machine::registerStats(stats::Group &group) const
     dataNet_->registerStats(group);
     if (syncBus_)
         syncBus_->registerStats(group);
+    for (const auto &cb : clusterBuses_)
+        cb->registerStats(group);
     memory_->registerStats(group);
     if (caches_->enabled())
         caches_->registerStats(group);

@@ -25,6 +25,7 @@
 #include "sim/processor.hh"
 #include "sim/program.hh"
 #include "sim/sync_fabric.hh"
+#include "sim/topology.hh"
 #include "sim/types.hh"
 
 namespace psync {
@@ -76,6 +77,12 @@ struct MachineConfig
     /** Enable pending-write coalescing on the sync bus. */
     bool coalesceWrites = true;
 
+    /** Processor clusters (hierarchical fabric). */
+    unsigned numClusters = 4;
+
+    /** Cluster-bus occupancy per local broadcast, cycles. */
+    Tick clusterBusCycles = 1;
+
     /** Data-bus occupancy per transaction, cycles. */
     Tick dataBusCycles = 1;
 
@@ -111,6 +118,33 @@ struct MachineConfig
     Tick timelineInterval = 0;
 };
 
+/**
+ * The synchronization-domain slice of a machine config: everything
+ * buildSyncFabric needs. The combining fabric's sync modules mirror
+ * the machine's memory organization (same interleave, same service
+ * time) — the network in front of them is what differs.
+ */
+inline SyncTopology
+syncTopologyOf(const MachineConfig &cfg)
+{
+    SyncTopology topo;
+    topo.fabric = cfg.fabric;
+    topo.numProcs = cfg.numProcs;
+    topo.numClusters = cfg.numClusters;
+    topo.clusterBusCycles = cfg.clusterBusCycles;
+    topo.syncBusCycles = cfg.syncBusCycles;
+    topo.syncRegisters = cfg.syncRegisters;
+    topo.coalesceWrites = cfg.coalesceWrites;
+    topo.pollIntervalCycles = cfg.pollIntervalCycles;
+    topo.cachedSpinning = cfg.cachedSpinning;
+    topo.syncVarBase = cfg.syncVarBase;
+    topo.syncModules = cfg.memory.numModules;
+    topo.netStageCycles = cfg.netStageCycles;
+    topo.netPortCycles = cfg.netPortCycles;
+    topo.syncServiceCycles = cfg.memory.serviceCycles;
+    return topo;
+}
+
 /** An assembled multiprocessor. */
 class Machine
 {
@@ -139,6 +173,13 @@ class Machine
 
     /** Sync bus; null when the fabric is memory-resident. */
     Bus *syncBus() { return syncBus_.get(); }
+
+    /** Per-cluster local sync buses (hierarchical fabric only). */
+    const std::vector<std::unique_ptr<Bus>> &
+    clusterBuses() const
+    {
+        return clusterBuses_;
+    }
 
     Processor &proc(ProcId id) { return *processors_[id]; }
     unsigned numProcs() const { return config_.numProcs; }
@@ -178,6 +219,7 @@ class Machine
     EventQueue eventq_;
     std::unique_ptr<Interconnect> dataNet_;
     std::unique_ptr<Bus> syncBus_;
+    std::vector<std::unique_ptr<Bus>> clusterBuses_;
     std::unique_ptr<Memory> memory_;
     std::unique_ptr<CacheSystem> caches_;
     std::unique_ptr<SyncFabric> fabric_;

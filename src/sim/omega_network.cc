@@ -89,6 +89,170 @@ OmegaNetwork::fireFlight(std::uint32_t slot)
     handler(inject);
 }
 
+CombiningOmegaNetwork::CombiningOmegaNetwork(std::string net_name,
+                                             unsigned num_ports,
+                                             unsigned num_endpoints,
+                                             Tick stage_cycles,
+                                             Tick port_cycles)
+    : name_(std::move(net_name)),
+      stageCycles(stage_cycles),
+      portCycles(port_cycles),
+      portFreeAt(num_ports, 0),
+      numTransactions(name_ + ".transactions"),
+      queueDelayStat(name_ + ".queue_delay"),
+      portBusyStat(name_ + ".port_busy_cycles")
+{
+    if (num_ports == 0)
+        fatal("combining network needs at least one port");
+    unsigned endpoints = std::max(num_ports, num_endpoints);
+    numStages = 1;
+    while ((1u << numStages) < endpoints)
+        ++numStages;
+    endpointBits = numStages;
+    unsigned switches = numStages * ((1u << numStages) / 2);
+    switchFreeAt.assign(switches, 0);
+    switchBusy.assign(switches, 0);
+    conflictsStat.init(name_ + ".stage_conflicts", numStages);
+    conflictCyclesStat.init(name_ + ".stage_conflict_cycles",
+                            numStages);
+    combinesStat.init(name_ + ".stage_combines", numStages);
+    stageBusyStat.init(name_ + ".stage_busy_cycles", numStages);
+}
+
+unsigned
+CombiningOmegaNetwork::switchAt(ProcId who, unsigned dest,
+                                unsigned stage) const
+{
+    // Omega routing: after stage s the low s+1 position bits are
+    // the top s+1 destination bits, the rest still source bits.
+    unsigned n = 1u << endpointBits;
+    unsigned pos = ((who << (stage + 1)) |
+                    (dest >> (endpointBits - stage - 1))) & (n - 1);
+    return stage * (n / 2) + (pos >> 1);
+}
+
+std::uint64_t
+CombiningOmegaNetwork::residentKey(unsigned global_switch,
+                                   SyncVarId var,
+                                   CombineClass cls) const
+{
+    return (static_cast<std::uint64_t>(global_switch) << 36) |
+           (static_cast<std::uint64_t>(cls) << 34) |
+           static_cast<std::uint64_t>(var);
+}
+
+CombiningOmegaNetwork::Delivery
+CombiningOmegaNetwork::inject(ProcId who, unsigned dest,
+                              SyncVarId var, CombineClass cls,
+                              std::uint64_t packet_id, Tick now)
+{
+    if (who >= portFreeAt.size())
+        panic("port %u out of range", who);
+
+    Tick inject = std::max(now, portFreeAt[who]);
+    portFreeAt[who] = inject + portCycles;
+    ++numTransactions;
+    queueDelayStat += static_cast<double>(inject - now);
+    portBusyStat += static_cast<double>(portCycles);
+
+    Delivery d;
+    Tick t = inject;
+    for (unsigned s = 0; s < numStages; ++s) {
+        unsigned sw = switchAt(who, dest, s);
+        if (cls != CombineClass::none) {
+            auto it = residents.find(residentKey(sw, var, cls));
+            if (it != residents.end() && it->second.departAt > t) {
+                // A same-variable packet is still queued in this
+                // switch: merge into it instead of going further.
+                combinesStat[s] += 1;
+                d.combined = true;
+                d.mergedWith = it->second.packet;
+                d.stage = s;
+                return d;
+            }
+        }
+        if (switchFreeAt[sw] > t) {
+            conflictsStat[s] += 1;
+            conflictCyclesStat[s] +=
+                static_cast<double>(switchFreeAt[sw] - t);
+            queueDelayStat +=
+                static_cast<double>(switchFreeAt[sw] - t);
+            t = switchFreeAt[sw];
+        }
+        Tick depart = t + stageCycles;
+        switchFreeAt[sw] = depart;
+        switchBusy[sw] += stageCycles;
+        stageBusyStat[s] += static_cast<double>(stageCycles);
+        if (cls != CombineClass::none)
+            residents[residentKey(sw, var, cls)] = {packet_id, depart};
+        t = depart;
+    }
+    d.arrive = t;
+    return d;
+}
+
+void
+CombiningOmegaNetwork::holdResidents(ProcId who, unsigned dest,
+                                     SyncVarId var, CombineClass cls,
+                                     std::uint64_t packet_id,
+                                     Tick until)
+{
+    if (cls == CombineClass::none)
+        return;
+    for (unsigned s = 0; s < numStages; ++s) {
+        unsigned sw = switchAt(who, dest, s);
+        auto it = residents.find(residentKey(sw, var, cls));
+        if (it != residents.end() && it->second.packet == packet_id &&
+            it->second.departAt < until)
+            it->second.departAt = until;
+    }
+}
+
+Tick
+CombiningOmegaNetwork::busiestSwitchCycles(unsigned s) const
+{
+    unsigned per_stage = 1u << (endpointBits - 1);
+    Tick best = 0;
+    for (unsigned i = 0; i < per_stage; ++i)
+        best = std::max(best, switchBusy[s * per_stage + i]);
+    return best;
+}
+
+void
+CombiningOmegaNetwork::sampleTimeline(Tracer &t, Tick at) const
+{
+    for (unsigned s = 0; s < numStages; ++s) {
+        t.sample(SampleStream::netStageConflictCycles, s, at,
+                 conflictCyclesStat[s]);
+        t.sample(SampleStream::netStageCombines, s, at,
+                 combinesStat[s]);
+    }
+}
+
+void
+CombiningOmegaNetwork::dumpStats(std::ostream &os) const
+{
+    stats::dump(os, numTransactions);
+    stats::dump(os, queueDelayStat);
+    stats::dump(os, portBusyStat);
+    stats::dump(os, conflictsStat);
+    stats::dump(os, conflictCyclesStat);
+    stats::dump(os, combinesStat);
+    stats::dump(os, stageBusyStat);
+}
+
+void
+CombiningOmegaNetwork::registerStats(stats::Group &group) const
+{
+    group.add(numTransactions);
+    group.add(queueDelayStat);
+    group.add(portBusyStat);
+    group.add(conflictsStat);
+    group.add(conflictCyclesStat);
+    group.add(combinesStat);
+    group.add(stageBusyStat);
+}
+
 double
 OmegaNetwork::utilization(Tick end_tick) const
 {

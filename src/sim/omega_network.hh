@@ -23,11 +23,14 @@
 #ifndef PSYNC_SIM_OMEGA_NETWORK_HH
 #define PSYNC_SIM_OMEGA_NETWORK_HH
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/interconnect.hh"
 #include "sim/stats.hh"
+#include "sim/tracing.hh"
 
 namespace psync {
 namespace sim {
@@ -102,6 +105,187 @@ class OmegaNetwork : public Interconnect
     stats::Scalar numTransactions;
     stats::Scalar queueDelayStat;
     stats::Scalar busyCyclesStat;
+};
+
+/** Combining class of a packet traversing the combining network. */
+enum class CombineClass : std::uint8_t
+{
+    /** Never combined (plain writes). */
+    none,
+    /** Same-variable reads/polls merge (one fetch, fanned out). */
+    read,
+    /** Same-variable fetch&adds merge (adds sum on the way up). */
+    fetchAdd,
+};
+
+/**
+ * Omega network with blocking 2x2 switches and in-network combining
+ * of matching packets — the NYU Ultracomputer / RP3 design that
+ * relieves the hot-spot the optimistic OmegaNetwork above does not
+ * model.
+ *
+ * Unlike OmegaNetwork (whose contract with existing scenarios pins
+ * it bit-identical), this model reserves every switch a packet
+ * crosses: a packet arriving at a busy switch waits (the per-stage
+ * conflict counters), and a combinable packet arriving while a
+ * same-variable packet is still queued in the switch merges into it
+ * and travels no further (the per-stage combine counters). The whole
+ * traversal is computed at injection time from per-switch
+ * reservation horizons, so the caller learns the delivery tick (or
+ * the combine tree root) synchronously and schedules exactly one
+ * completion event per packet — deterministic and event-cheap at
+ * P = 1024.
+ *
+ * The network carries timing and combining structure only; variable
+ * semantics (value application, decombined pre-value distribution)
+ * stay with the owning fabric (CombiningSyncFabric).
+ */
+class CombiningOmegaNetwork
+{
+  public:
+    /**
+     * @param net_name     statistics name
+     * @param num_ports    injection ports (= processors)
+     * @param num_endpoints memory-side endpoints (sync modules)
+     * @param stage_cycles latency per switch stage
+     * @param port_cycles  min cycles between injections per port
+     */
+    CombiningOmegaNetwork(std::string net_name, unsigned num_ports,
+                          unsigned num_endpoints, Tick stage_cycles,
+                          Tick port_cycles = 1);
+
+    /** Outcome of routing one packet, computed at injection. */
+    struct Delivery
+    {
+        /** Absorbed into an in-flight same-variable packet. */
+        bool combined = false;
+        /** Packet id it merged with (valid when combined). */
+        std::uint64_t mergedWith = 0;
+        /** Stage index of the merge (valid when combined). */
+        unsigned stage = 0;
+        /** Arrival tick at the endpoint (valid when !combined). */
+        Tick arrive = 0;
+    };
+
+    /**
+     * Route packet `packet_id` from port `who` to endpoint `dest`,
+     * reserving switch occupancy along the way. Pure state update —
+     * no events are scheduled; the caller owns completion timing.
+     * `var` identifies the combinable quantity; packets only merge
+     * with packets of the same (var, cls).
+     */
+    Delivery inject(ProcId who, unsigned dest, SyncVarId var,
+                    CombineClass cls, std::uint64_t packet_id,
+                    Tick now);
+
+    /**
+     * Extend packet `packet_id`'s wait-buffer residency along its
+     * path until `until`. A combining switch holds the entry it
+     * recorded at forward time until the reply passes back through
+     * it to be decombined, so later same-(var, cls) packets merge
+     * during the whole module round trip — without this the
+     * combining window is one stage crossing, and staggered
+     * arrivals never meet. The owning fabric calls this once it
+     * knows the packet's completion tick.
+     */
+    void holdResidents(ProcId who, unsigned dest, SyncVarId var,
+                       CombineClass cls, std::uint64_t packet_id,
+                       Tick until);
+
+    unsigned stages() const { return numStages; }
+    Tick stageLatency() const { return stageCycles; }
+
+    /** Cycles a reply spends traversing back to its processor. */
+    Tick returnCycles() const { return numStages * stageCycles; }
+
+    std::uint64_t transactions() const
+    {
+        return static_cast<std::uint64_t>(numTransactions.value());
+    }
+
+    /** Packets absorbed by combining, all stages. */
+    std::uint64_t combinedTotal() const
+    {
+        return static_cast<std::uint64_t>(combinesStat.total());
+    }
+
+    std::uint64_t stageConflicts(unsigned s) const
+    {
+        return static_cast<std::uint64_t>(conflictsStat[s]);
+    }
+
+    Tick stageConflictCycles(unsigned s) const
+    {
+        return static_cast<Tick>(conflictCyclesStat[s]);
+    }
+
+    std::uint64_t stageCombines(unsigned s) const
+    {
+        return static_cast<std::uint64_t>(combinesStat[s]);
+    }
+
+    /** Busy cycles of the single busiest switch of stage `s`. */
+    Tick busiestSwitchCycles(unsigned s) const;
+
+    /** Total busy cycles of stage `s` across all its switches. */
+    Tick stageBusyCycles(unsigned s) const
+    {
+        return static_cast<Tick>(stageBusyStat[s]);
+    }
+
+    unsigned switchesPerStage() const
+    {
+        return (1u << endpointBits) / 2;
+    }
+
+    /** Port queueing + switch-conflict wait cycles, total. */
+    Tick queueDelay() const
+    {
+        return static_cast<Tick>(queueDelayStat.value());
+    }
+
+    /** Emit per-stage conflict/combine samples to `t` at `at`. */
+    void sampleTimeline(Tracer &t, Tick at) const;
+
+    void dumpStats(std::ostream &os) const;
+    void registerStats(stats::Group &group) const;
+    const std::string &name() const { return name_; }
+
+  private:
+    /**
+     * Most recent combinable packet routed through a switch, per
+     * (switch, var, cls): a later same-key packet arriving before
+     * `departAt` is still queued alongside it and merges.
+     */
+    struct Resident
+    {
+        std::uint64_t packet = 0;
+        Tick departAt = 0;
+    };
+
+    unsigned switchAt(ProcId who, unsigned dest, unsigned stage) const;
+    std::uint64_t residentKey(unsigned global_switch, SyncVarId var,
+                              CombineClass cls) const;
+
+    std::string name_;
+    unsigned numStages;
+    unsigned endpointBits;
+    Tick stageCycles;
+    Tick portCycles;
+    std::vector<Tick> portFreeAt;
+    /** Reservation horizon per switch, stage-major. */
+    std::vector<Tick> switchFreeAt;
+    /** Busy cycles per switch, stage-major (heatmap source). */
+    std::vector<Tick> switchBusy;
+    std::unordered_map<std::uint64_t, Resident> residents;
+
+    stats::Scalar numTransactions;
+    stats::Scalar queueDelayStat;
+    stats::Scalar portBusyStat;
+    stats::Vector conflictsStat;
+    stats::Vector conflictCyclesStat;
+    stats::Vector combinesStat;
+    stats::Vector stageBusyStat;
 };
 
 } // namespace sim

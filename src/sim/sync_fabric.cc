@@ -16,6 +16,10 @@ fabricKindName(FabricKind kind)
         return "memory";
       case FabricKind::registers:
         return "registers";
+      case FabricKind::combining:
+        return "combining";
+      case FabricKind::hierarchical:
+        return "hierarchical";
     }
     return "unknown";
 }

@@ -44,6 +44,19 @@ enum class FabricKind
     memory,
     /** Dedicated registers with broadcast local images. */
     registers,
+    /**
+     * Variables in memory modules behind a combining omega network
+     * that merges matching fetch&add (and poll) packets at switch
+     * nodes — the NYU Ultracomputer hot-spot fix. See
+     * CombiningSyncFabric (sim/combining_fabric.hh).
+     */
+    combining,
+    /**
+     * Two-level cluster fabric: per-cluster register images on
+     * local buses plus a global serialization stage, SynCron-style.
+     * See HierarchicalSyncFabric (sim/cluster_fabric.hh).
+     */
+    hierarchical,
 };
 
 /** Convert a fabric kind to a short printable name. */

@@ -49,6 +49,12 @@ sampleStreamName(SampleStream stream)
         return "far_heap_events";
       case SampleStream::heapFallbacks:
         return "heap_fallbacks";
+      case SampleStream::netStageConflictCycles:
+        return "net_stage_conflict_cycles";
+      case SampleStream::netStageCombines:
+        return "net_stage_combines";
+      case SampleStream::clusterBusBusyCycles:
+        return "cluster_bus_busy_cycles";
     }
     return "unknown";
 }
@@ -61,6 +67,9 @@ sampleStreamCumulative(SampleStream stream)
       case SampleStream::moduleAccesses:
       case SampleStream::eventsExecuted:
       case SampleStream::heapFallbacks:
+      case SampleStream::netStageConflictCycles:
+      case SampleStream::netStageCombines:
+      case SampleStream::clusterBusBusyCycles:
         return true;
       default:
         return false;
@@ -77,6 +86,9 @@ sampleStreamIndexed(SampleStream stream)
       case SampleStream::moduleBacklog:
       case SampleStream::syncVarWaiters:
       case SampleStream::procActivity:
+      case SampleStream::netStageConflictCycles:
+      case SampleStream::netStageCombines:
+      case SampleStream::clusterBusBusyCycles:
         return true;
       default:
         return false;

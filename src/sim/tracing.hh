@@ -80,6 +80,12 @@ enum class SampleStream : std::uint8_t
     farHeapEvents,
     /** Cumulative handler captures spilled to the heap. */
     heapFallbacks,
+    /** Cumulative switch-conflict wait cycles; index = net stage. */
+    netStageConflictCycles,
+    /** Cumulative packets absorbed by combining; index = stage. */
+    netStageCombines,
+    /** Cumulative busy cycles; index = cluster sync bus. */
+    clusterBusBusyCycles,
 };
 
 /** Short printable stream name ("bus_busy_cycles", ...). */
